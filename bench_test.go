@@ -1,0 +1,505 @@
+// Package repro's root bench suite regenerates every table and figure of
+// the paper's evaluation programme as testing.B benchmarks (DESIGN.md §3
+// maps each bench to its experiment id and paper item). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Quality metrics (precision/recall, counts) are reported via b.ReportMetric
+// so `go test -bench` output doubles as the experiment record.
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/discovery"
+	"repro/internal/dup"
+	"repro/internal/eval"
+	"repro/internal/experiments"
+	"repro/internal/linkdisc"
+	"repro/internal/metadata"
+	"repro/internal/profile"
+	"repro/internal/rel"
+	"repro/internal/search"
+	"repro/internal/seq"
+	"repro/internal/sqlx"
+)
+
+// benchCorpus caches one standard corpus per size across benchmarks.
+var corpusCache = map[int]*datagen.Corpus{}
+
+func benchCorpus(n int) *datagen.Corpus {
+	if c, ok := corpusCache[n]; ok {
+		return c
+	}
+	c := datagen.Generate(datagen.Config{Seed: 99, Proteins: n})
+	corpusCache[n] = c
+	return c
+}
+
+// integrate builds a system over a fresh copy of the corpus sources.
+func integrate(b *testing.B, n int, opts core.Options) *core.System {
+	b.Helper()
+	corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: n})
+	sys := core.New(opts)
+	for _, src := range corpus.Sources {
+		if _, err := sys.AddSource(src); err != nil {
+			b.Fatalf("integrating %s: %v", src.Name, err)
+		}
+	}
+	return sys
+}
+
+// BenchmarkTable1IntegrationCost (E1, Table 1): the cost of integrating
+// the full corpus under ALADIN — the machine-time side of the table whose
+// manual-action side is printed by cmd/experiments e1.
+func BenchmarkTable1IntegrationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := integrate(b, 40, core.Options{OntologySources: []string{"go"}, DisableSearchIndex: true})
+		if len(sys.Sources()) != 6 {
+			b.Fatal("integration incomplete")
+		}
+	}
+	b.ReportMetric(0, "manual-actions/source")
+}
+
+// BenchmarkFigure2Pipeline (E2, Figures 1+2): one full five-step pipeline
+// run per iteration, reporting per-step shares via sub-benchmarks.
+func BenchmarkFigure2Pipeline(b *testing.B) {
+	steps := []string{"profile", "discover-structure", "link-discovery", "duplicate-detection", "register-and-index"}
+	for _, step := range steps {
+		b.Run(step, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: 40})
+				sys := core.New(core.Options{OntologySources: []string{"go"}})
+				for _, src := range corpus.Sources {
+					rep, err := sys.AddSource(src)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, t := range rep.Timings {
+						if t.Step == step {
+							total += float64(t.Duration.Nanoseconds())
+						}
+					}
+				}
+			}
+			b.ReportMetric(total/float64(b.N), "step-ns/corpus")
+		})
+	}
+}
+
+// BenchmarkFigure3BioSQL (E3, Figure 3/§5): the BioSQL case-study
+// discovery walk.
+func BenchmarkFigure3BioSQL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.E3BioSQL()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(strings.Join(tbl.Notes, " "), `"bioentry"`) {
+			b.Fatal("BioSQL case study did not select bioentry")
+		}
+	}
+}
+
+// BenchmarkPrimaryRelationPR (E4): primary-relation discovery over the
+// corpus, reporting accuracy.
+func BenchmarkPrimaryRelationPR(b *testing.B) {
+	corpus := benchCorpus(40)
+	correct := 0
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		correct, total = 0, 0
+		for _, src := range corpus.Sources {
+			profs, err := profile.ProfileDatabase(src, profile.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := discovery.Analyze(src, profs, discovery.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			total++
+			if strings.EqualFold(st.Primary, corpus.Gold.Primary[strings.ToLower(src.Name)]) {
+				correct++
+			}
+		}
+	}
+	b.ReportMetric(float64(correct)/float64(total), "primary-accuracy")
+}
+
+// BenchmarkForeignKeyPR (E5): FK discovery accuracy across the corpus.
+func BenchmarkForeignKeyPR(b *testing.B) {
+	corpus := benchCorpus(40)
+	var pr eval.PR
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr = eval.PR{}
+		for _, src := range corpus.Sources {
+			gold := corpus.Gold.ForeignKeys[strings.ToLower(src.Name)]
+			if len(gold) == 0 {
+				continue
+			}
+			profs, err := profile.ProfileDatabase(src, profile.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := discovery.Analyze(src, profs, discovery.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			preds := make([]rel.ForeignKey, 0, len(st.ForeignKeys))
+			for _, d := range st.ForeignKeys {
+				preds = append(preds, d.From)
+			}
+			pr.Add(eval.CompareFKs(preds, gold))
+		}
+	}
+	b.ReportMetric(pr.Precision(), "precision")
+	b.ReportMetric(pr.Recall(), "recall")
+}
+
+// BenchmarkCrossRefPR (E6): explicit cross-reference discovery quality.
+func BenchmarkCrossRefPR(b *testing.B) {
+	var pr eval.PR
+	for i := 0; i < b.N; i++ {
+		corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: 40})
+		sys := core.New(core.Options{OntologySources: []string{"go"}, DisableSearchIndex: true})
+		for _, src := range corpus.Sources {
+			if _, err := sys.AddSource(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		gold := append([]datagen.GoldLink{}, corpus.Gold.XRefs...)
+		gold = append(gold, corpus.Gold.TermXRefs...)
+		pr = eval.CompareLinks(sys.Repo.AllLinks(), metadata.LinkXRef, gold)
+	}
+	b.ReportMetric(pr.Precision(), "precision")
+	b.ReportMetric(pr.Recall(), "recall")
+}
+
+// BenchmarkSequenceLinkPR (E7): homology link discovery at 5% mutation.
+func BenchmarkSequenceLinkPR(b *testing.B) {
+	var pr eval.PR
+	for i := 0; i < b.N; i++ {
+		corpus := datagen.Generate(datagen.Config{
+			Seed: 99, Proteins: 30, Noise: datagen.Noise{SeqMutation: 0.05},
+		})
+		sys := core.New(core.Options{DisableSearchIndex: true})
+		for _, name := range []string{"swissprot", "pdb", "genbank"} {
+			if _, err := sys.AddSource(corpus.Source(name)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pr = eval.CompareLinks(sys.Repo.AllLinks(), metadata.LinkSequence, corpus.Gold.Homologs)
+	}
+	b.ReportMetric(pr.Precision(), "precision")
+	b.ReportMetric(pr.Recall(), "recall")
+}
+
+// BenchmarkSeededVsFullAlignment (E7 ablation): BLAST-style k-mer seeding
+// against the quadratic all-pairs Smith-Waterman baseline.
+func BenchmarkSeededVsFullAlignment(b *testing.B) {
+	corpus := benchCorpus(40)
+	sp := corpus.Source("swissprot").Relation("sequence")
+	si := sp.Schema.Index("seq")
+	pdb := corpus.Source("pdb").Relation("chain")
+	ci := pdb.Schema.Index("chain_seq")
+	var queries, targets []seq.Record
+	for i, t := range sp.Tuples {
+		targets = append(targets, seq.Record{ID: fmt.Sprintf("t%d", i), Seq: t[si].AsString()})
+	}
+	for i, t := range pdb.Tuples {
+		queries = append(queries, seq.Record{ID: fmt.Sprintf("q%d", i), Seq: t[ci].AsString()})
+	}
+	b.Run("seeded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix := seq.NewIndex(8)
+			for _, t := range targets {
+				ix.Add(t.ID, t.Seq)
+			}
+			for _, q := range queries {
+				ix.Search(q.Seq, seq.SearchOptions{MinScore: 40, MinIdentity: 0.7})
+			}
+		}
+	})
+	b.Run("all-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seq.AllPairs(queries, targets, seq.SearchOptions{MinScore: 40, MinIdentity: 0.7})
+		}
+	})
+}
+
+// BenchmarkTextLinkPR (E8): entity-mention link quality.
+func BenchmarkTextLinkPR(b *testing.B) {
+	var tbl experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = experiments.E8TextPR(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = tbl
+}
+
+// BenchmarkDuplicatePR (E9): duplicate detection quality at the default
+// threshold over the Swiss-Prot/PIR overlap.
+func BenchmarkDuplicatePR(b *testing.B) {
+	corpus := benchCorpus(40)
+	var records []dup.Record
+	for _, name := range []string{"swissprot", "pir"} {
+		src := corpus.Source(name)
+		profs, err := profile.ProfileDatabase(src, profile.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := discovery.Analyze(src, profs, discovery.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = append(records, dup.RecordsFromSource(src, st)...)
+	}
+	goldSet := eval.GoldLinkSet(corpus.Gold.Duplicates)
+	var pr eval.PR
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matches, _ := dup.FindDuplicates(records, dup.Options{})
+		links := dup.Links(matches)
+		pr = eval.CompareSets(eval.PredictedLinkSet(links, metadata.LinkDuplicate), goldSet)
+	}
+	b.ReportMetric(pr.Precision(), "precision")
+	b.ReportMetric(pr.Recall(), "recall")
+}
+
+// BenchmarkBlockingAblation (E9/E10 ablation): sorted-neighbourhood
+// blocking vs full pairwise comparison.
+func BenchmarkBlockingAblation(b *testing.B) {
+	corpus := benchCorpus(100)
+	var records []dup.Record
+	for _, name := range []string{"swissprot", "pir", "pdb"} {
+		src := corpus.Source(name)
+		profs, _ := profile.ProfileDatabase(src, profile.Options{})
+		st, _ := discovery.Analyze(src, profs, discovery.DefaultOptions())
+		records = append(records, dup.RecordsFromSource(src, st)...)
+	}
+	b.Run("sorted-neighborhood", func(b *testing.B) {
+		var comparisons int
+		for i := 0; i < b.N; i++ {
+			_, stats := dup.FindDuplicates(records, dup.Options{Blocking: dup.SortedNeighborhood})
+			comparisons = stats.Comparisons
+		}
+		b.ReportMetric(float64(comparisons), "comparisons")
+	})
+	b.Run("full-pairwise", func(b *testing.B) {
+		var comparisons int
+		for i := 0; i < b.N; i++ {
+			_, stats := dup.FindDuplicates(records, dup.Options{Blocking: dup.FullPairwise})
+			comparisons = stats.Comparisons
+		}
+		b.ReportMetric(float64(comparisons), "comparisons")
+	})
+}
+
+// BenchmarkAddSourceScaling (E10): cost of adding one more source at
+// increasing corpus sizes.
+func BenchmarkAddSourceScaling(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		b.Run(fmt.Sprintf("proteins-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: n})
+				sys := core.New(core.Options{DisableSearchIndex: true})
+				if _, err := sys.AddSource(corpus.Source("pdb")); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := sys.AddSource(corpus.Source("swissprot")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPruningAblation (E10): attribute-pair pruning on and off.
+func BenchmarkPruningAblation(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts linkdisc.Options
+	}{
+		{"pruned", linkdisc.Options{}},
+		{"unpruned", linkdisc.Options{DisablePruning: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var checked int
+			for i := 0; i < b.N; i++ {
+				corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: 100})
+				sys := core.New(core.Options{Links: variant.opts, DisableSearchIndex: true})
+				if _, err := sys.AddSource(corpus.Source("pdb")); err != nil {
+					b.Fatal(err)
+				}
+				rep, err := sys.AddSource(corpus.Source("swissprot"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				checked = rep.LinkStats.AttributePairsChecked
+			}
+			b.ReportMetric(float64(checked), "xref-pairs-checked")
+		})
+	}
+}
+
+// BenchmarkAccessionRuleAblation (DESIGN.md §4): primary-relation accuracy
+// with individual accession rules disabled.
+func BenchmarkAccessionRuleAblation(b *testing.B) {
+	corpus := benchCorpus(40)
+	variants := []struct {
+		name  string
+		rules discovery.AccessionRules
+	}{
+		{"all-rules", discovery.DefaultAccessionRules()},
+		{"no-nondigit", func() discovery.AccessionRules {
+			r := discovery.DefaultAccessionRules()
+			r.RequireNonDigit = false
+			return r
+		}()},
+		{"no-minlength", func() discovery.AccessionRules {
+			r := discovery.DefaultAccessionRules()
+			r.MinLength = 0
+			return r
+		}()},
+		{"no-spread", func() discovery.AccessionRules {
+			r := discovery.DefaultAccessionRules()
+			r.MaxLenSpread = 0
+			return r
+		}()},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			correct, total := 0, 0
+			for i := 0; i < b.N; i++ {
+				correct, total = 0, 0
+				opts := discovery.DefaultOptions()
+				opts.Accession = v.rules
+				for _, src := range corpus.Sources {
+					profs, err := profile.ProfileDatabase(src, profile.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					st, err := discovery.Analyze(src, profs, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total++
+					name := strings.ToLower(src.Name)
+					if strings.EqualFold(st.Primary, corpus.Gold.Primary[name]) &&
+						strings.EqualFold(st.PrimaryAccession, corpus.Gold.Accession[name]) {
+						correct++
+					}
+				}
+			}
+			b.ReportMetric(float64(correct)/float64(total), "primary+accession-accuracy")
+		})
+	}
+}
+
+// BenchmarkChangeThreshold (E11): re-analysis cost after threshold churn.
+func BenchmarkChangeThreshold(b *testing.B) {
+	corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: 40})
+	sys := core.New(core.Options{DisableSearchIndex: true})
+	for _, src := range corpus.Sources {
+		if _, err := sys.AddSource(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Reanalyze("swissprot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearch (E12): ranked full-text search latency.
+func BenchmarkSearch(b *testing.B) {
+	sys := integrateOnce(b)
+	queries := []string{"hemoglobin oxygen", "catalase peroxide", "insulin glucose", "keratin filament"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := sys.Search(queries[i%len(queries)], search.Filter{}, 10)
+		if len(rs) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+var benchSys *core.System
+
+func integrateOnce(b *testing.B) *core.System {
+	b.Helper()
+	if benchSys == nil {
+		benchSys = integrate(b, 40, core.Options{OntologySources: []string{"go"}})
+	}
+	return benchSys
+}
+
+// BenchmarkBrowseRanking (E12): [BLM+04] path-based related-object
+// ranking.
+func BenchmarkBrowseRanking(b *testing.B) {
+	sys := integrateOnce(b)
+	start := metadata.ObjectRef{Source: "swissprot", Relation: "protein", Accession: "P10000"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if related := sys.Related(start, 2, 5); len(related) == 0 {
+			b.Fatal("no related objects")
+		}
+	}
+}
+
+// BenchmarkSQLJoin: the warehouse SQL engine on a cross-source join.
+func BenchmarkSQLJoin(b *testing.B) {
+	sys := integrateOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Query(`
+			SELECT p.accession, s.pdb_code
+			FROM swissprot_protein p
+			JOIN pdb_structure s ON s.structure_id = p.protein_id`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+// BenchmarkSmithWaterman: the core alignment kernel.
+func BenchmarkSmithWaterman(b *testing.B) {
+	corpus := benchCorpus(40)
+	sp := corpus.Source("swissprot").Relation("sequence")
+	si := sp.Schema.Index("seq")
+	a := sp.Tuples[0][si].AsString()
+	c := sp.Tuples[1][si].AsString()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq.SmithWaterman(a, c, seq.DefaultScoring())
+	}
+}
+
+// BenchmarkSQLParse: statement parsing throughput.
+func BenchmarkSQLParse(b *testing.B) {
+	q := `SELECT p.accession, COUNT(*) AS n FROM protein p JOIN dbref d ON d.protein_id = p.protein_id WHERE p.organism = 'Homo sapiens' GROUP BY p.accession HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlx.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

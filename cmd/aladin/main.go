@@ -1,0 +1,325 @@
+// Command aladin is the command-line front end of the ALADIN system: it
+// imports flat-file data sources, runs the five-step almost-automatic
+// integration pipeline, and exposes the three access modes (browse,
+// search, SQL query) of §4.6.
+//
+// Usage:
+//
+//	aladin demo                          integrate the synthetic corpus and report
+//	aladin import <format> <file> <name> parse a source file and show its structure
+//	                                     (formats: embl, genbank, fasta, obo, csv, tsv, xml)
+//	aladin query "<sql>"                 run SQL over the integrated demo corpus
+//	aladin search "<terms>"              ranked full-text search over the demo corpus
+//	aladin browse <source> <accession>   show one object's web view
+//	aladin stats                         repository statistics for the demo corpus
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/discovery"
+	"repro/internal/flatfile"
+	"repro/internal/metadata"
+	"repro/internal/profile"
+	"repro/internal/rel"
+	"repro/internal/search"
+	"repro/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "demo":
+		err = cmdDemo()
+	case "import":
+		err = cmdImport(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "browse":
+		err = cmdBrowse(os.Args[2:])
+	case "stats":
+		err = cmdStats()
+	case "save":
+		err = cmdSave(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aladin:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: aladin <command> [args]
+
+commands:
+  demo                            integrate the synthetic corpus and report
+  import <format> <file> <name>   parse and analyze one source file
+  query "<sql>"                   SQL over the integrated demo corpus
+  search "<terms>"                ranked full-text search (demo corpus)
+  browse <source> <accession>     object web view (demo corpus)
+  stats                           repository statistics (demo corpus)
+  save <file>                     integrate the demo corpus and snapshot it
+  load <file>                     restore a snapshot and report its contents`)
+}
+
+// demoSystem integrates the standard synthetic corpus.
+func demoSystem() (*core.System, error) {
+	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 40})
+	sys := core.New(core.Options{OntologySources: []string{"go"}})
+	for _, src := range corpus.Sources {
+		if _, err := sys.AddSource(src); err != nil {
+			return nil, fmt.Errorf("integrating %s: %w", src.Name, err)
+		}
+	}
+	return sys, nil
+}
+
+func cmdDemo() error {
+	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 40})
+	sys := core.New(core.Options{OntologySources: []string{"go"}})
+	fmt.Println("ALADIN demo: integrating the synthetic life-science corpus")
+	fmt.Println()
+	for _, src := range corpus.Sources {
+		rep, err := sys.AddSource(src)
+		if err != nil {
+			return fmt.Errorf("integrating %s: %w", src.Name, err)
+		}
+		fmt.Printf("source %-10s primary=%-10s accession=%-12s (%d relations, %d tuples)\n",
+			src.Name, rep.Structure.Primary, rep.Structure.PrimaryAccession,
+			src.Len(), src.TotalTuples())
+		for _, t := range rep.Timings {
+			fmt.Printf("    %-22s %v\n", t.Step, t.Duration)
+		}
+		if len(rep.LinksAdded) > 0 {
+			var parts []string
+			for _, k := range sortedKeys(rep.LinksAdded) {
+				parts = append(parts, fmt.Sprintf("%s=%d", k, rep.LinksAdded[k]))
+			}
+			fmt.Printf("    new links: %s\n", strings.Join(parts, " "))
+		}
+	}
+	fmt.Println()
+	st := sys.Repo.Stats()
+	fmt.Printf("integrated %d sources, %d object links (%v), %d removed by feedback\n",
+		st.Sources, st.Links, st.LinksByType, st.RemovedLinks)
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cmdImport(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: aladin import <format> <file> <name>")
+	}
+	format, path, name := args[0], args[1], args[2]
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var db *rel.Database
+	switch format {
+	case "embl":
+		db, err = flatfile.ParseEMBL(f, name)
+	case "genbank":
+		db, err = flatfile.ParseGenBank(f, name)
+	case "fasta":
+		db, err = flatfile.ParseFASTA(f, name)
+	case "obo":
+		db, err = flatfile.ParseOBO(f, name)
+	case "csv":
+		db, err = flatfile.ParseCSV(f, name, "data", ',')
+	case "tsv":
+		db, err = flatfile.ParseCSV(f, name, "data", '\t')
+	case "xml":
+		db, err = flatfile.ParseXML(f, name)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported %s: %d relations, %d tuples\n", name, db.Len(), db.TotalTuples())
+	profs, err := profile.ProfileDatabase(db, profile.Options{})
+	if err != nil {
+		return err
+	}
+	st, err := discovery.Analyze(db, profs, discovery.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Print(st.Report())
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: aladin query \"<sql>\"")
+	}
+	sys, err := demoSystem()
+	if err != nil {
+		return err
+	}
+	res, err := sys.Query(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.AsString()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: aladin search \"<terms>\"")
+	}
+	sys, err := demoSystem()
+	if err != nil {
+		return err
+	}
+	results := sys.Search(args[0], search.Filter{}, 10)
+	for i, r := range results {
+		fmt.Printf("%2d. [%.2f] %s:%s (%s.%s)\n      %s\n", i+1, r.Score,
+			r.Document.Object.Source, r.Document.Object.Accession,
+			r.Document.Relation, r.Document.Column,
+			search.Snippet(r, args[0], 70))
+	}
+	if len(results) == 0 {
+		fmt.Println("no results")
+	}
+	return nil
+}
+
+func cmdBrowse(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: aladin browse <source> <accession>")
+	}
+	sys, err := demoSystem()
+	if err != nil {
+		return err
+	}
+	m := sys.Repo.Source(args[0])
+	if m == nil {
+		return fmt.Errorf("unknown source %q", args[0])
+	}
+	ref := metadata.ObjectRef{Source: m.Name, Relation: m.Structure.Primary, Accession: args[1]}
+	v, err := sys.Browse(ref)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("object %s\n", v.Ref)
+	for _, k := range sortedFieldKeys(v.Fields) {
+		fmt.Printf("  %-14s %s\n", k, v.Fields[k])
+	}
+	if v.PrevAccession != "" || v.NextAccession != "" {
+		fmt.Printf("same relation: prev=%s next=%s\n", v.PrevAccession, v.NextAccession)
+	}
+	if len(v.Annotations) > 0 {
+		fmt.Printf("annotations (%d secondary objects):\n", len(v.Annotations))
+		for _, a := range v.Annotations {
+			fmt.Printf("  [%s] %v\n", a.Relation, a.Fields)
+		}
+	}
+	for _, l := range v.Linked {
+		fmt.Printf("linked: %s -> %s (%s, conf %.2f)\n", l.From, l.To, l.Method, l.Confidence)
+	}
+	for _, l := range v.Duplicates {
+		fmt.Printf("duplicate: %s ~ %s (conf %.2f)\n", l.From, l.To, l.Confidence)
+	}
+	return nil
+}
+
+func sortedFieldKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func cmdSave(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: aladin save <file>")
+	}
+	sys, err := demoSystem()
+	if err != nil {
+		return err
+	}
+	if err := store.SaveFile(args[0], sys.Snapshot()); err != nil {
+		return err
+	}
+	st := sys.Repo.Stats()
+	fmt.Printf("saved %d sources and %d links to %s\n", st.Sources, st.Links, args[0])
+	return nil
+}
+
+func cmdLoad(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: aladin load <file>")
+	}
+	snap, err := store.LoadFile(args[0])
+	if err != nil {
+		return err
+	}
+	sys, err := core.Load(core.Options{OntologySources: []string{"go"}}, snap)
+	if err != nil {
+		return err
+	}
+	st := sys.Repo.Stats()
+	fmt.Printf("restored %d sources, %d links %v\n", st.Sources, st.Links, st.LinksByType)
+	ws := sys.WebStats()
+	fmt.Printf("object web: %d objects, %d components, mean degree %.1f\n",
+		ws.Objects, ws.Components, ws.MeanDegree)
+	return nil
+}
+
+func cmdStats() error {
+	sys, err := demoSystem()
+	if err != nil {
+		return err
+	}
+	st := sys.Repo.Stats()
+	fmt.Printf("sources: %d\n", st.Sources)
+	fmt.Printf("links:   %d\n", st.Links)
+	for _, k := range sortedKeys(st.LinksByType) {
+		fmt.Printf("  %-10s %d\n", k, st.LinksByType[k])
+	}
+	for _, m := range sys.Repo.Sources() {
+		fmt.Printf("source %-10s primary=%-10s tuples=%d\n", m.Name, m.Structure.Primary, m.TupleCount)
+	}
+	ws := sys.WebStats()
+	fmt.Printf("object web: %d objects (%d linked), %d components (largest %d), mean degree %.1f\n",
+		ws.Objects, ws.LinkedObjects, ws.Components, ws.LargestComponent, ws.MeanDegree)
+	return nil
+}

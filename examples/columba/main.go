@@ -1,0 +1,159 @@
+// Columba reproduces the paper's §5 case study: an integrated system of
+// protein structure annotation. Three differently-cleansed flavors of the
+// same PDB structures (original, OpenMMS-style, MSD-style) are integrated
+// hands-off; ALADIN flags the duplicates instead of merging them, surfaces
+// their field-level conflicts ("Selecting the proper value for each data
+// field is an important problem", §5), and links structures to a
+// protein-classification source.
+//
+// Run with: go run ./examples/columba
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dup"
+	"repro/internal/linkdisc"
+	"repro/internal/metadata"
+	"repro/internal/rel"
+)
+
+// mkFlavor builds one flavor of the PDB with slightly different cleansing
+// conventions: resolutions disagree, titles are re-worded.
+func mkFlavor(name string, titles map[string]string, resolution map[string]string) *rel.Database {
+	db := rel.NewDatabase(name)
+	structure := db.Create("structure", rel.TextSchema("structure_id", "pdb_code", "title", "resolution"))
+	i := 0
+	for _, code := range codes {
+		i++
+		structure.AppendRaw(fmt.Sprintf("%d", i), code, titles[code], resolution[code])
+	}
+	return db
+}
+
+var codes = []string{"1HBA", "2LYZ", "3TRY", "4CAT", "5INS", "6MYO"}
+
+var baseTitles = map[string]string{
+	"1HBA": "human hemoglobin alpha chain oxygen transport",
+	"2LYZ": "chicken lysozyme bacterial wall hydrolase",
+	"3TRY": "porcine trypsin serine protease complex",
+	"4CAT": "bovine catalase peroxide decomposition enzyme",
+	"5INS": "insulin hormone hexamer zinc coordinated",
+	"6MYO": "sperm whale myoglobin oxygen storage",
+}
+
+func reword(m map[string]string, suffix string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v + " " + suffix
+	}
+	return out
+}
+
+func main() {
+	// The three flavors disagree on resolution for 1HBA (the §5 conflict
+	// example) and agree elsewhere.
+	resA := map[string]string{"1HBA": "1.8 angstroms", "2LYZ": "2.0 angstroms", "3TRY": "1.5 angstroms",
+		"4CAT": "2.4 angstroms", "5INS": "1.9 angstroms", "6MYO": "2.1 angstroms"}
+	resB := map[string]string{"1HBA": "1.9 angstroms", "2LYZ": "2.0 angstroms", "3TRY": "1.5 angstroms",
+		"4CAT": "2.4 angstroms", "5INS": "1.9 angstroms", "6MYO": "2.1 angstroms"}
+
+	pdb := mkFlavor("pdb", baseTitles, resA)
+	openmms := mkFlavor("openmms", reword(baseTitles, "cleaned deposition"), resB)
+	msd := mkFlavor("msd", reword(baseTitles, "curated entry"), resA)
+
+	// A SCOP/CATH-like classification source: "writing a parser took only
+	// a few hours in both cases" (§5) — here, a few lines.
+	scop := rel.NewDatabase("scop")
+	domain := scop.Create("domain", rel.TextSchema("domain_id", "scop_acc", "fold_class", "pdb_ref"))
+	folds := []string{"all-alpha globin fold", "lysozyme fold", "trypsin-like fold",
+		"catalase fold", "insulin fold", "globin fold variant"}
+	for i, code := range codes {
+		domain.AppendRaw(fmt.Sprintf("%d", i+1), fmt.Sprintf("SCOP%04d", i+1), folds[i], "PDB:"+code)
+	}
+
+	sys := core.New(core.Options{
+		// Few structures: keep the default xref evidence minimum (3
+		// matching values), which the 6 SCOP cross-references satisfy.
+		Links: linkdisc.Options{},
+	})
+	for _, db := range []*rel.Database{pdb, openmms, msd, scop} {
+		rep, err := sys.AddSource(db)
+		if err != nil {
+			log.Fatalf("integrating %s: %v", db.Name, err)
+		}
+		fmt.Printf("integrated %-8s primary=%-10s links=%v\n", db.Name, rep.Structure.Primary, rep.LinksAdded)
+	}
+
+	// The three flavors of each structure must be flagged (not merged).
+	fmt.Println("\nduplicate clusters (flagged, never merged — §4.5):")
+	var matches []dup.Match
+	for _, l := range sys.Repo.Links(metadata.LinkDuplicate) {
+		matches = append(matches, dup.Match{
+			A: dup.Record{Source: l.From.Source, Relation: l.From.Relation, Accession: l.From.Accession},
+			B: dup.Record{Source: l.To.Source, Relation: l.To.Relation, Accession: l.To.Accession},
+		})
+	}
+	for _, cluster := range dup.Cluster(matches) {
+		if len(cluster) < 2 {
+			continue
+		}
+		fmt.Printf("  %s:", cluster[0].Accession)
+		for _, ref := range cluster {
+			fmt.Printf(" %s", ref.Source)
+		}
+		fmt.Println()
+	}
+
+	// Conflict exploration: the 1HBA resolution disagreement.
+	fmt.Println("\nconflicts on 1HBA (pdb vs openmms):")
+	a := recordFor(sys, "pdb", "1HBA")
+	b := recordFor(sys, "openmms", "1HBA")
+	for _, c := range dup.Conflicts(dup.Match{A: a, B: b}) {
+		fmt.Printf("  %s\n", c)
+	}
+
+	// Browse: a structure shows its classification link.
+	view, err := sys.Browse(metadata.ObjectRef{Source: "pdb", Relation: "structure", Accession: "1HBA"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbrowse pdb:1HBA links:")
+	for _, l := range view.Linked {
+		fmt.Printf("  %s -> %s (%s)\n", l.From, l.To, l.Method)
+	}
+
+	// Query across structure and classification.
+	fmt.Println("\nSQL: globin-fold structures with their titles")
+	res, err := sys.Query(`
+		SELECT d.pdb_ref, d.fold_class, s.title
+		FROM scop_domain d
+		JOIN pdb_structure s ON d.domain_id = s.structure_id
+		WHERE d.fold_class LIKE '%globin%'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %-10s %-24s %s\n", row[0].AsString(), row[1].AsString(), row[2].AsString())
+	}
+}
+
+// recordFor rebuilds the duplicate-detection record of one object.
+func recordFor(sys *core.System, source, acc string) dup.Record {
+	m := sys.Repo.Source(source)
+	view, err := sys.Browse(metadata.ObjectRef{Source: source, Relation: m.Structure.Primary, Accession: acc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := dup.Record{Source: source, Relation: m.Structure.Primary, Accession: acc,
+		Fields: make(map[string]string)}
+	for k, v := range view.Fields {
+		if k == "structure_id" || k == "pdb_code" {
+			continue
+		}
+		rec.Fields[k] = v
+	}
+	return rec
+}

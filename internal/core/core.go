@@ -1,0 +1,487 @@
+// Package core assembles the ALADIN system (§3): a warehouse of
+// relational sources plus the five-step almost-automatic integration
+// pipeline and the three access modes.
+//
+// Adding a source runs, in order (Figure 2):
+//
+//  1. Data import         — done by the caller (package flatfile or any
+//     *rel.Database); "the one point where ALADIN
+//     does require human work".
+//  2. Primary discovery   — profiling + accession heuristics + FK
+//     guessing + in-degree selection (§4.2).
+//  3. Secondary discovery — join paths from the primary relation (§4.3).
+//  4. Link discovery      — explicit xrefs and implicit sequence/text/
+//     entity/ontology links vs. all earlier
+//     sources (§4.4).
+//  5. Duplicate detection — flag-never-merge duplicate links (§4.5).
+//
+// All discovered artifacts land in the metadata repository; browsing,
+// searching and SQL querying run over the result (§4.6).
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/discovery"
+	"repro/internal/dup"
+	"repro/internal/linkdisc"
+	"repro/internal/metadata"
+	"repro/internal/objectweb"
+	"repro/internal/profile"
+	"repro/internal/rel"
+	"repro/internal/search"
+	"repro/internal/sqlx"
+)
+
+// Options configures a System.
+type Options struct {
+	Profile    profile.Options
+	Discovery  discovery.Options
+	Links      linkdisc.Options
+	Duplicates dup.Options
+	// OntologySources names sources whose shared terms should yield
+	// derived ontology links (§4.4), e.g. "go".
+	OntologySources []string
+	// ChangeThreshold is the §6.2 re-analysis threshold as a fraction of
+	// changed tuples (default 0.1).
+	ChangeThreshold float64
+	// DisableSearchIndex skips search indexing (for benchmarks isolating
+	// pipeline cost).
+	DisableSearchIndex bool
+}
+
+func (o *Options) fill() {
+	if o.ChangeThreshold <= 0 {
+		o.ChangeThreshold = 0.1
+	}
+	if o.Discovery.MaxPathLen == 0 {
+		o.Discovery = discovery.DefaultOptions()
+	}
+}
+
+// StepTiming records the duration of one pipeline step.
+type StepTiming struct {
+	Step     string
+	Duration time.Duration
+}
+
+// AddReport summarizes one AddSource run — the artifact counts and
+// per-step timings of Figure 2.
+type AddReport struct {
+	Source    string
+	Structure *discovery.Structure
+	Timings   []StepTiming
+	// LinksAdded counts new links stored in the repository, by type name.
+	LinksAdded map[string]int
+	// XRefAttributes are the discovered cross-reference attribute pairs.
+	XRefAttributes []linkdisc.XRefAttribute
+	LinkStats      linkdisc.Stats
+	DupStats       dup.Stats
+}
+
+// Duration returns the total pipeline time.
+func (r *AddReport) Duration() time.Duration {
+	var d time.Duration
+	for _, t := range r.Timings {
+		d += t.Duration
+	}
+	return d
+}
+
+// System is one ALADIN instance.
+type System struct {
+	opts Options
+
+	// Repo is the metadata repository (§3); exported for inspection.
+	Repo   *metadata.Repo
+	engine *linkdisc.Engine
+	web    *objectweb.Web
+	index  *search.Index
+
+	// warehouse holds every source's relations under
+	// "<source>_<relation>" names for cross-source SQL.
+	warehouse *rel.Database
+	sources   map[string]*rel.Database
+	// records caches duplicate-detection records per source.
+	records map[string][]dup.Record
+}
+
+// New creates an empty system.
+func New(opts Options) *System {
+	opts.fill()
+	repo := metadata.NewRepo()
+	return &System{
+		opts:      opts,
+		Repo:      repo,
+		engine:    linkdisc.New(opts.Links),
+		web:       objectweb.New(repo),
+		index:     search.NewIndex(),
+		warehouse: rel.NewDatabase("warehouse"),
+		sources:   make(map[string]*rel.Database),
+		records:   make(map[string][]dup.Record),
+	}
+}
+
+// AddSource runs the five-step pipeline for one imported source.
+func (s *System) AddSource(db *rel.Database) (*AddReport, error) {
+	name := strings.ToLower(db.Name)
+	if _, exists := s.sources[name]; exists {
+		return nil, fmt.Errorf("core: source %q already integrated", db.Name)
+	}
+	report := &AddReport{Source: db.Name, LinksAdded: make(map[string]int)}
+
+	// Step 2: discovery of primary objects (profiling + §4.2).
+	t0 := time.Now()
+	profs, err := profile.ProfileDatabase(db, s.opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	report.Timings = append(report.Timings, StepTiming{"profile", time.Since(t0)})
+
+	t0 = time.Now()
+	structure, err := discovery.Analyze(db, profs, s.opts.Discovery)
+	if err != nil {
+		return nil, err
+	}
+	report.Structure = structure
+	// Steps 2+3 run in one Analyze call ("there is high potential for
+	// parallelization and combination of these steps", §3).
+	report.Timings = append(report.Timings, StepTiming{"discover-structure", time.Since(t0)})
+
+	if structure.Primary == "" {
+		return report, fmt.Errorf("core: no primary relation found for source %q", db.Name)
+	}
+
+	// Step 4: link discovery against all previously integrated sources.
+	src := &linkdisc.Source{DB: db, Structure: structure, Profiles: profs}
+	if err := s.engine.AddSource(src); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	links, xattrs, lstats, err := s.engine.DiscoverFor(db.Name)
+	if err != nil {
+		return nil, err
+	}
+	report.XRefAttributes = xattrs
+	report.LinkStats = lstats
+	for _, l := range links {
+		if s.Repo.AddLink(l) {
+			report.LinksAdded[l.Type.String()]++
+		}
+	}
+	for _, ont := range s.opts.OntologySources {
+		derived := s.engine.DeriveOntologyLinks(s.Repo.AllLinks(), ont)
+		for _, l := range derived {
+			if s.Repo.AddLink(l) {
+				report.LinksAdded[l.Type.String()]++
+			}
+		}
+	}
+	report.Timings = append(report.Timings, StepTiming{"link-discovery", time.Since(t0)})
+
+	// Step 5: duplicate detection against all integrated records.
+	t0 = time.Now()
+	s.records[name] = dup.RecordsFromSource(db, structure)
+	var all []dup.Record
+	for _, rs := range s.records {
+		all = append(all, rs...)
+	}
+	matches, dstats := dup.FindDuplicates(all, s.opts.Duplicates)
+	report.DupStats = dstats
+	for _, l := range dup.Links(matches) {
+		if s.Repo.AddLink(l) {
+			report.LinksAdded[l.Type.String()]++
+		}
+	}
+	report.Timings = append(report.Timings, StepTiming{"duplicate-detection", time.Since(t0)})
+
+	// Register everywhere: metadata, browse, SQL warehouse, search index.
+	t0 = time.Now()
+	s.Repo.RegisterSource(&metadata.SourceMeta{
+		Name:       db.Name,
+		Structure:  structure,
+		Profiles:   profs,
+		TupleCount: db.TotalTuples(),
+	})
+	if err := s.web.AddSource(db, structure); err != nil {
+		return nil, err
+	}
+	s.sources[name] = db
+	for _, r := range db.Relations() {
+		qualified := r.Clone()
+		qualified.Name = name + "_" + r.Name
+		s.warehouse.Put(qualified)
+	}
+	if !s.opts.DisableSearchIndex {
+		s.indexSource(db, structure, profs)
+	}
+	report.Timings = append(report.Timings, StepTiming{"register-and-index", time.Since(t0)})
+	return report, nil
+}
+
+// indexSource feeds a source's text-bearing values into the search index.
+func (s *System) indexSource(db *rel.Database, st *discovery.Structure, profs map[string]*profile.ColumnProfile) {
+	resolver := newOwnerIndex(db, st)
+	for _, r := range db.Relations() {
+		isPrimary := strings.EqualFold(r.Name, st.Primary)
+		for ci, c := range r.Schema.Columns {
+			p := profs[profile.Key(r.Name, c.Name)]
+			if p == nil || p.PurelyNumeric || p.IsSequenceField() {
+				continue
+			}
+			for ti, t := range r.Tuples {
+				v := t[ci]
+				if v.IsNull() {
+					continue
+				}
+				acc := resolver.owner(r.Name, ti)
+				if acc == "" {
+					continue
+				}
+				s.index.Add(search.Document{
+					Object: metadata.ObjectRef{
+						Source: db.Name, Relation: st.Primary, Accession: acc,
+					},
+					Relation: r.Name,
+					Column:   c.Name,
+					Text:     v.AsString(),
+					Primary:  isPrimary,
+				})
+			}
+		}
+	}
+}
+
+// Sources returns the names of integrated sources in order.
+func (s *System) Sources() []string {
+	var out []string
+	for _, m := range s.Repo.Sources() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// Query runs SQL over the warehouse. Relations are addressable as
+// "<source>_<relation>", e.g. "swissprot_protein".
+func (s *System) Query(sql string) (*sqlx.Result, error) {
+	return sqlx.Exec(s.warehouse, sql)
+}
+
+// Search runs ranked full-text search (§4.6), grouped per object.
+func (s *System) Search(query string, f search.Filter, limit int) []search.Result {
+	grouped := search.GroupByObject(s.index.Search(query, f, 0))
+	if limit > 0 && len(grouped) > limit {
+		grouped = grouped[:limit]
+	}
+	return grouped
+}
+
+// Browse returns the object view for one object.
+func (s *System) Browse(ref metadata.ObjectRef) (*objectweb.ObjectView, error) {
+	return s.web.Object(ref)
+}
+
+// Objects lists a source's primary objects.
+func (s *System) Objects(source string) []metadata.ObjectRef {
+	return s.web.Objects(source)
+}
+
+// Related ranks objects connected to ref by the [BLM+04] path criterion.
+func (s *System) Related(ref metadata.ObjectRef, maxLen, limit int) []objectweb.ScoredRef {
+	return s.web.RankRelated(ref, maxLen, limit)
+}
+
+// Crawl walks the object web from ref (the §1 "search engine can crawl
+// the links" behaviour).
+func (s *System) Crawl(ref metadata.ObjectRef, depth int) []metadata.ObjectRef {
+	return s.web.Crawl(ref, depth)
+}
+
+// WebStats reports connectivity statistics of the object web.
+func (s *System) WebStats() objectweb.WebStats {
+	return s.web.Stats()
+}
+
+// Conflicts reports field-level disagreements between two objects flagged
+// as duplicates — "Conflicts are highlighted, and data lineage is shown"
+// (§4.6).
+func (s *System) Conflicts(a, b metadata.ObjectRef) ([]dup.Conflict, error) {
+	ra, err := s.record(a)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := s.record(b)
+	if err != nil {
+		return nil, err
+	}
+	return dup.Conflicts(dup.Match{A: ra, B: rb}), nil
+}
+
+func (s *System) record(ref metadata.ObjectRef) (dup.Record, error) {
+	for _, r := range s.records[strings.ToLower(ref.Source)] {
+		if r.Accession == ref.Accession {
+			return r, nil
+		}
+	}
+	return dup.Record{}, fmt.Errorf("core: no record for %s", ref)
+}
+
+// RemoveLinkFeedback deletes a link the user flagged as wrong (§6.2) and
+// prevents rediscovery.
+func (s *System) RemoveLinkFeedback(l metadata.Link) bool {
+	return s.Repo.RemoveLink(l)
+}
+
+// RecordChanges notes n changed tuples in a source and reports whether
+// the §6.2 threshold policy now calls for re-analysis.
+func (s *System) RecordChanges(source string, n int) bool {
+	s.Repo.RecordChanges(source, n)
+	return s.Repo.NeedsReanalysis(source, s.opts.ChangeThreshold)
+}
+
+// Reanalyze re-runs structural discovery and link discovery for one
+// source after data changes, resetting its change counter (§6.2).
+func (s *System) Reanalyze(source string) (*AddReport, error) {
+	name := strings.ToLower(source)
+	db, ok := s.sources[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", source)
+	}
+	report := &AddReport{Source: db.Name, LinksAdded: make(map[string]int)}
+	t0 := time.Now()
+	profs, err := profile.ProfileDatabase(db, s.opts.Profile)
+	if err != nil {
+		return nil, err
+	}
+	structure, err := discovery.Analyze(db, profs, s.opts.Discovery)
+	if err != nil {
+		return nil, err
+	}
+	report.Structure = structure
+	report.Timings = append(report.Timings, StepTiming{"reanalyze-structure", time.Since(t0)})
+
+	t0 = time.Now()
+	if src := s.engine.Source(source); src != nil {
+		src.Structure = structure
+		src.Profiles = profs
+	}
+	links, xattrs, lstats, err := s.engine.DiscoverFor(db.Name)
+	if err != nil {
+		return nil, err
+	}
+	report.XRefAttributes = xattrs
+	report.LinkStats = lstats
+	for _, l := range links {
+		if s.Repo.AddLink(l) {
+			report.LinksAdded[l.Type.String()]++
+		}
+	}
+	report.Timings = append(report.Timings, StepTiming{"reanalyze-links", time.Since(t0)})
+	s.Repo.RegisterSource(&metadata.SourceMeta{
+		Name: db.Name, Structure: structure, Profiles: profs,
+		TupleCount: db.TotalTuples(),
+	})
+	s.Repo.ResetChanges(source)
+	return report, nil
+}
+
+// ownerIndex is a forward resolver caching, per relation, the owning
+// primary-object accession of each tuple, used for search indexing.
+type ownerIndex struct {
+	db  *rel.Database
+	st  *discovery.Structure
+	acc map[string][]string // relation -> per-tuple owner accession ("" = none)
+}
+
+func newOwnerIndex(db *rel.Database, st *discovery.Structure) *ownerIndex {
+	oi := &ownerIndex{db: db, st: st, acc: make(map[string][]string)}
+	pr := db.Relation(st.Primary)
+	if pr == nil {
+		return oi
+	}
+	ai := pr.Schema.Index(st.PrimaryAccession)
+	owners := make([]string, len(pr.Tuples))
+	for i, t := range pr.Tuples {
+		if !t[ai].IsNull() {
+			owners[i] = t[ai].AsString()
+		}
+	}
+	oi.acc[strings.ToLower(pr.Name)] = owners
+	for _, paths := range st.Paths {
+		if len(paths) == 0 {
+			continue
+		}
+		oi.propagate(paths[0])
+	}
+	return oi
+}
+
+// propagate walks one §4.3 path forward from the primary relation,
+// carrying ownership through each join step.
+func (oi *ownerIndex) propagate(path discovery.Path) {
+	pr := oi.db.Relation(oi.st.Primary)
+	if pr == nil {
+		return
+	}
+	curOwners := oi.acc[strings.ToLower(pr.Name)]
+	curRel := pr
+	for _, step := range path.Steps {
+		var curCol, nextRelName, nextCol string
+		if step.Forward {
+			curCol = step.Edge.From.FromColumn
+			nextRelName = step.Edge.From.ToRelation
+			nextCol = step.Edge.From.ToColumn
+		} else {
+			curCol = step.Edge.From.ToColumn
+			nextRelName = step.Edge.From.FromRelation
+			nextCol = step.Edge.From.FromColumn
+		}
+		ci := curRel.Schema.Index(curCol)
+		nextRel := oi.db.Relation(nextRelName)
+		if ci < 0 || nextRel == nil {
+			return
+		}
+		ni := nextRel.Schema.Index(nextCol)
+		if ni < 0 {
+			return
+		}
+		valueOwner := make(map[string]string)
+		for ti, t := range curRel.Tuples {
+			if curOwners[ti] == "" || t[ci].IsNull() {
+				continue
+			}
+			k := t[ci].Key()
+			if _, ok := valueOwner[k]; !ok {
+				valueOwner[k] = curOwners[ti]
+			}
+		}
+		nextOwners := make([]string, len(nextRel.Tuples))
+		for ti, t := range nextRel.Tuples {
+			if t[ni].IsNull() {
+				continue
+			}
+			nextOwners[ti] = valueOwner[t[ni].Key()]
+		}
+		key := strings.ToLower(nextRelName)
+		if existing, ok := oi.acc[key]; ok {
+			for i := range nextOwners {
+				if nextOwners[i] == "" && existing[i] != "" {
+					nextOwners[i] = existing[i]
+				}
+			}
+		}
+		oi.acc[key] = nextOwners
+		curOwners = nextOwners
+		curRel = nextRel
+	}
+}
+
+func (oi *ownerIndex) owner(relation string, tupleIdx int) string {
+	owners := oi.acc[strings.ToLower(relation)]
+	if tupleIdx >= len(owners) {
+		return ""
+	}
+	return owners[tupleIdx]
+}

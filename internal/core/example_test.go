@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/flatfile"
+	"repro/internal/metadata"
+)
+
+// Example integrates two flat-file sources hands-off and follows a
+// discovered cross-reference link.
+func Example() {
+	swissprotText := `ID   HBA_HUMAN   Reviewed;
+AC   P69905;
+DE   Hemoglobin subunit alpha.
+OS   Homo sapiens.
+DR   PDB; 1ABC; X-ray.
+//
+ID   LYSC_CHICK   Reviewed;
+AC   P00698;
+DE   Lysozyme C.
+OS   Gallus gallus.
+DR   PDB; 2DEF; X-ray.
+//
+ID   TRY_PIG   Reviewed;
+AC   P00761;
+DE   Trypsin.
+OS   Sus scrofa.
+DR   PDB; 3GHI; X-ray.
+//
+`
+	pdbText := `>1ABC hemoglobin structure
+ACGTACGTACGTACGTACGTACGTACGTTGCAACGTACGTACGTTGCA
+>2DEF lysozyme structure
+TTGACCATGGACCATTGACCATGGTTGACCATGGACCATTGACCATGG
+>3GHI trypsin structure
+GGCATTGGCAATTGGCATTGGCAAGGCATTGGCAATTGGCATTGGCAA
+`
+	swissprot, err := flatfile.ParseEMBL(strings.NewReader(swissprotText), "swissprot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pdb, err := flatfile.ParseFASTA(strings.NewReader(pdbText), "pdb")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sys := core.New(core.Options{})
+	if _, err := sys.AddSource(swissprot); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.AddSource(pdb); err != nil {
+		log.Fatal(err)
+	}
+
+	view, err := sys.Browse(metadata.ObjectRef{
+		Source: "swissprot", Relation: "entry", Accession: "P69905",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range view.Linked {
+		if l.Type == metadata.LinkXRef {
+			fmt.Printf("%s -> %s\n", l.From.Accession, l.To.Accession)
+		}
+	}
+	// Output:
+	// P69905 -> 1ABC
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/flatfile"
+	"repro/internal/metadata"
+)
+
+// buildEMBLText synthesizes a Swiss-Prot-style flat file for n proteins.
+func buildEMBLText(n int) string {
+	var sb strings.Builder
+	names := []string{"HBA_HUMAN", "MYG_HUMAN", "INS_RAT", "K1C9_MOUSE", "CYC_BOVIN",
+		"ALBU_HUMAN", "LYSC_CHICK", "TRY_PIG"}
+	words := []string{"oxygen transport", "muscle storage", "glucose regulation",
+		"structural filament", "electron transfer", "osmotic carrier",
+		"cell wall hydrolysis", "protein digestion"}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "ID   %s   Reviewed;   141 AA.\n", names[i%len(names)])
+		fmt.Fprintf(&sb, "AC   P%05d;\n", 80000+i)
+		fmt.Fprintf(&sb, "DE   Protein number %d involved in %s.\n", i, words[i%len(words)])
+		fmt.Fprintf(&sb, "OS   Homo sapiens (Human).\n")
+		fmt.Fprintf(&sb, "KW   Keyword%d; Shared.\n", i%3)
+		fmt.Fprintf(&sb, "SQ   SEQUENCE\n")
+		fmt.Fprintf(&sb, "     %s\n", emblSeq(i))
+		sb.WriteString("//\n")
+	}
+	return sb.String()
+}
+
+func emblSeq(i int) string {
+	bases := "ACGT"
+	out := make([]byte, 80)
+	for j := range out {
+		out[j] = bases[(i*11+j*7)%4]
+	}
+	return string(out)
+}
+
+// buildGenBankText synthesizes GenBank records whose /db_xref qualifiers
+// reference the EMBL accessions.
+func buildGenBankText(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "LOCUS       NM_%06d  626 bp  mRNA  linear\n", 1000+i)
+		fmt.Fprintf(&sb, "DEFINITION  Homo sapiens gene %d transcript variant.\n", i)
+		fmt.Fprintf(&sb, "ACCESSION   NM_%06d\n", 1000+i)
+		fmt.Fprintf(&sb, "SOURCE      Homo sapiens\n")
+		fmt.Fprintf(&sb, "FEATURES             Location/Qualifiers\n")
+		fmt.Fprintf(&sb, "     CDS             1..400\n")
+		fmt.Fprintf(&sb, "                     /db_xref=\"UniProtKB:P%05d\"\n", 80000+i)
+		fmt.Fprintf(&sb, "ORIGIN\n")
+		fmt.Fprintf(&sb, "        1 %s\n", strings.ToLower(emblSeq(i)))
+		sb.WriteString("//\n")
+	}
+	return sb.String()
+}
+
+// TestRealFormatsEndToEnd integrates actual exchange-format text through
+// the full §4.1 -> §4.5 pipeline: parse, discover structure, link.
+func TestRealFormatsEndToEnd(t *testing.T) {
+	const n = 8
+	swissprot, err := flatfile.ParseEMBL(strings.NewReader(buildEMBLText(n)), "swissprot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	genbank, err := flatfile.ParseGenBank(strings.NewReader(buildGenBankText(n)), "genbank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := New(Options{})
+	rep, err := sys.AddSource(swissprot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Structure.Primary != "entry" || rep.Structure.PrimaryAccession != "accession" {
+		t.Fatalf("swissprot structure = %q/%q", rep.Structure.Primary, rep.Structure.PrimaryAccession)
+	}
+	rep, err = sys.AddSource(genbank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Structure.Primary != "entry" {
+		t.Fatalf("genbank primary = %q (scores %v)", rep.Structure.Primary, rep.Structure.PrimaryScores)
+	}
+
+	// The /db_xref="UniProtKB:Pxxxxx" composite values must resolve to
+	// swissprot accessions, producing one xref link per record.
+	xrefs := sys.Repo.Links(metadata.LinkXRef)
+	if len(xrefs) != n {
+		t.Fatalf("xref links = %d want %d (%v)", len(xrefs), n, xrefs)
+	}
+	composite := false
+	for _, x := range rep.XRefAttributes {
+		if x.FromRelation == "dbxref" && x.Composite {
+			composite = true
+		}
+	}
+	if !composite {
+		t.Errorf("dbxref attribute should be composite-encoded: %+v", rep.XRefAttributes)
+	}
+
+	// Identical ORIGIN sequences must also produce sequence links.
+	if nseq := sys.Repo.LinkCount(metadata.LinkSequence); nseq < n {
+		t.Errorf("sequence links = %d want >= %d", nseq, n)
+	}
+
+	// Cross-source SQL over both parsed schemas.
+	res, err := sys.Query(`
+		SELECT s.accession, g.xref
+		FROM swissprot_entry s
+		JOIN genbank_dbxref g ON g.xref = 'UniProtKB:' || s.accession
+		ORDER BY s.accession`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != n {
+		t.Errorf("join rows = %d", len(res.Rows))
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/discovery"
+	"repro/internal/dup"
+	"repro/internal/linkdisc"
+	"repro/internal/metadata"
+	"repro/internal/profile"
+	"repro/internal/store"
+)
+
+// Snapshot captures the full integrated warehouse — source data, link
+// repository, and user feedback — for persistence via package store.
+func (s *System) Snapshot() *store.Snapshot {
+	metas := make(map[string]*metadata.SourceMeta)
+	for _, m := range s.Repo.Sources() {
+		metas[strings.ToLower(m.Name)] = m
+	}
+	return store.Build(s.sources, metas, s.Repo.AllLinks(), s.Repo.RemovedLinks())
+}
+
+// Load rebuilds a System from a snapshot. Structural discovery is re-run
+// per source (it is cheap, §4.2 operates on statistics), while the
+// expensive link-discovery and duplicate-detection results are replayed
+// from the stored repository — including user feedback, which restored
+// systems must keep honoring (§6.2).
+func Load(opts Options, snap *store.Snapshot) (*System, error) {
+	sys := New(opts)
+	for _, ss := range snap.Sources {
+		db := store.RestoreDatabase(ss.Name, ss.Relations)
+		name := strings.ToLower(db.Name)
+		profs, err := profile.ProfileDatabase(db, sys.opts.Profile)
+		if err != nil {
+			return nil, err
+		}
+		structure, err := discovery.Analyze(db, profs, sys.opts.Discovery)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.engine.AddSource(&linkdisc.Source{DB: db, Structure: structure, Profiles: profs}); err != nil {
+			return nil, err
+		}
+		if err := sys.web.AddSource(db, structure); err != nil {
+			return nil, err
+		}
+		sys.sources[name] = db
+		sys.records[name] = dup.RecordsFromSource(db, structure)
+		for _, r := range db.Relations() {
+			qualified := r.Clone()
+			qualified.Name = name + "_" + r.Name
+			sys.warehouse.Put(qualified)
+		}
+		if !sys.opts.DisableSearchIndex {
+			sys.indexSource(db, structure, profs)
+		}
+		sys.Repo.RegisterSource(&metadata.SourceMeta{
+			Name:       db.Name,
+			Structure:  structure,
+			Profiles:   profs,
+			TupleCount: ss.TupleCount,
+		})
+	}
+	// Feedback first, so removed links cannot re-enter.
+	for _, l := range snap.Removed {
+		sys.Repo.RemoveLink(l)
+	}
+	for _, l := range snap.Links {
+		sys.Repo.AddLink(l)
+	}
+	return sys, nil
+}

@@ -1,0 +1,361 @@
+package discovery
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/rel"
+)
+
+// biosqlDB builds the Figure 3 BioSQL fragment the paper's §5 case study
+// walks through: BioEntry is the primary relation, `accession` its
+// accession-number candidate; taxon_id is non-unique, bioentry_id digits
+// only, and name has varying length, so all three are correctly rejected.
+func biosqlDB() *rel.Database {
+	db := rel.NewDatabase("biosql")
+
+	bioentry := db.Create("bioentry", rel.TextSchema(
+		"bioentry_id", "accession", "name", "taxon_id", "description"))
+	names := []string{"HBA", "MYG_HUMAN", "INS", "K1C9_MOUSE", "CYC_BOVIN",
+		"ALBU", "LYSC_CHICK", "TRY", "CATA_HUMAN", "P53"}
+	for i := 0; i < 10; i++ {
+		bioentry.AppendRaw(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("P%05d", 10000+i),
+			names[i],
+			fmt.Sprintf("%d", 9606+(i%3)),
+			fmt.Sprintf("functional description of protein number %d with several words", i),
+		)
+	}
+
+	taxon := db.Create("taxon", rel.TextSchema("taxon_id", "scientific_name"))
+	for i := 0; i < 3; i++ {
+		taxon.AppendRaw(fmt.Sprintf("%d", 9606+i), fmt.Sprintf("Species %d", i))
+	}
+
+	biosequence := db.Create("biosequence", rel.TextSchema("bioentry_id", "biosequence_str"))
+	for i := 0; i < 10; i++ {
+		biosequence.AppendRaw(fmt.Sprintf("%d", i+1), seqFor(i))
+	}
+
+	comment := db.Create("comment", rel.TextSchema("comment_id", "bioentry_id", "comment_text"))
+	for i := 0; i < 25; i++ {
+		comment.AppendRaw(fmt.Sprintf("%d", i+1), fmt.Sprintf("%d", (i%10)+1),
+			fmt.Sprintf("curator remark number %d about the entry", i))
+	}
+
+	dbref := db.Create("dbref", rel.TextSchema("dbref_id", "bioentry_id", "dbname", "ref_accession"))
+	for i := 0; i < 20; i++ {
+		dbref.AppendRaw(fmt.Sprintf("%d", i+1), fmt.Sprintf("%d", (i%10)+1),
+			"PDB", fmt.Sprintf("1AB%d", i))
+	}
+
+	ontologyterm := db.Create("ontologyterm", rel.TextSchema("term_id", "term_name", "term_definition"))
+	for i := 0; i < 6; i++ {
+		ontologyterm.AppendRaw(fmt.Sprintf("%d", i+1), fmt.Sprintf("GO:000%d100", i),
+			fmt.Sprintf("a molecular function involving catalytic activity type %d", i))
+	}
+
+	bioentryterm := db.Create("bioentry_term", rel.TextSchema("bioentry_id", "term_id"))
+	for i := 0; i < 18; i++ {
+		bioentryterm.AppendRaw(fmt.Sprintf("%d", (i%10)+1), fmt.Sprintf("%d", (i%6)+1))
+	}
+	return db
+}
+
+func seqFor(i int) string {
+	bases := "ACGT"
+	out := make([]byte, 120)
+	for j := range out {
+		out[j] = bases[(i*7+j*13)%4]
+	}
+	return string(out)
+}
+
+func analyze(t *testing.T, db *rel.Database, opts Options) *Structure {
+	t.Helper()
+	profs, err := profile.ProfileDatabase(db, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Analyze(db, profs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBioSQLPrimaryRelation(t *testing.T) {
+	s := analyze(t, biosqlDB(), DefaultOptions())
+	if s.Primary != "bioentry" {
+		t.Fatalf("primary = %q want bioentry (scores %v, indeg %v)", s.Primary, s.PrimaryScores, s.InDegree)
+	}
+	if s.PrimaryAccession != "accession" {
+		t.Errorf("accession column = %q", s.PrimaryAccession)
+	}
+}
+
+func TestBioSQLCandidateRejections(t *testing.T) {
+	// §5: "The other fields in BioEntry are either non-unique (e.g.
+	// taxon_id), have no alphanumeric character (e.g. bioentry_id), or
+	// have varying length (e.g. name)."
+	db := biosqlDB()
+	profs, _ := profile.ProfileDatabase(db, profile.Options{})
+	r := db.Relation("bioentry")
+	cand, ok := accessionCandidate(r, profs, DefaultAccessionRules())
+	if !ok {
+		t.Fatal("no candidate found in bioentry")
+	}
+	if cand.Column != "accession" {
+		t.Errorf("candidate = %q want accession", cand.Column)
+	}
+	// Verify each named rejection reason on the profiles directly.
+	if profs[profile.Key("bioentry", "taxon_id")].Unique {
+		t.Error("taxon_id must be non-unique")
+	}
+	if profs[profile.Key("bioentry", "bioentry_id")].AllValuesHaveNonDigit {
+		t.Error("bioentry_id must be digits only")
+	}
+	if profs[profile.Key("bioentry", "name")].LenSpreadRatio <= 0.20 {
+		t.Error("name must have varying length above the 20% threshold")
+	}
+}
+
+func TestBioSQLInDegree(t *testing.T) {
+	s := analyze(t, biosqlDB(), DefaultOptions())
+	// bioentry is referenced by biosequence, comment, dbref, bioentry_term
+	// (on bioentry_id) — it must have the highest in-degree among
+	// candidate tables.
+	if s.InDegree["bioentry"] < 3 {
+		t.Errorf("bioentry in-degree = %d; want >= 3 (INDs: %v)", s.InDegree["bioentry"], s.INDs)
+	}
+}
+
+func TestSecondaryPathsReachAllRelations(t *testing.T) {
+	s := analyze(t, biosqlDB(), DefaultOptions())
+	if len(s.Unreachable) != 0 {
+		t.Errorf("unreachable relations: %v (paths: %v)", s.Unreachable, s.Paths)
+	}
+	// comment must be reachable via one FK edge.
+	paths := s.Paths["comment"]
+	if len(paths) == 0 {
+		t.Fatal("no path to comment")
+	}
+	if len(paths[0].Steps) != 1 {
+		t.Errorf("shortest path to comment has %d steps", len(paths[0].Steps))
+	}
+}
+
+func TestTransitivePaths(t *testing.T) {
+	s := analyze(t, biosqlDB(), DefaultOptions())
+	// ontologyterm is two hops away: bioentry <- bioentry_term -> ontologyterm.
+	paths := s.Paths["ontologyterm"]
+	if len(paths) == 0 {
+		t.Fatal("no path to ontologyterm")
+	}
+	if len(paths[0].Steps) != 2 {
+		t.Errorf("shortest path to ontologyterm = %v (len %d, want 2)", paths[0], len(paths[0].Steps))
+	}
+}
+
+func TestPathString(t *testing.T) {
+	s := analyze(t, biosqlDB(), DefaultOptions())
+	p := s.Paths["comment"][0]
+	if got := p.String(); got != "bioentry -> comment" {
+		t.Errorf("Path.String = %q", got)
+	}
+}
+
+func TestUnreachablePartitionDetected(t *testing.T) {
+	db := biosqlDB()
+	orphan := db.Create("island", rel.TextSchema("island_id", "stuff"))
+	for i := 0; i < 5; i++ {
+		orphan.AppendRaw(fmt.Sprintf("zz%d", i+100), fmt.Sprintf("data %d", i))
+	}
+	s := analyze(t, db, DefaultOptions())
+	found := false
+	for _, u := range s.Unreachable {
+		if u == "island" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("island should be unreachable; got %v", s.Unreachable)
+	}
+}
+
+func TestNoPrimaryWhenNoCandidates(t *testing.T) {
+	db := rel.NewDatabase("digitsonly")
+	r := db.Create("t", rel.TextSchema("id", "n"))
+	for i := 0; i < 5; i++ {
+		r.AppendRaw(fmt.Sprintf("%d", i), fmt.Sprintf("%d", i*2))
+	}
+	s := analyze(t, db, DefaultOptions())
+	if s.Primary != "" {
+		t.Errorf("primary = %q; want none", s.Primary)
+	}
+}
+
+func TestAccessionRuleAblation(t *testing.T) {
+	db := biosqlDB()
+	profs, _ := profile.ProfileDatabase(db, profile.Options{})
+	r := db.Relation("bioentry")
+
+	// Without the non-digit rule, bioentry_id (unique, fixed length at
+	// one digit... actually variable 1-2 digits) could compete; with
+	// MinLength=4 disabled and non-digit disabled, more candidates appear.
+	rules := DefaultAccessionRules()
+	rules.RequireNonDigit = false
+	rules.MinLength = 0
+	rules.MaxLenSpread = 0 // disable spread check (0 disables)
+	cand, ok := accessionCandidate(r, profs, rules)
+	if !ok {
+		t.Fatal("no candidate with relaxed rules")
+	}
+	// Without the length-spread rule, the variable-length `name` column
+	// wins on mean length — demonstrating that the 20% spread rule is the
+	// one that rejects it (the paper's stated reason).
+	if cand.Column != "name" {
+		t.Errorf("relaxed rules candidate = %q; want name", cand.Column)
+	}
+	// Re-enabling the spread rule restores the correct choice.
+	rules.MaxLenSpread = 0.20
+	cand, ok = accessionCandidate(r, profs, rules)
+	if !ok || cand.Column != "accession" {
+		t.Errorf("spread rule should restore accession; got %v %v", cand, ok)
+	}
+
+	// With uniqueness not required, name could qualify if spread allowed.
+	rules = AccessionRules{RequireUnique: false, RequireNonDigit: true, MinLength: 3, MaxLenSpread: 0}
+	cand, ok = accessionCandidate(r, profs, rules)
+	if !ok {
+		t.Fatal("no candidate")
+	}
+	if cand.Column == "bioentry_id" {
+		t.Error("digits-only column must never qualify while RequireNonDigit")
+	}
+}
+
+func TestMetricAboveMean(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Metric = MetricInDegreeAboveMean
+	s := analyze(t, biosqlDB(), opts)
+	if s.Primary != "bioentry" {
+		t.Errorf("above-mean metric primary = %q", s.Primary)
+	}
+}
+
+func TestMetricNameHint(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Metric = MetricInDegreeWithNameHint
+	s := analyze(t, biosqlDB(), opts)
+	if s.Primary != "bioentry" {
+		t.Errorf("name-hint metric primary = %q", s.Primary)
+	}
+	// The hint bonus must be reflected in the score: bioentry_id columns
+	// appear in 4 other tables.
+	if s.PrimaryScores["bioentry"] <= float64(s.InDegree["bioentry"]) {
+		t.Errorf("name hint should add bonus: score=%v indeg=%d",
+			s.PrimaryScores["bioentry"], s.InDegree["bioentry"])
+	}
+}
+
+func TestPrimaryRelationsMultiPrimary(t *testing.T) {
+	// Build an EnsEmbl-like source with two hub tables (clone and gene).
+	db := rel.NewDatabase("ensembl")
+	clone := db.Create("clone", rel.TextSchema("clone_id", "clone_acc"))
+	gene := db.Create("gene", rel.TextSchema("gene_id", "gene_acc"))
+	for i := 0; i < 10; i++ {
+		clone.AppendRaw(fmt.Sprintf("%d", i+1), fmt.Sprintf("AC%06d", i))
+		gene.AppendRaw(fmt.Sprintf("%d", i+1), fmt.Sprintf("ENSG%08d", i))
+	}
+	for n := 0; n < 3; n++ {
+		rc := db.Create(fmt.Sprintf("clone_dep%d", n), rel.TextSchema("id", "clone_id", "x"))
+		rg := db.Create(fmt.Sprintf("gene_dep%d", n), rel.TextSchema("id", "gene_id", "y"))
+		for i := 0; i < 20; i++ {
+			rc.AppendRaw(fmt.Sprintf("%d", i+1+n*100), fmt.Sprintf("%d", (i%10)+1), fmt.Sprintf("cx%d", i))
+			rg.AppendRaw(fmt.Sprintf("%d", i+1+n*100), fmt.Sprintf("%d", (i%10)+1), fmt.Sprintf("gy%d", i))
+		}
+	}
+	s := analyze(t, db, DefaultOptions())
+	multi := s.PrimaryRelations(0.5)
+	has := func(name string) bool {
+		for _, m := range multi {
+			if m == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("clone") || !has("gene") {
+		t.Errorf("multi-primary should include both hubs: %v (scores %v)", multi, s.PrimaryScores)
+	}
+}
+
+func TestMaxPathsCap(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxPathsPerRelation = 1
+	s := analyze(t, biosqlDB(), opts)
+	for relName, ps := range s.Paths {
+		if len(ps) > 1 {
+			t.Errorf("relation %s has %d paths, cap was 1", relName, len(ps))
+		}
+	}
+}
+
+func TestStatsPropagated(t *testing.T) {
+	s := analyze(t, biosqlDB(), DefaultOptions())
+	if s.INDStats.PairsConsidered == 0 {
+		t.Error("IND stats should be propagated")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	s := analyze(t, biosqlDB(), DefaultOptions())
+	rep := s.Report()
+	for _, want := range []string{
+		"source biosql",
+		"primary relation: bioentry (accession column accession)",
+		"accession candidates:",
+		"guessed foreign keys:",
+		"secondary-object paths:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestReportNoPrimary(t *testing.T) {
+	db := rel.NewDatabase("digitsonly")
+	r := db.Create("t", rel.TextSchema("id"))
+	for i := 0; i < 3; i++ {
+		r.AppendRaw(fmt.Sprintf("%d", i))
+	}
+	s := analyze(t, db, DefaultOptions())
+	if !strings.Contains(s.Report(), "no primary relation found") {
+		t.Errorf("report = %q", s.Report())
+	}
+}
+
+// TestRawINDGraphAblation demonstrates why the FK-selection refinements
+// exist: with the raw §4.2 inclusion dependencies as the FK graph,
+// surrogate-key range nesting inflates in-degrees and the primary
+// relation can be misidentified (DESIGN.md §4).
+func TestRawINDGraphAblation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RawINDGraph = true
+	s := analyze(t, biosqlDB(), opts)
+	refined := analyze(t, biosqlDB(), DefaultOptions())
+	// The raw graph must be strictly larger (over-connected).
+	if len(s.ForeignKeys) <= len(refined.ForeignKeys) {
+		t.Errorf("raw FK graph (%d) should exceed refined (%d)",
+			len(s.ForeignKeys), len(refined.ForeignKeys))
+	}
+	// And the refined graph yields the correct primary.
+	if refined.Primary != "bioentry" {
+		t.Errorf("refined primary = %q", refined.Primary)
+	}
+}

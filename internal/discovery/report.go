@@ -1,0 +1,65 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the discovered structure of a source as human-readable
+// text — the summary a curator reviews after hands-off integration.
+func (s *Structure) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "source %s\n", s.Source)
+	if s.Primary == "" {
+		sb.WriteString("  no primary relation found (no accession-number candidates)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  primary relation: %s (accession column %s)\n", s.Primary, s.PrimaryAccession)
+
+	if len(s.Candidates) > 0 {
+		var keys []string
+		for k := range s.Candidates {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("  accession candidates:\n")
+		for _, k := range keys {
+			c := s.Candidates[k]
+			marker := ""
+			if strings.EqualFold(c.Relation, s.Primary) {
+				marker = "  <- primary"
+			}
+			fmt.Fprintf(&sb, "    %s.%s (mean len %.1f, in-degree %d)%s\n",
+				c.Relation, c.Column, c.MeanLen, s.InDegree[k], marker)
+		}
+	}
+	if len(s.ForeignKeys) > 0 {
+		sb.WriteString("  guessed foreign keys:\n")
+		for _, fk := range s.ForeignKeys {
+			fmt.Fprintf(&sb, "    %s\n", fk)
+		}
+	}
+	if len(s.Paths) > 0 {
+		var keys []string
+		for k := range s.Paths {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("  secondary-object paths:\n")
+		for _, k := range keys {
+			if len(s.Paths[k]) == 0 {
+				continue
+			}
+			extra := ""
+			if n := len(s.Paths[k]); n > 1 {
+				extra = fmt.Sprintf("  (+%d alternative paths)", n-1)
+			}
+			fmt.Fprintf(&sb, "    %s%s\n", s.Paths[k][0], extra)
+		}
+	}
+	if len(s.Unreachable) > 0 {
+		fmt.Fprintf(&sb, "  unreachable relations: %s\n", strings.Join(s.Unreachable, ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,574 @@
+// Package dup implements ALADIN's duplicate detection step (§4.5):
+// finding objects in different data sources that represent the same
+// real-world object. Following the paper, duplicates are *flagged, never
+// merged* — a duplicate is just one more type of link — and conflicts
+// between flagged duplicates are surfaced for the browsing interface
+// ("Conflicts are highlighted, and data lineage is shown", §4.6).
+//
+// Because the sources have heterogeneous, only partly overlapping models
+// (§4.5), record similarity is computed without assuming aligned
+// attributes: every field of one record is compared against every field
+// of the other and the best pairing per field is aggregated, in the
+// spirit of [WN04]/[BN05]. Blocking uses the sorted-neighbourhood method,
+// with full pairwise comparison available for the ablation experiments.
+package dup
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/discovery"
+	"repro/internal/metadata"
+	"repro/internal/rel"
+	"repro/internal/textmine"
+)
+
+// Record is one primary object prepared for duplicate detection.
+type Record struct {
+	Source    string
+	Relation  string
+	Accession string
+	// Fields maps column name -> rendered value (non-null, non-key
+	// columns of the primary relation).
+	Fields map[string]string
+}
+
+// Ref returns the record's object reference.
+func (r Record) Ref() metadata.ObjectRef {
+	return metadata.ObjectRef{Source: r.Source, Relation: r.Relation, Accession: r.Accession}
+}
+
+// RecordsFromSource extracts duplicate-detection records from a source's
+// primary relation.
+func RecordsFromSource(db *rel.Database, s *discovery.Structure) []Record {
+	if s == nil || s.Primary == "" {
+		return nil
+	}
+	pr := db.Relation(s.Primary)
+	if pr == nil {
+		return nil
+	}
+	accIdx := pr.Schema.Index(s.PrimaryAccession)
+	if accIdx < 0 {
+		return nil
+	}
+	var out []Record
+	for _, t := range pr.Tuples {
+		acc := t[accIdx]
+		if acc.IsNull() {
+			continue
+		}
+		rec := Record{
+			Source:    db.Name,
+			Relation:  pr.Name,
+			Accession: acc.AsString(),
+			Fields:    make(map[string]string),
+		}
+		for i, c := range pr.Schema.Columns {
+			if i == accIdx || t[i].IsNull() {
+				continue
+			}
+			v := t[i].AsString()
+			// Surrogate integer keys carry no identity signal.
+			if isDigitsOnly(v) {
+				continue
+			}
+			rec.Fields[strings.ToLower(c.Name)] = v
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func isDigitsOnly(s string) bool {
+	if s == "" {
+		return true
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// fieldSimilarity compares two field values, picking the measure by
+// shape: token-based Jaccard (IDF-weighted when a Matcher is supplied)
+// for long multi-token text, Jaro-Winkler for short strings, with exact
+// match short-circuiting to 1.
+func fieldSimilarity(m *Matcher, a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	if la == lb {
+		return 1
+	}
+	// Identifier-shaped values either match or they don't: approximate
+	// similarity between two different accession codes is noise, not
+	// evidence.
+	if textmine.LooksLikeAccession(a) && textmine.LooksLikeAccession(b) {
+		return 0
+	}
+	longA := len(strings.Fields(a)) >= 3
+	longB := len(strings.Fields(b)) >= 3
+	if longA || longB {
+		// Cross-shape comparisons (a code against prose) carry no signal.
+		if longA != longB && (textmine.LooksLikeAccession(a) || textmine.LooksLikeAccession(b)) {
+			return 0
+		}
+		if m != nil {
+			return m.weightedJaccard(a, b)
+		}
+		return textmine.Jaccard(a, b)
+	}
+	return textmine.JaroWinkler(la, lb)
+}
+
+// RecordSimilarity aggregates the best field pairing per field with
+// uniform weights: for each field of the smaller record, the best
+// similarity against any field of the other record, averaged. It returns
+// the score and a short evidence string naming the strongest field pair.
+// FindDuplicates uses the frequency-weighted Matcher variant instead.
+func RecordSimilarity(a, b Record) (float64, string) {
+	return weightedSimilarity(a, b, nil)
+}
+
+// Matcher computes record similarity with value-distinctiveness weights:
+// a field whose value is shared by many records (e.g. organism = "Homo
+// sapiens") carries little identity evidence, while a rare value (a name
+// or description) carries much. Weights are IDF-style over exact values.
+type Matcher struct {
+	valueCount map[string]int
+	// tokenDF counts, per token, in how many field values it occurs, so
+	// long-text comparison can down-weight template words ("crystal
+	// structure of ...") that appear in every record.
+	tokenDF map[string]int
+	values  int
+	records int
+}
+
+// NewMatcher indexes the value and token frequencies of a record set.
+func NewMatcher(records []Record) *Matcher {
+	m := &Matcher{
+		valueCount: make(map[string]int),
+		tokenDF:    make(map[string]int),
+		records:    len(records),
+	}
+	for _, r := range records {
+		for _, v := range r.Fields {
+			m.valueCount[strings.ToLower(v)]++
+			m.values++
+			seen := make(map[string]bool)
+			for _, tok := range textmine.Tokenize(v) {
+				if !seen[tok] {
+					seen[tok] = true
+					m.tokenDF[tok]++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// tokenIDF returns the informativeness weight of a token.
+func (m *Matcher) tokenIDF(tok string) float64 {
+	if m == nil || m.values == 0 {
+		return 1
+	}
+	return math.Log(1 + float64(m.values)/float64(m.tokenDF[tok]+1))
+}
+
+// weightedJaccard computes token Jaccard with IDF weights (uniform when
+// m is nil).
+func (m *Matcher) weightedJaccard(a, b string) float64 {
+	sa := make(map[string]bool)
+	for _, t := range textmine.Tokenize(a) {
+		sa[t] = true
+	}
+	sb := make(map[string]bool)
+	for _, t := range textmine.Tokenize(b) {
+		sb[t] = true
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 0
+	}
+	var inter, union float64
+	for t := range sa {
+		w := m.tokenIDF(t)
+		union += w
+		if sb[t] {
+			inter += w
+		}
+	}
+	for t := range sb {
+		if !sa[t] {
+			union += m.tokenIDF(t)
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// weight returns the distinctiveness weight of a field value in [~0.1, 1].
+func (m *Matcher) weight(v string) float64 {
+	if m == nil {
+		return 1
+	}
+	c := m.valueCount[strings.ToLower(v)]
+	if c <= 2 {
+		return 1 // a value shared by exactly a duplicate pair is maximal evidence
+	}
+	return 1 / (1 + math.Log(float64(c-1)))
+}
+
+// Similarity computes the weighted record similarity and evidence.
+func (m *Matcher) Similarity(a, b Record) (float64, string) {
+	return weightedSimilarity(a, b, m)
+}
+
+// weightedSimilarity is symmetric: it evaluates both directions and keeps
+// the stronger one, so results do not depend on comparison order.
+func weightedSimilarity(a, b Record, m *Matcher) (float64, string) {
+	s1, e1 := directedSimilarity(a.Fields, b.Fields, m)
+	s2, e2 := directedSimilarity(b.Fields, a.Fields, m)
+	if s2 > s1 {
+		return s2, e2
+	}
+	return s1, e1
+}
+
+func directedSimilarity(fa, fb map[string]string, m *Matcher) (float64, string) {
+	if len(fa) == 0 || len(fb) == 0 {
+		return 0, ""
+	}
+	// minCorrespondence separates "this field has a counterpart in the
+	// other record" from "the other source simply does not model this
+	// property". Sources overlap only partly in their models (§4.5), so
+	// fields without a counterpart are excluded from the aggregate
+	// instead of dragging it toward zero.
+	const minCorrespondence = 0.2
+	var sum, wsum float64
+	var bestPair string
+	var bestSim float64
+	hasAnchor := false
+	accessionAnchor := false
+	support := 0 // corresponding fields with solid similarity
+	for ka, va := range fa {
+		best := 0.0
+		bestK := ""
+		for kb, vb := range fb {
+			if s := fieldSimilarity(m, va, vb); s > best {
+				best = s
+				bestK = kb
+			}
+		}
+		if best < minCorrespondence {
+			continue
+		}
+		w := 1.0
+		if m != nil {
+			w = m.weight(va)
+		}
+		// §5: a shared accession-shaped identifier is decisive evidence
+		// ("detecting duplicate objects is easy in this case, because the
+		// original PDB accession number is available in all three").
+		if best == 1 && textmine.LooksLikeAccession(va) {
+			w *= 2
+			accessionAnchor = true
+		}
+		// An anchor is a strongly matching, distinctive field: shared
+		// low-information values (an organism name, a method enum) must
+		// not carry a duplicate verdict on their own.
+		if best >= 0.7 && w >= 0.9 {
+			hasAnchor = true
+		}
+		if best >= 0.4 {
+			support++
+		}
+		sum += w * best
+		wsum += w
+		if best*w > bestSim {
+			bestSim = best * w
+			bestPair = ka + "~" + bestK
+		}
+	}
+	if wsum == 0 {
+		return 0, ""
+	}
+	score := sum / wsum
+	// Corroboration: one coincidentally shared value — however rare —
+	// is not a duplicate verdict. Demand an anchor plus a second
+	// supporting correspondence. Exempt: single-field records, and exact
+	// accession matches, which are decisive on their own (§5).
+	if !accessionAnchor && (!hasAnchor || (support < 2 && len(fa) >= 2)) {
+		score *= 0.5
+	}
+	return score, bestPair
+}
+
+// BlockingMode selects the candidate-generation strategy.
+type BlockingMode int
+
+const (
+	// SortedNeighborhood sorts records by a blocking key and compares
+	// only records within a sliding window — the standard scalable
+	// method.
+	SortedNeighborhood BlockingMode = iota
+	// FullPairwise compares every cross-source pair (the ablation
+	// baseline).
+	FullPairwise
+)
+
+// Options configures duplicate detection.
+type Options struct {
+	// Threshold is the minimal record similarity to flag a duplicate
+	// (default 0.6).
+	Threshold float64
+	// Blocking selects the candidate generation mode.
+	Blocking BlockingMode
+	// Window is the sorted-neighbourhood window size (default 20).
+	Window int
+	// SecondPass adds a second sorted-neighbourhood pass with a reversed
+	// key, catching pairs whose primary keys diverge (default true when
+	// using SortedNeighborhood).
+	DisableSecondPass bool
+}
+
+func (o *Options) fill() {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.6
+	}
+	if o.Window <= 0 {
+		o.Window = 20
+	}
+}
+
+// Match is one flagged duplicate pair.
+type Match struct {
+	A, B       Record
+	Similarity float64
+	Evidence   string
+}
+
+// Stats reports the comparisons performed.
+type Stats struct {
+	Records     int
+	Comparisons int
+	Flagged     int
+}
+
+// blockingKey derives the sorted-neighbourhood key: the lexicographically
+// smallest informative token across all fields (reversed in the second
+// pass), which is robust to field order and naming differences between
+// sources.
+func blockingKey(r Record, reversed bool) string {
+	best := ""
+	for _, v := range r.Fields {
+		for _, tok := range textmine.Tokenize(v) {
+			if len(tok) < 3 {
+				continue
+			}
+			if reversed {
+				tok = reverse(tok)
+			}
+			if best == "" || tok < best {
+				best = tok
+			}
+		}
+	}
+	return best
+}
+
+func reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// FindDuplicates flags duplicate pairs between records of different
+// sources. Same-source pairs are also reported (duplicates can exist
+// within one source) but self-pairs never are.
+func FindDuplicates(records []Record, opts Options) ([]Match, Stats) {
+	opts.fill()
+	stats := Stats{Records: len(records)}
+	seen := make(map[string]bool)
+	var matches []Match
+	matcher := NewMatcher(records)
+
+	compare := func(a, b Record) {
+		if a.Source == b.Source && a.Accession == b.Accession {
+			return
+		}
+		k := pairKey(a, b)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		stats.Comparisons++
+		sim, ev := matcher.Similarity(a, b)
+		if sim >= opts.Threshold {
+			matches = append(matches, Match{A: a, B: b, Similarity: sim, Evidence: ev})
+		}
+	}
+
+	switch opts.Blocking {
+	case FullPairwise:
+		for i := 0; i < len(records); i++ {
+			for j := i + 1; j < len(records); j++ {
+				compare(records[i], records[j])
+			}
+		}
+	case SortedNeighborhood:
+		passes := 1
+		if !opts.DisableSecondPass {
+			passes = 2
+		}
+		for pass := 0; pass < passes; pass++ {
+			type keyed struct {
+				key string
+				rec Record
+			}
+			ks := make([]keyed, len(records))
+			for i, r := range records {
+				ks[i] = keyed{blockingKey(r, pass == 1), r}
+			}
+			sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+			for i := range ks {
+				for j := i + 1; j < len(ks) && j <= i+opts.Window; j++ {
+					compare(ks[i].rec, ks[j].rec)
+				}
+			}
+		}
+	}
+	stats.Flagged = len(matches)
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Similarity != matches[j].Similarity {
+			return matches[i].Similarity > matches[j].Similarity
+		}
+		return pairKey(matches[i].A, matches[i].B) < pairKey(matches[j].A, matches[j].B)
+	})
+	return matches, stats
+}
+
+func pairKey(a, b Record) string {
+	ka := a.Source + "\x00" + a.Accession
+	kb := b.Source + "\x00" + b.Accession
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	return ka + "\x01" + kb
+}
+
+// Links converts matches into duplicate links for the metadata repository.
+func Links(matches []Match) []metadata.Link {
+	out := make([]metadata.Link, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, metadata.Link{
+			Type:       metadata.LinkDuplicate,
+			From:       m.A.Ref(),
+			To:         m.B.Ref(),
+			Confidence: m.Similarity,
+			Method:     "dup:" + m.Evidence,
+		})
+	}
+	return out
+}
+
+// Cluster groups matched records into duplicate clusters via union-find.
+// Each cluster lists object refs; only one representative of each cluster
+// should be returned in query answers (§4.5).
+func Cluster(matches []Match) [][]metadata.ObjectRef {
+	parent := make(map[string]string)
+	refOf := make(map[string]metadata.ObjectRef)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	add := func(r metadata.ObjectRef) string {
+		k := r.Key()
+		if _, ok := parent[k]; !ok {
+			parent[k] = k
+			refOf[k] = r
+		}
+		return k
+	}
+	for _, m := range matches {
+		a, b := add(m.A.Ref()), add(m.B.Ref())
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	groups := make(map[string][]metadata.ObjectRef)
+	for k := range parent {
+		root := find(k)
+		groups[root] = append(groups[root], refOf[k])
+	}
+	var out [][]metadata.ObjectRef
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].Key() < g[j].Key() })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Key() < out[j][0].Key() })
+	return out
+}
+
+// Conflict is one field-level disagreement between flagged duplicates —
+// "different sources might contradict each other in the data they store
+// about an object" (§4.5).
+type Conflict struct {
+	FieldA, FieldB string
+	ValueA, ValueB string
+	// Similarity of the conflicting values (low = hard conflict).
+	Similarity float64
+}
+
+// Conflicts pairs up the most similar fields of a match and reports those
+// whose values disagree.
+func Conflicts(m Match) []Conflict {
+	var out []Conflict
+	for ka, va := range m.A.Fields {
+		bestK, bestSim := "", -1.0
+		for kb, vb := range m.B.Fields {
+			if s := fieldSimilarity(nil, va, vb); s > bestSim {
+				bestSim = s
+				bestK = kb
+			}
+		}
+		if bestK == "" {
+			continue
+		}
+		vb := m.B.Fields[bestK]
+		// A conflict is a corresponding field pair (similar enough to be
+		// about the same property) whose raw values disagree.
+		if bestSim >= 0.3 && !strings.EqualFold(va, vb) {
+			out = append(out, Conflict{
+				FieldA: ka, FieldB: bestK,
+				ValueA: va, ValueB: vb,
+				Similarity: bestSim,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FieldA != out[j].FieldA {
+			return out[i].FieldA < out[j].FieldA
+		}
+		return out[i].FieldB < out[j].FieldB
+	})
+	return out
+}
+
+// String renders a conflict.
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s=%q vs %s=%q (sim %.2f)", c.FieldA, c.ValueA, c.FieldB, c.ValueB, c.Similarity)
+}

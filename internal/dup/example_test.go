@@ -1,0 +1,38 @@
+package dup_test
+
+import (
+	"fmt"
+
+	"repro/internal/dup"
+)
+
+// Example flags duplicates across two heterogeneously-modeled sources and
+// shows a field-level conflict — the §4.5 workflow.
+func Example() {
+	records := []dup.Record{
+		{Source: "swissprot", Relation: "protein", Accession: "P69905", Fields: map[string]string{
+			"description": "hemoglobin subunit alpha oxygen transport",
+			"organism":    "Homo sapiens",
+			"mass":        "15258 daltons measured value",
+		}},
+		{Source: "pir", Relation: "entry", Accession: "A40000", Fields: map[string]string{
+			"protein_name": "hemoglobin subunit alpha oxygen transport",
+			"species":      "Homo sapiens",
+			"mass_note":    "15126 daltons measured value",
+		}},
+		{Source: "pir", Relation: "entry", Accession: "A49999", Fields: map[string]string{
+			"protein_name": "ribosomal maturation factor",
+			"species":      "Escherichia coli",
+		}},
+	}
+	matches, _ := dup.FindDuplicates(records, dup.Options{Blocking: dup.FullPairwise, Threshold: 0.6})
+	for _, m := range matches {
+		fmt.Printf("duplicate: %s:%s ~ %s:%s\n", m.A.Source, m.A.Accession, m.B.Source, m.B.Accession)
+		for _, c := range dup.Conflicts(m) {
+			fmt.Printf("conflict: %s\n", c)
+		}
+	}
+	// Output:
+	// duplicate: swissprot:P69905 ~ pir:A40000
+	// conflict: mass="15258 daltons measured value" vs mass_note="15126 daltons measured value" (sim 0.60)
+}

@@ -1,0 +1,163 @@
+// Package eval implements the evaluation methodology the paper proposes
+// in §3: "The standard procedure in such situations is to estimate the
+// amount of errors of the system using performance measures, such as
+// precision and recall", computed against the gold standard of the
+// generated corpus (§5's "learning test set").
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/metadata"
+	"repro/internal/rel"
+)
+
+// PR holds the confusion counts of one comparison.
+type PR struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP), 1 when nothing was predicted.
+func (p PR) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN), 1 when there is nothing to find.
+func (p PR) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (p PR) F1() float64 {
+	pr, rc := p.Precision(), p.Recall()
+	if pr+rc == 0 {
+		return 0
+	}
+	return 2 * pr * rc / (pr + rc)
+}
+
+// String renders "P=0.95 R=0.90 F1=0.92 (tp=18 fp=1 fn=2)".
+func (p PR) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)",
+		p.Precision(), p.Recall(), p.F1(), p.TP, p.FP, p.FN)
+}
+
+// Add accumulates another comparison.
+func (p *PR) Add(o PR) {
+	p.TP += o.TP
+	p.FP += o.FP
+	p.FN += o.FN
+}
+
+// CompareSets computes PR between predicted and gold key sets.
+func CompareSets(predicted, gold map[string]bool) PR {
+	var pr PR
+	for k := range predicted {
+		if gold[k] {
+			pr.TP++
+		} else {
+			pr.FP++
+		}
+	}
+	for k := range gold {
+		if !predicted[k] {
+			pr.FN++
+		}
+	}
+	return pr
+}
+
+// linkKey canonicalizes an undirected (source, accession) pair.
+func linkKey(s1, a1, s2, a2 string) string {
+	k1 := strings.ToLower(s1) + "\x00" + a1
+	k2 := strings.ToLower(s2) + "\x00" + a2
+	if k2 < k1 {
+		k1, k2 = k2, k1
+	}
+	return k1 + "\x01" + k2
+}
+
+// GoldLinkSet converts gold links to a comparable key set.
+func GoldLinkSet(ls []datagen.GoldLink) map[string]bool {
+	out := make(map[string]bool, len(ls))
+	for _, l := range ls {
+		out[linkKey(l.FromSource, l.FromAccession, l.ToSource, l.ToAccession)] = true
+	}
+	return out
+}
+
+// PredictedLinkSet converts discovered links (optionally filtered by
+// type; pass -1 for all) to a comparable key set.
+func PredictedLinkSet(ls []metadata.Link, t metadata.LinkType) map[string]bool {
+	out := make(map[string]bool, len(ls))
+	for _, l := range ls {
+		if t >= 0 && l.Type != t {
+			continue
+		}
+		out[linkKey(l.From.Source, l.From.Accession, l.To.Source, l.To.Accession)] = true
+	}
+	return out
+}
+
+// CompareLinks scores discovered links of one type against gold links.
+func CompareLinks(predicted []metadata.Link, t metadata.LinkType, gold []datagen.GoldLink) PR {
+	return CompareSets(PredictedLinkSet(predicted, t), GoldLinkSet(gold))
+}
+
+// FKKey canonicalizes a foreign key for comparison.
+func FKKey(fk rel.ForeignKey) string {
+	return strings.ToLower(fk.FromRelation) + "." + strings.ToLower(fk.FromColumn) +
+		">" + strings.ToLower(fk.ToRelation) + "." + strings.ToLower(fk.ToColumn)
+}
+
+// CompareFKs scores guessed foreign keys against gold foreign keys.
+func CompareFKs(predicted []rel.ForeignKey, gold []rel.ForeignKey) PR {
+	p := make(map[string]bool, len(predicted))
+	for _, fk := range predicted {
+		p[FKKey(fk)] = true
+	}
+	g := make(map[string]bool, len(gold))
+	for _, fk := range gold {
+		g[FKKey(fk)] = true
+	}
+	return CompareSets(p, g)
+}
+
+// CostModel quantifies Table 1's "cost of integration" column: the count
+// of manual actions needed to integrate one source under each approach.
+// Values follow the paper's qualitative analysis (§2, Table 1) made
+// countable: every schema element a human must read/map/curate is one
+// action.
+type CostModel struct {
+	// Relations and Attributes describe the source being integrated.
+	Relations  int
+	Attributes int
+	// Tuples is the source size (manual curation scales with data).
+	Tuples int
+}
+
+// ManualCurationActions models the data-focused approach: a curator
+// touches every tuple.
+func (c CostModel) ManualCurationActions() int { return c.Tuples }
+
+// SchemaMappingActions models the schema-focused approach: a wrapper per
+// source plus a semantic mapping per attribute (TAMBIS/OPM-style).
+func (c CostModel) SchemaMappingActions() int { return 1 + c.Attributes }
+
+// ALADINActions models ALADIN: at most one quick-and-dirty parser when no
+// downloadable import method exists (§3, "this is the one point where
+// ALADIN does require human work").
+func (c CostModel) ALADINActions(parserNeeded bool) int {
+	if parserNeeded {
+		return 1
+	}
+	return 0
+}

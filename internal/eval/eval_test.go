@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/metadata"
+	"repro/internal/rel"
+)
+
+func TestPRBasics(t *testing.T) {
+	p := PR{TP: 8, FP: 2, FN: 2}
+	if p.Precision() != 0.8 {
+		t.Errorf("precision = %v", p.Precision())
+	}
+	if p.Recall() != 0.8 {
+		t.Errorf("recall = %v", p.Recall())
+	}
+	if f1 := p.F1(); f1 < 0.8-1e-9 || f1 > 0.8+1e-9 {
+		t.Errorf("f1 = %v", f1)
+	}
+}
+
+func TestPREdgeCases(t *testing.T) {
+	empty := PR{}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty comparison should be perfect")
+	}
+	onlyFP := PR{FP: 5}
+	if onlyFP.Precision() != 0 {
+		t.Errorf("precision = %v", onlyFP.Precision())
+	}
+	if onlyFP.F1() != 0 {
+		t.Errorf("f1 = %v", onlyFP.F1())
+	}
+}
+
+func TestPRAdd(t *testing.T) {
+	a := PR{TP: 1, FP: 2, FN: 3}
+	a.Add(PR{TP: 10, FP: 20, FN: 30})
+	if a.TP != 11 || a.FP != 22 || a.FN != 33 {
+		t.Errorf("add = %+v", a)
+	}
+}
+
+func TestCompareSets(t *testing.T) {
+	pred := map[string]bool{"a": true, "b": true, "c": true}
+	gold := map[string]bool{"b": true, "c": true, "d": true}
+	pr := CompareSets(pred, gold)
+	if pr.TP != 2 || pr.FP != 1 || pr.FN != 1 {
+		t.Errorf("pr = %+v", pr)
+	}
+}
+
+func TestLinkKeyUndirected(t *testing.T) {
+	gold := []datagen.GoldLink{{FromSource: "a", FromAccession: "1", ToSource: "b", ToAccession: "2"}}
+	// Predicted with reversed endpoints must still match.
+	pred := []metadata.Link{{
+		Type: metadata.LinkXRef,
+		From: metadata.ObjectRef{Source: "b", Accession: "2"},
+		To:   metadata.ObjectRef{Source: "a", Accession: "1"},
+	}}
+	pr := CompareLinks(pred, metadata.LinkXRef, gold)
+	if pr.TP != 1 || pr.FP != 0 || pr.FN != 0 {
+		t.Errorf("pr = %+v", pr)
+	}
+}
+
+func TestCompareLinksTypeFilter(t *testing.T) {
+	gold := []datagen.GoldLink{{FromSource: "a", FromAccession: "1", ToSource: "b", ToAccession: "2"}}
+	pred := []metadata.Link{{
+		Type: metadata.LinkDuplicate,
+		From: metadata.ObjectRef{Source: "a", Accession: "1"},
+		To:   metadata.ObjectRef{Source: "b", Accession: "2"},
+	}}
+	pr := CompareLinks(pred, metadata.LinkXRef, gold)
+	if pr.TP != 0 || pr.FN != 1 {
+		t.Errorf("type filter failed: %+v", pr)
+	}
+}
+
+func TestCompareFKs(t *testing.T) {
+	pred := []rel.ForeignKey{
+		{FromRelation: "a", FromColumn: "x", ToRelation: "b", ToColumn: "y"},
+		{FromRelation: "c", FromColumn: "z", ToRelation: "b", ToColumn: "y"},
+	}
+	gold := []rel.ForeignKey{
+		{FromRelation: "A", FromColumn: "X", ToRelation: "B", ToColumn: "Y"}, // case-insensitive match
+		{FromRelation: "d", FromColumn: "w", ToRelation: "b", ToColumn: "y"},
+	}
+	pr := CompareFKs(pred, gold)
+	if pr.TP != 1 || pr.FP != 1 || pr.FN != 1 {
+		t.Errorf("pr = %+v", pr)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel{Relations: 7, Attributes: 30, Tuples: 10000}
+	if c.ManualCurationActions() != 10000 {
+		t.Errorf("manual = %d", c.ManualCurationActions())
+	}
+	if c.SchemaMappingActions() != 31 {
+		t.Errorf("schema = %d", c.SchemaMappingActions())
+	}
+	if c.ALADINActions(true) != 1 || c.ALADINActions(false) != 0 {
+		t.Error("aladin cost model")
+	}
+	// The Table 1 ordering must hold: manual >> schema >> aladin.
+	if !(c.ManualCurationActions() > c.SchemaMappingActions() &&
+		c.SchemaMappingActions() > c.ALADINActions(true)) {
+		t.Error("Table 1 cost ordering violated")
+	}
+}
+
+// Property: precision and recall are always within [0,1] and F1 (a
+// harmonic mean) lies between min and max of the two.
+func TestPRBounds(t *testing.T) {
+	f := func(tp, fp, fn uint8) bool {
+		p := PR{TP: int(tp), FP: int(fp), FN: int(fn)}
+		pr, rc, f1 := p.Precision(), p.Recall(), p.F1()
+		if pr < 0 || pr > 1 || rc < 0 || rc > 1 {
+			return false
+		}
+		lo, hi := pr, rc
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if f1 == 0 {
+			return lo == 0 || pr+rc == 0
+		}
+		return f1 >= lo-1e-9 && f1 <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CompareSets of a set against itself is perfect.
+func TestCompareSetsIdentity(t *testing.T) {
+	f := func(keys []string) bool {
+		s := make(map[string]bool)
+		for _, k := range keys {
+			s[k] = true
+		}
+		pr := CompareSets(s, s)
+		return pr.FP == 0 && pr.FN == 0 && pr.TP == len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

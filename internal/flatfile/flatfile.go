@@ -1,0 +1,341 @@
+// Package flatfile implements ALADIN's data import component (§4.1): it
+// reads the textual exchange formats common in the life sciences into the
+// relational engine, with no schema design required — "straight-forward
+// mappings to tables are sufficient" because the downstream discovery
+// steps infer all structure from the data.
+//
+// Supported formats: EMBL/Swiss-Prot-style line-typed flat files (the
+// BioPerl/BioSQL path), FASTA, OBO ontologies (the Gene Ontology path),
+// CSV/TSV, and a generic XML shredder in the spirit of [NJM03].
+package flatfile
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// ParseEMBL reads an EMBL/Swiss-Prot-style flat file: records of
+// two-letter line-type codes terminated by "//". It produces the
+// BioSQL-shaped schema of Figure 3: an entry relation plus dependent
+// relations for cross-references (DR lines), keywords (KW), comments (CC)
+// and the sequence (SQ block).
+//
+// Recognized line types: ID, AC, DE, OS, DR, KW, CC, SQ (+ continuation
+// lines starting with blanks inside the SQ block).
+func ParseEMBL(r io.Reader, dbName string) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	entry := db.Create("entry", rel.TextSchema("entry_id", "accession", "entry_name", "description", "organism"))
+	dbref := db.Create("dbref", rel.TextSchema("dbref_id", "entry_id", "dbname", "ref_accession"))
+	keyword := db.Create("keyword", rel.TextSchema("keyword_id", "entry_id", "keyword"))
+	comment := db.Create("comment", rel.TextSchema("comment_id", "entry_id", "comment_text"))
+	seqrel := db.Create("sequence", rel.TextSchema("entry_id", "seq"))
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	type record struct {
+		id, name, organism string
+		desc               []string
+		acc                []string
+		drs                [][2]string
+		kws                []string
+		ccs                []string
+		seq                strings.Builder
+	}
+	var cur *record
+	inSeq := false
+	entrySeq, dbrefSeq, kwSeq, ccSeq := 0, 0, 0, 0
+	lineNo := 0
+
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if len(cur.acc) == 0 {
+			return fmt.Errorf("flatfile: record ending before line %d has no AC line", lineNo)
+		}
+		entrySeq++
+		eid := strconv.Itoa(entrySeq)
+		entry.AppendRaw(eid, cur.acc[0], cur.name, strings.Join(cur.desc, " "), cur.organism)
+		for _, dr := range cur.drs {
+			dbrefSeq++
+			dbref.AppendRaw(strconv.Itoa(dbrefSeq), eid, dr[0], dr[1])
+		}
+		for _, kw := range cur.kws {
+			kwSeq++
+			keyword.AppendRaw(strconv.Itoa(kwSeq), eid, kw)
+		}
+		for _, cc := range cur.ccs {
+			ccSeq++
+			comment.AppendRaw(strconv.Itoa(ccSeq), eid, cc)
+		}
+		if cur.seq.Len() > 0 {
+			seqrel.AppendRaw(eid, cur.seq.String())
+		}
+		cur = nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(line, "//") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			inSeq = false
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if inSeq {
+			if strings.HasPrefix(line, " ") || !hasLineCode(line) {
+				if cur != nil {
+					cur.seq.WriteString(stripSeqLine(line))
+				}
+				continue
+			}
+			inSeq = false
+		}
+		if len(line) < 2 {
+			return nil, fmt.Errorf("flatfile: malformed line %d: %q", lineNo, line)
+		}
+		code := line[:2]
+		rest := ""
+		if len(line) > 2 {
+			rest = strings.TrimSpace(line[2:])
+		}
+		if cur == nil {
+			if code != "ID" {
+				return nil, fmt.Errorf("flatfile: line %d: record must start with ID, got %q", lineNo, code)
+			}
+			cur = &record{}
+		}
+		switch code {
+		case "ID":
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				cur.name = fields[0]
+			}
+		case "AC":
+			for _, a := range strings.Split(rest, ";") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					cur.acc = append(cur.acc, a)
+				}
+			}
+		case "DE":
+			cur.desc = append(cur.desc, rest)
+		case "OS":
+			if cur.organism == "" {
+				cur.organism = strings.TrimSuffix(rest, ".")
+			}
+		case "DR":
+			parts := strings.Split(rest, ";")
+			if len(parts) >= 2 {
+				cur.drs = append(cur.drs, [2]string{
+					strings.TrimSpace(parts[0]),
+					strings.TrimSuffix(strings.TrimSpace(parts[1]), "."),
+				})
+			}
+		case "KW":
+			for _, k := range strings.Split(strings.TrimSuffix(rest, "."), ";") {
+				k = strings.TrimSpace(k)
+				if k != "" {
+					cur.kws = append(cur.kws, k)
+				}
+			}
+		case "CC":
+			cur.ccs = append(cur.ccs, strings.TrimPrefix(rest, "-!- "))
+		case "SQ":
+			inSeq = true
+		default:
+			// Unknown line types are tolerated (real files carry many).
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// hasLineCode reports whether a line starts with a two-uppercase-letter
+// code followed by whitespace or end of line.
+func hasLineCode(line string) bool {
+	if len(line) < 2 {
+		return false
+	}
+	c0, c1 := line[0], line[1]
+	if c0 < 'A' || c0 > 'Z' || c1 < 'A' || c1 > 'Z' {
+		return false
+	}
+	return len(line) == 2 || line[2] == ' '
+}
+
+// stripSeqLine removes blanks and trailing position numbers from a
+// sequence block line.
+func stripSeqLine(line string) string {
+	var sb strings.Builder
+	for _, r := range line {
+		if (r >= 'A' && r <= 'Z') || (r >= 'a' && r <= 'z') {
+			sb.WriteRune(r)
+		}
+	}
+	return strings.ToUpper(sb.String())
+}
+
+// ParseFASTA reads FASTA records (">id description" header lines followed
+// by sequence lines) into a single relation (fasta_id, accession,
+// description, seq).
+func ParseFASTA(r io.Reader, dbName string) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	rec := db.Create("fasta", rel.TextSchema("fasta_id", "accession", "description", "seq"))
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var acc, desc string
+	var seq strings.Builder
+	n := 0
+	flush := func() {
+		if acc == "" {
+			return
+		}
+		n++
+		rec.AppendRaw(strconv.Itoa(n), acc, desc, seq.String())
+		acc, desc = "", ""
+		seq.Reset()
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			flush()
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("flatfile: empty FASTA header at line %d", lineNo)
+			}
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				acc, desc = header[:i], strings.TrimSpace(header[i:])
+			} else {
+				acc = header
+			}
+			continue
+		}
+		if acc == "" {
+			return nil, fmt.Errorf("flatfile: sequence data before first FASTA header at line %d", lineNo)
+		}
+		seq.WriteString(strings.ToUpper(line))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return db, nil
+}
+
+// ParseOBO reads an OBO ontology file ([Term] stanzas with id:, name:,
+// def:, is_a: tags) into a term relation and an is_a relation.
+func ParseOBO(r io.Reader, dbName string) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	term := db.Create("term", rel.TextSchema("term_id", "acc", "term_name", "definition", "namespace"))
+	isa := db.Create("term_isa", rel.TextSchema("isa_id", "acc", "parent_acc"))
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	inTerm := false
+	var id, name, def, ns string
+	var parents []string
+	termSeq, isaSeq := 0, 0
+	flush := func() {
+		if !inTerm || id == "" {
+			return
+		}
+		termSeq++
+		term.AppendRaw(strconv.Itoa(termSeq), id, name, def, ns)
+		for _, p := range parents {
+			isaSeq++
+			isa.AppendRaw(strconv.Itoa(isaSeq), id, p)
+		}
+		id, name, def, ns = "", "", "", ""
+		parents = nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "[Term]":
+			flush()
+			inTerm = true
+		case strings.HasPrefix(line, "["):
+			flush()
+			inTerm = false
+		case inTerm && strings.HasPrefix(line, "id:"):
+			id = strings.TrimSpace(line[3:])
+		case inTerm && strings.HasPrefix(line, "name:"):
+			name = strings.TrimSpace(line[5:])
+		case inTerm && strings.HasPrefix(line, "def:"):
+			def = strings.Trim(strings.TrimSpace(line[4:]), "\"")
+			if i := strings.Index(def, `" [`); i >= 0 {
+				def = def[:i]
+			}
+		case inTerm && strings.HasPrefix(line, "namespace:"):
+			ns = strings.TrimSpace(line[10:])
+		case inTerm && strings.HasPrefix(line, "is_a:"):
+			p := strings.TrimSpace(line[5:])
+			if i := strings.Index(p, "!"); i >= 0 {
+				p = strings.TrimSpace(p[:i])
+			}
+			parents = append(parents, p)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return db, nil
+}
+
+// ParseCSV reads delimited text with a header row into one relation named
+// after the table argument. comma is the delimiter (use '\t' for TSV).
+func ParseCSV(r io.Reader, dbName, table string, comma rune) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	cr := csv.NewReader(r)
+	cr.Comma = comma
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("flatfile: reading CSV header: %w", err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+		if header[i] == "" {
+			header[i] = fmt.Sprintf("col%d", i+1)
+		}
+	}
+	relo := db.Create(table, rel.TextSchema(header...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("flatfile: reading CSV row: %w", err)
+		}
+		relo.AppendRaw(rec...)
+	}
+	return db, nil
+}

@@ -1,0 +1,123 @@
+package flatfile
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleGenBank = `LOCUS       NM_000518   626 bp  mRNA  linear  PRI 01-JAN-2024
+DEFINITION  Homo sapiens hemoglobin subunit beta (HBB),
+            mRNA.
+ACCESSION   NM_000518
+VERSION     NM_000518.5
+SOURCE      Homo sapiens (human)
+FEATURES             Location/Qualifiers
+     gene            1..626
+                     /gene="HBB"
+                     /db_xref="GeneID:3043"
+                     /db_xref="HGNC:4827"
+     CDS             51..494
+                     /protein_id="NP_000509.1"
+                     /db_xref="UniProtKB:P68871"
+ORIGIN
+        1 acatttgctt ctgacacaac tgtgttcact agcaacctca
+       41 aacagacacc atggtgcatc tgactcctga
+//
+LOCUS       NM_001101   1852 bp  mRNA  linear  PRI 01-JAN-2024
+DEFINITION  Homo sapiens actin beta (ACTB), mRNA.
+ACCESSION   NM_001101
+SOURCE      Homo sapiens (human)
+ORIGIN
+        1 accgccgaga ccgcgtccgc
+//
+`
+
+func TestParseGenBank(t *testing.T) {
+	db, err := ParseGenBank(strings.NewReader(sampleGenBank), "genbank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := db.Relation("entry")
+	if entry.Cardinality() != 2 {
+		t.Fatalf("entries = %d", entry.Cardinality())
+	}
+	row := entry.Tuples[0]
+	get := func(col string) string { return row[entry.Schema.Index(col)].AsString() }
+	if get("accession") != "NM_000518" {
+		t.Errorf("accession = %q", get("accession"))
+	}
+	if get("locus_name") != "NM_000518" {
+		t.Errorf("locus = %q", get("locus_name"))
+	}
+	if !strings.Contains(get("definition"), "hemoglobin subunit beta") ||
+		!strings.Contains(get("definition"), "mRNA") {
+		t.Errorf("definition = %q (continuation must concatenate)", get("definition"))
+	}
+	if get("organism") != "Homo sapiens (human)" {
+		t.Errorf("organism = %q", get("organism"))
+	}
+}
+
+func TestParseGenBankDBXrefs(t *testing.T) {
+	db, _ := ParseGenBank(strings.NewReader(sampleGenBank), "genbank")
+	x := db.Relation("dbxref")
+	if x.Cardinality() != 3 {
+		t.Fatalf("xrefs = %d", x.Cardinality())
+	}
+	vals, _ := x.DistinctValues("xref")
+	want := []string{"GeneID:3043", "HGNC:4827", "UniProtKB:P68871"}
+	for _, w := range want {
+		found := false
+		for _, v := range vals {
+			if v.AsString() == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing xref %q", w)
+		}
+	}
+	// All belong to entry 1.
+	for _, tu := range x.Tuples {
+		if tu[x.Schema.Index("entry_id")].AsString() != "1" {
+			t.Errorf("xref owner = %v", tu)
+		}
+	}
+}
+
+func TestParseGenBankSequence(t *testing.T) {
+	db, _ := ParseGenBank(strings.NewReader(sampleGenBank), "genbank")
+	s := db.Relation("sequence")
+	if s.Cardinality() != 2 {
+		t.Fatalf("sequences = %d", s.Cardinality())
+	}
+	seq := s.Tuples[0][s.Schema.Index("seq")].AsString()
+	if !strings.HasPrefix(seq, "ACATTTGCTT") {
+		t.Errorf("seq = %.20q (numbers/spaces must be stripped, bases upcased)", seq)
+	}
+	if strings.ContainsAny(seq, "0123456789 ") {
+		t.Error("sequence contains digits or spaces")
+	}
+}
+
+func TestParseGenBankErrors(t *testing.T) {
+	if _, err := ParseGenBank(strings.NewReader("DEFINITION  no locus\n//\n"), "x"); err == nil {
+		t.Error("record without LOCUS should fail")
+	}
+	if _, err := ParseGenBank(strings.NewReader("LOCUS  X\nDEFINITION  d\n//\n"), "x"); err == nil {
+		t.Error("record without ACCESSION should fail")
+	}
+	if _, err := ParseGenBank(strings.NewReader("    stray continuation\n"), "x"); err == nil {
+		t.Error("continuation before LOCUS should fail")
+	}
+}
+
+func TestParseGenBankEmpty(t *testing.T) {
+	db, err := ParseGenBank(strings.NewReader(""), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Relation("entry").Cardinality() != 0 {
+		t.Error("empty input should yield no entries")
+	}
+}

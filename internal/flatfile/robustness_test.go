@@ -1,0 +1,127 @@
+package flatfile
+
+import (
+	"strings"
+	"testing"
+)
+
+// junkInputs are adversarial byte streams no parser may panic on.
+var junkInputs = []string{
+	"",
+	"\n\n\n",
+	"random prose that is not any known format at all",
+	"ID\n",
+	"//\n//\n//\n",
+	">",
+	"[Term]\n[Term]\n[Typedef]\n",
+	strings.Repeat("A", 100000),
+	"ID   X\nAC   Y;\nSQ\n" + strings.Repeat("ACGT ", 5000) + "\n//\n",
+	"\x00\x01\x02binary garbage\xff\xfe",
+	"LOCUS\nLOCUS\n",
+}
+
+// TestParsersNeverPanic feeds junk to every parser; errors are fine,
+// panics are not, and any database returned must be well-formed.
+func TestParsersNeverPanic(t *testing.T) {
+	type parser struct {
+		name string
+		fn   func(s string) error
+	}
+	parsers := []parser{
+		{"embl", func(s string) error { _, err := ParseEMBL(strings.NewReader(s), "x"); return err }},
+		{"genbank", func(s string) error { _, err := ParseGenBank(strings.NewReader(s), "x"); return err }},
+		{"fasta", func(s string) error { _, err := ParseFASTA(strings.NewReader(s), "x"); return err }},
+		{"obo", func(s string) error { _, err := ParseOBO(strings.NewReader(s), "x"); return err }},
+		{"csv", func(s string) error { _, err := ParseCSV(strings.NewReader(s), "x", "t", ','); return err }},
+		{"xml", func(s string) error { _, err := ParseXML(strings.NewReader(s), "x"); return err }},
+	}
+	for _, p := range parsers {
+		for i, in := range junkInputs {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s panicked on junk input %d: %v", p.name, i, r)
+					}
+				}()
+				_ = p.fn(in) // error or nil are both acceptable
+			}()
+		}
+	}
+}
+
+// TestEMBLRecordWithUnknownLineTypes tolerates codes we do not model.
+func TestEMBLRecordWithUnknownLineTypes(t *testing.T) {
+	in := `ID   X_TEST   Reviewed;
+AC   P99999;
+XX
+RN   [1]
+RA   Some Author;
+RT   "A title we ignore.";
+DE   Something real.
+FT   CHAIN  1..10
+SQ   SEQUENCE
+     ACGTACGTAC
+//
+`
+	db, err := ParseEMBL(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := db.Relation("entry")
+	if e.Cardinality() != 1 {
+		t.Fatalf("entries = %d", e.Cardinality())
+	}
+	if e.Tuples[0][e.Schema.Index("description")].AsString() != "Something real." {
+		t.Errorf("description = %v", e.Tuples[0])
+	}
+}
+
+// TestXMLDeepNesting exercises recursive structures.
+func TestXMLDeepNesting(t *testing.T) {
+	var sb strings.Builder
+	depth := 200
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<n>")
+	}
+	sb.WriteString("leaf")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</n>")
+	}
+	db, err := ParseXML(strings.NewReader(sb.String()), "deep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := db.Relation("n")
+	if n.Cardinality() != depth {
+		t.Errorf("rows = %d want %d", n.Cardinality(), depth)
+	}
+}
+
+// TestCSVQuotedFields checks embedded commas and quotes survive.
+func TestCSVQuotedFields(t *testing.T) {
+	in := "id,desc\n1,\"contains, comma\"\n2,\"has \"\"quotes\"\"\"\n"
+	db, err := ParseCSV(strings.NewReader(in), "x", "t", ',')
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := db.Relation("t")
+	if r.Tuples[0][1].AsString() != "contains, comma" {
+		t.Errorf("row0 = %v", r.Tuples[0])
+	}
+	if r.Tuples[1][1].AsString() != `has "quotes"` {
+		t.Errorf("row1 = %v", r.Tuples[1])
+	}
+}
+
+// TestFASTAMultiLineSequenceJoins verifies continuation concatenation.
+func TestFASTAMultiLineSequenceJoins(t *testing.T) {
+	in := ">X1 test\nACGT\nACGT\nACGT\n"
+	db, err := ParseFASTA(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := db.Relation("fasta")
+	if got := fa.Tuples[0][3].AsString(); got != "ACGTACGTACGT" {
+		t.Errorf("seq = %q", got)
+	}
+}

@@ -1,0 +1,115 @@
+package flatfile
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// ParseXML is a generic XML shredder in the spirit of [NJM03] ("Super-Fast
+// XML Wrapper Generation in DB2"): every element name becomes a relation
+// whose columns are a surrogate id, the parent element's id, the element's
+// attributes, and its text content. No schema knowledge is required — the
+// discovery steps reconstruct structure from the generated surrogate keys.
+func ParseXML(r io.Reader, dbName string) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	dec := xml.NewDecoder(r)
+
+	type frame struct {
+		name string
+		id   int
+		// attrs and text accumulate until the element closes.
+		attrs map[string]string
+		text  strings.Builder
+	}
+	// rows buffers per-element-name rows until all columns are known.
+	type row struct {
+		id, parentID int
+		attrs        map[string]string
+		text         string
+	}
+	rowsByName := make(map[string][]row)
+	attrNames := make(map[string]map[string]bool)
+	var nameOrder []string
+
+	var stack []*frame
+	nextID := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("flatfile: XML parse error: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			nextID++
+			f := &frame{name: strings.ToLower(t.Name.Local), id: nextID, attrs: make(map[string]string)}
+			for _, a := range t.Attr {
+				f.attrs[strings.ToLower(a.Name.Local)] = a.Value
+			}
+			stack = append(stack, f)
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.Write(t)
+			}
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("flatfile: unbalanced XML end element %q", t.Name.Local)
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			parentID := 0
+			if len(stack) > 0 {
+				parentID = stack[len(stack)-1].id
+			}
+			if _, ok := rowsByName[f.name]; !ok {
+				nameOrder = append(nameOrder, f.name)
+				attrNames[f.name] = make(map[string]bool)
+			}
+			for a := range f.attrs {
+				attrNames[f.name][a] = true
+			}
+			rowsByName[f.name] = append(rowsByName[f.name], row{
+				id: f.id, parentID: parentID,
+				attrs: f.attrs,
+				text:  strings.TrimSpace(f.text.String()),
+			})
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("flatfile: XML document ended inside element %q", stack[len(stack)-1].name)
+	}
+	// Materialize relations: id, parent_id, sorted attributes, content.
+	for _, name := range nameOrder {
+		var attrs []string
+		for a := range attrNames[name] {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		cols := append([]string{name + "_xid", "parent_xid"}, attrs...)
+		cols = append(cols, "content")
+		relo := db.Create(name, rel.TextSchema(cols...))
+		for _, rw := range rowsByName[name] {
+			fields := make([]string, 0, len(cols))
+			fields = append(fields, strconv.Itoa(rw.id))
+			if rw.parentID == 0 {
+				fields = append(fields, "")
+			} else {
+				fields = append(fields, strconv.Itoa(rw.parentID))
+			}
+			for _, a := range attrs {
+				fields = append(fields, rw.attrs[a])
+			}
+			fields = append(fields, rw.text)
+			relo.AppendRaw(fields...)
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,258 @@
+// Package ind discovers unary inclusion dependencies between attributes —
+// ALADIN's mechanism for guessing foreign-key relationships when no
+// integrity constraints are declared (§4.2, citing [KM92] and [MLP02]).
+//
+// The paper's rule: "all unique attributes are considered as potential
+// targets ... and all attributes are considered as potential sources. If
+// the values of a potential source are a true subset of the values of a
+// potential target, we assume a 1:N relationship ... If the values of a
+// potential source are the same set as the values of a potential target,
+// we assume a 1:1 relationship."
+package ind
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/profile"
+	"repro/internal/rel"
+)
+
+// Cardinality classifies a discovered relationship.
+type Cardinality int
+
+const (
+	// OneToN marks a proper-subset inclusion (source values ⊂ target).
+	OneToN Cardinality = iota
+	// OneToOne marks set equality of source and target values.
+	OneToOne
+)
+
+// String renders the cardinality as in the paper.
+func (c Cardinality) String() string {
+	if c == OneToOne {
+		return "1:1"
+	}
+	return "1:N"
+}
+
+// IND is one discovered inclusion dependency: FromRelation.FromColumn's
+// values are contained in ToRelation.ToColumn's values.
+type IND struct {
+	From        rel.ForeignKey
+	Cardinality Cardinality
+	// Containment is |src ∩ tgt| / |src| (1.0 for exact dependencies).
+	Containment float64
+	// Declared is true when the dependency came from the data dictionary
+	// (a declared FOREIGN KEY) rather than from data analysis.
+	Declared bool
+}
+
+// String renders "a.x -> b.y [1:N, cont=1.00]".
+func (d IND) String() string {
+	src := "data"
+	if d.Declared {
+		src = "declared"
+	}
+	return fmt.Sprintf("%s [%s, cont=%.2f, %s]", d.From.String(), d.Cardinality, d.Containment, src)
+}
+
+// Options configures discovery.
+type Options struct {
+	// MinContainment accepts approximate inclusions whose containment is
+	// at least this value; 0 defaults to 1.0 (exact inclusion only).
+	MinContainment float64
+	// MinSourceDistinct skips source attributes with fewer distinct
+	// values (§4.4: "attributes with few distinct values should be
+	// excluded"). 0 defaults to 2.
+	MinSourceDistinct int
+	// DisableSignaturePruning turns off the min-hash pre-filter (for the
+	// pruning ablation of experiment E10).
+	DisableSignaturePruning bool
+	// AllowNumericSources permits purely numeric attributes as sources.
+	// Surrogate-key FK discovery inside one source needs this on (the
+	// default); cross-source link discovery turns it off to "avoid
+	// misinterpretation of surrogate keys" (§4.4).
+	AllowNumericSourcesOff bool
+}
+
+// Stats reports the work performed, for the pruning experiments.
+type Stats struct {
+	PairsConsidered int // candidate (source, target) attribute pairs
+	PairsPruned     int // rejected by the signature pre-filter
+	PairsChecked    int // exact set-containment checks executed
+}
+
+// Discover finds inclusion dependencies between attributes of the
+// relations in db, using precomputed profiles (keyed by profile.Key).
+// Declared foreign keys from relation metadata are included first and
+// never duplicated by data analysis.
+func Discover(db *rel.Database, profs map[string]*profile.ColumnProfile, opts Options) ([]IND, Stats, error) {
+	minCont := opts.MinContainment
+	if minCont <= 0 {
+		minCont = 1.0
+	}
+	minSrcDistinct := opts.MinSourceDistinct
+	if minSrcDistinct <= 0 {
+		minSrcDistinct = 2
+	}
+	var out []IND
+	var stats Stats
+	declared := make(map[string]bool)
+	for _, r := range db.Relations() {
+		for _, fk := range r.ForeignKeys {
+			toCol := fk.ToColumn
+			if toCol == "" {
+				// REFERENCES t without a column names t's primary key.
+				if tgt := db.Relation(fk.ToRelation); tgt != nil {
+					toCol = tgt.PrimaryKey
+				}
+			}
+			if toCol == "" {
+				continue
+			}
+			d := IND{
+				From: rel.ForeignKey{
+					FromRelation: fk.FromRelation, FromColumn: fk.FromColumn,
+					ToRelation: fk.ToRelation, ToColumn: toCol,
+				},
+				Cardinality: OneToN,
+				Containment: 1.0,
+				Declared:    true,
+			}
+			out = append(out, d)
+			declared[indKey(d.From)] = true
+		}
+	}
+
+	// Candidate targets: unique attributes (the paper's rule).
+	type colRef struct {
+		relation *rel.Relation
+		column   string
+		prof     *profile.ColumnProfile
+	}
+	var targets, sources []colRef
+	for _, r := range db.Relations() {
+		for _, c := range r.Schema.Columns {
+			p := profs[profile.Key(r.Name, c.Name)]
+			if p == nil {
+				return nil, stats, fmt.Errorf("ind: missing profile for %s.%s", r.Name, c.Name)
+			}
+			ref := colRef{relation: r, column: c.Name, prof: p}
+			if p.Unique {
+				targets = append(targets, ref)
+			}
+			if p.Distinct >= minSrcDistinct {
+				if opts.AllowNumericSourcesOff && p.PurelyNumeric {
+					continue
+				}
+				sources = append(sources, ref)
+			}
+		}
+	}
+
+	for _, src := range sources {
+		for _, tgt := range targets {
+			if strings.EqualFold(src.relation.Name, tgt.relation.Name) && strings.EqualFold(src.column, tgt.column) {
+				continue
+			}
+			stats.PairsConsidered++
+			fk := rel.ForeignKey{
+				FromRelation: src.relation.Name, FromColumn: src.column,
+				ToRelation: tgt.relation.Name, ToColumn: tgt.column,
+			}
+			if declared[indKey(fk)] {
+				continue
+			}
+			// Cheap pre-filters: a source with more distinct values than
+			// the target can never be contained; the signature containment
+			// estimate rejects clearly disjoint pairs.
+			if float64(src.prof.Distinct)*minCont > float64(tgt.prof.Distinct) {
+				stats.PairsPruned++
+				continue
+			}
+			if !opts.DisableSignaturePruning {
+				est := profile.EstimateContainment(src.prof, tgt.prof)
+				// The estimator is noisy; only prune clear rejections.
+				if est < minCont*0.4 {
+					stats.PairsPruned++
+					continue
+				}
+			}
+			stats.PairsChecked++
+			cont, equal, err := containment(src.relation, src.column, src.prof, tgt.relation, tgt.column, tgt.prof)
+			if err != nil {
+				return nil, stats, err
+			}
+			if cont < minCont {
+				continue
+			}
+			d := IND{From: fk, Containment: cont, Cardinality: OneToN}
+			if equal {
+				d.Cardinality = OneToOne
+			}
+			out = append(out, d)
+		}
+	}
+	return out, stats, nil
+}
+
+// containment computes |src ∩ tgt| / |src distinct| exactly, preferring
+// the profiles' cached distinct sets and falling back to a scan.
+func containment(srcRel *rel.Relation, srcCol string, srcProf *profile.ColumnProfile,
+	tgtRel *rel.Relation, tgtCol string, tgtProf *profile.ColumnProfile) (float64, bool, error) {
+
+	srcSet := srcProf.DistinctValues
+	if srcSet == nil {
+		var err error
+		srcSet, err = srcRel.DistinctValues(srcCol)
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	tgtSet := tgtProf.DistinctValues
+	if tgtSet == nil {
+		var err error
+		tgtSet, err = tgtRel.DistinctValues(tgtCol)
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	if len(srcSet) == 0 {
+		return 0, false, nil
+	}
+	inter := 0
+	for k := range srcSet {
+		if _, ok := tgtSet[k]; ok {
+			inter++
+		}
+	}
+	cont := float64(inter) / float64(len(srcSet))
+	equal := inter == len(srcSet) && len(srcSet) == len(tgtSet)
+	return cont, equal, nil
+}
+
+func indKey(fk rel.ForeignKey) string {
+	return strings.ToLower(fk.FromRelation) + "." + strings.ToLower(fk.FromColumn) +
+		">" + strings.ToLower(fk.ToRelation) + "." + strings.ToLower(fk.ToColumn)
+}
+
+// AmbiguousTargets groups discovered INDs by source attribute and returns
+// those sources contained in more than one target — the §4.2 "dictionary
+// table confusion" case ("confusion about which is the primary key ...
+// happens only if the number of values in two dictionary tables are
+// identical").
+func AmbiguousTargets(inds []IND) map[string][]IND {
+	bySource := make(map[string][]IND)
+	for _, d := range inds {
+		k := strings.ToLower(d.From.FromRelation) + "." + strings.ToLower(d.From.FromColumn)
+		bySource[k] = append(bySource[k], d)
+	}
+	out := make(map[string][]IND)
+	for k, ds := range bySource {
+		if len(ds) > 1 {
+			out[k] = ds
+		}
+	}
+	return out
+}

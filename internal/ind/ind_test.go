@@ -1,0 +1,287 @@
+package ind
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/rel"
+)
+
+// biosqlFragment builds a small BioSQL-like source: bioentry (primary),
+// a dependent comment table, and a dictionary table.
+func biosqlFragment() *rel.Database {
+	db := rel.NewDatabase("biosql")
+
+	bioentry := db.Create("bioentry", rel.TextSchema("bioentry_id", "accession", "name"))
+	for i := 1; i <= 20; i++ {
+		bioentry.AppendRaw(fmt.Sprintf("%d", i), fmt.Sprintf("P%05d", i), fmt.Sprintf("protein %d", i))
+	}
+
+	comment := db.Create("comment", rel.TextSchema("comment_id", "bioentry_id", "text"))
+	for i := 1; i <= 40; i++ {
+		comment.AppendRaw(fmt.Sprintf("%d", i), fmt.Sprintf("%d", (i%15)+1), fmt.Sprintf("comment body %d about something", i))
+	}
+
+	// Dictionary table: terms 1..8 referenced from term_id.
+	term := db.Create("term", rel.TextSchema("term_id", "term_name"))
+	for i := 1; i <= 8; i++ {
+		term.AppendRaw(fmt.Sprintf("%d", i), fmt.Sprintf("keyword-%d", i))
+	}
+	anno := db.Create("annotation", rel.TextSchema("anno_id", "bioentry_id", "term_id"))
+	for i := 1; i <= 30; i++ {
+		anno.AppendRaw(fmt.Sprintf("%d", i), fmt.Sprintf("%d", (i%20)+1), fmt.Sprintf("%d", (i%8)+1))
+	}
+	return db
+}
+
+func discover(t *testing.T, db *rel.Database, opts Options) ([]IND, Stats) {
+	t.Helper()
+	profs, err := profile.ProfileDatabase(db, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inds, stats, err := Discover(db, profs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inds, stats
+}
+
+func hasIND(inds []IND, from, fromCol, to, toCol string) bool {
+	for _, d := range inds {
+		if d.From.FromRelation == from && d.From.FromColumn == fromCol &&
+			d.From.ToRelation == to && d.From.ToColumn == toCol {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiscoverFindsForeignKeys(t *testing.T) {
+	db := biosqlFragment()
+	inds, _ := discover(t, db, Options{})
+	if !hasIND(inds, "comment", "bioentry_id", "bioentry", "bioentry_id") {
+		t.Errorf("missing comment->bioentry FK; got %v", inds)
+	}
+	if !hasIND(inds, "annotation", "bioentry_id", "bioentry", "bioentry_id") {
+		t.Errorf("missing annotation->bioentry FK")
+	}
+	if !hasIND(inds, "annotation", "term_id", "term", "term_id") {
+		t.Errorf("missing annotation->term FK")
+	}
+}
+
+func TestDiscoverCardinality(t *testing.T) {
+	db := rel.NewDatabase("d")
+	a := db.Create("a", rel.TextSchema("k"))
+	b := db.Create("b", rel.TextSchema("k2", "other"))
+	for i := 0; i < 10; i++ {
+		a.AppendRaw(fmt.Sprintf("x%d", i))
+		b.AppendRaw(fmt.Sprintf("x%d", i), fmt.Sprintf("o%d", i))
+	}
+	inds, _ := discover(t, db, Options{})
+	found := false
+	for _, d := range inds {
+		if d.From.FromRelation == "a" && d.From.ToRelation == "b" && d.From.ToColumn == "k2" {
+			found = true
+			if d.Cardinality != OneToOne {
+				t.Errorf("equal sets should give 1:1, got %v", d.Cardinality)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("missing a.k -> b.k2: %v", inds)
+	}
+}
+
+func TestDiscoverProperSubsetIs1N(t *testing.T) {
+	db := biosqlFragment()
+	inds, _ := discover(t, db, Options{})
+	for _, d := range inds {
+		if d.From.FromRelation == "comment" && d.From.ToRelation == "bioentry" && d.From.ToColumn == "bioentry_id" {
+			if d.Cardinality != OneToN {
+				t.Errorf("proper subset should be 1:N, got %v", d.Cardinality)
+			}
+		}
+	}
+}
+
+func TestDiscoverDeclaredFKsIncluded(t *testing.T) {
+	db := biosqlFragment()
+	c := db.Relation("comment")
+	c.ForeignKeys = append(c.ForeignKeys, rel.ForeignKey{
+		FromRelation: "comment", FromColumn: "bioentry_id",
+		ToRelation: "bioentry", ToColumn: "bioentry_id",
+	})
+	inds, _ := discover(t, db, Options{})
+	declaredCount := 0
+	dataCount := 0
+	for _, d := range inds {
+		if d.From.FromRelation == "comment" && d.From.ToRelation == "bioentry" {
+			if d.Declared {
+				declaredCount++
+			} else if d.From.FromColumn == "bioentry_id" && d.From.ToColumn == "bioentry_id" {
+				dataCount++
+			}
+		}
+	}
+	if declaredCount != 1 {
+		t.Errorf("declared FK count = %d", declaredCount)
+	}
+	if dataCount != 0 {
+		t.Errorf("declared FK rediscovered from data %d times", dataCount)
+	}
+}
+
+func TestDiscoverMinContainment(t *testing.T) {
+	db := rel.NewDatabase("d")
+	a := db.Create("a", rel.TextSchema("ref"))
+	b := db.Create("b", rel.TextSchema("key"))
+	for i := 0; i < 10; i++ {
+		b.AppendRaw(fmt.Sprintf("k%d", i))
+	}
+	// 8 of 10 source values resolve; 2 dangle.
+	for i := 0; i < 8; i++ {
+		a.AppendRaw(fmt.Sprintf("k%d", i))
+	}
+	a.AppendRaw("dangling1")
+	a.AppendRaw("dangling2")
+	inds, _ := discover(t, db, Options{})
+	if hasIND(inds, "a", "ref", "b", "key") {
+		t.Error("exact mode should reject 80% containment")
+	}
+	inds, _ = discover(t, db, Options{MinContainment: 0.7})
+	if !hasIND(inds, "a", "ref", "b", "key") {
+		t.Error("approximate mode should accept 80% containment")
+	}
+}
+
+func TestDiscoverSkipsLowDistinctSources(t *testing.T) {
+	db := rel.NewDatabase("d")
+	a := db.Create("a", rel.TextSchema("flag"))
+	b := db.Create("b", rel.TextSchema("key"))
+	b.AppendRaw("x")
+	b.AppendRaw("y")
+	for i := 0; i < 10; i++ {
+		a.AppendRaw("x") // single distinct value, contained in b.key
+	}
+	inds, _ := discover(t, db, Options{})
+	if hasIND(inds, "a", "flag", "b", "key") {
+		t.Error("single-distinct source should be skipped")
+	}
+}
+
+func TestDiscoverNumericSourceExclusion(t *testing.T) {
+	db := rel.NewDatabase("d")
+	a := db.Create("a", rel.TextSchema("num"))
+	b := db.Create("b", rel.TextSchema("key"))
+	for i := 0; i < 10; i++ {
+		a.AppendRaw(fmt.Sprintf("%d", i))
+		b.AppendRaw(fmt.Sprintf("%d", i))
+	}
+	inds, _ := discover(t, db, Options{})
+	if !hasIND(inds, "a", "num", "b", "key") {
+		t.Error("numeric sources allowed by default (intra-source FK discovery)")
+	}
+	inds, _ = discover(t, db, Options{AllowNumericSourcesOff: true})
+	if hasIND(inds, "a", "num", "b", "key") {
+		t.Error("AllowNumericSourcesOff should exclude purely numeric sources")
+	}
+}
+
+func TestDictionaryConfusion(t *testing.T) {
+	// Two dictionary tables with IDENTICAL value sets 1..5: the paper's
+	// §4.2 confusion case. The source attribute must be reported as
+	// contained in both, and AmbiguousTargets must flag it.
+	db := rel.NewDatabase("d")
+	d1 := db.Create("dict1", rel.TextSchema("id", "label"))
+	d2 := db.Create("dict2", rel.TextSchema("id", "label"))
+	for i := 1; i <= 5; i++ {
+		d1.AppendRaw(fmt.Sprintf("%d", i), fmt.Sprintf("one-%d", i))
+		d2.AppendRaw(fmt.Sprintf("%d", i), fmt.Sprintf("two-%d", i))
+	}
+	f := db.Create("fact", rel.TextSchema("fact_id", "dict_ref"))
+	for i := 1; i <= 20; i++ {
+		f.AppendRaw(fmt.Sprintf("%d", i), fmt.Sprintf("%d", (i%5)+1))
+	}
+	inds, _ := discover(t, db, Options{})
+	amb := AmbiguousTargets(inds)
+	ds, ok := amb["fact.dict_ref"]
+	if !ok {
+		t.Fatalf("fact.dict_ref should be ambiguous; inds=%v", inds)
+	}
+	targets := map[string]bool{}
+	for _, d := range ds {
+		targets[d.From.ToRelation] = true
+	}
+	if !targets["dict1"] || !targets["dict2"] {
+		t.Errorf("ambiguity should span both dictionaries: %v", ds)
+	}
+}
+
+func TestNoConfusionWithDifferentSizes(t *testing.T) {
+	// When dictionary sizes differ (the common case, per the paper), the
+	// smaller-ranged source is contained only in the right tables.
+	db := rel.NewDatabase("d")
+	d1 := db.Create("dict1", rel.TextSchema("id"))
+	d2 := db.Create("dict2", rel.TextSchema("id"))
+	for i := 1; i <= 5; i++ {
+		d1.AppendRaw(fmt.Sprintf("%d", i))
+	}
+	for i := 1; i <= 3; i++ {
+		d2.AppendRaw(fmt.Sprintf("%d", i))
+	}
+	f := db.Create("fact", rel.TextSchema("fact_id", "dict_ref"))
+	for i := 0; i < 20; i++ {
+		f.AppendRaw(fmt.Sprintf("%d", i+100), fmt.Sprintf("%d", (i%5)+1)) // values 1..5
+	}
+	inds, _ := discover(t, db, Options{})
+	if hasIND(inds, "fact", "dict_ref", "dict2", "id") {
+		t.Error("values 1..5 are not contained in dict2 (1..3)")
+	}
+	if !hasIND(inds, "fact", "dict_ref", "dict1", "id") {
+		t.Error("missing correct dictionary FK")
+	}
+}
+
+func TestPruningReducesChecks(t *testing.T) {
+	db := rel.NewDatabase("d")
+	// Many disjoint columns: pruning should skip most exact checks.
+	for r := 0; r < 6; r++ {
+		rr := db.Create(fmt.Sprintf("r%d", r), rel.TextSchema("a", "b"))
+		for i := 0; i < 50; i++ {
+			rr.AppendRaw(fmt.Sprintf("r%d-a%d", r, i), fmt.Sprintf("r%d-b%d", r, i))
+		}
+	}
+	_, with := discover(t, db, Options{})
+	_, without := discover(t, db, Options{DisableSignaturePruning: true})
+	if with.PairsChecked >= without.PairsChecked {
+		t.Errorf("pruning should reduce exact checks: with=%d without=%d",
+			with.PairsChecked, without.PairsChecked)
+	}
+	if with.PairsConsidered != without.PairsConsidered {
+		t.Errorf("considered pairs should match: %d vs %d", with.PairsConsidered, without.PairsConsidered)
+	}
+}
+
+func TestPruningPreservesResults(t *testing.T) {
+	db := biosqlFragment()
+	with, _ := discover(t, db, Options{})
+	without, _ := discover(t, db, Options{DisableSignaturePruning: true})
+	if len(with) != len(without) {
+		t.Errorf("pruning changed result count: %d vs %d", len(with), len(without))
+	}
+}
+
+func TestINDString(t *testing.T) {
+	d := IND{
+		From:        rel.ForeignKey{FromRelation: "a", FromColumn: "x", ToRelation: "b", ToColumn: "y"},
+		Cardinality: OneToN,
+		Containment: 1.0,
+	}
+	want := "a.x -> b.y [1:N, cont=1.00, data]"
+	if d.String() != want {
+		t.Errorf("String = %q want %q", d.String(), want)
+	}
+}

@@ -1,0 +1,801 @@
+package linkdisc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/discovery"
+	"repro/internal/metadata"
+	"repro/internal/ontology"
+	"repro/internal/profile"
+	"repro/internal/rel"
+	"repro/internal/seq"
+	"repro/internal/textmine"
+)
+
+// Source bundles one imported data source with its discovered structure
+// and statistics — the inputs link discovery needs.
+type Source struct {
+	DB        *rel.Database
+	Structure *discovery.Structure
+	Profiles  map[string]*profile.ColumnProfile
+
+	resolver *resolver
+}
+
+// Name returns the source name.
+func (s *Source) Name() string { return s.DB.Name }
+
+// Options tunes link discovery.
+type Options struct {
+	// MinXRefMatchFrac is the fraction of a candidate attribute's distinct
+	// values that must resolve to accessions of a target source before the
+	// attribute pair is declared a cross-reference (default 0.05: xref
+	// columns routinely mix targets of many databases, as Swiss-Prot's DR
+	// lines do, so per-target fractions are small; §5 matches values, not
+	// whole attributes).
+	MinXRefMatchFrac float64
+	// MinXRefMatchCount additionally requires this many distinct values to
+	// resolve, suppressing coincidental single-value collisions
+	// (default 3).
+	MinXRefMatchCount int
+	// MinSeqIdentity is the identity threshold for sequence links
+	// (default 0.7).
+	MinSeqIdentity float64
+	// SeqMinScore is the minimal alignment score (default 40).
+	SeqMinScore int
+	// SeqKmer is the seeding k-mer length (default 8).
+	SeqKmer int
+	// SeqBothStrands searches the reverse complement too, linking
+	// sequences stored on opposite DNA strands.
+	SeqBothStrands bool
+	// MinTextCosine is the TF-IDF cosine threshold for text links
+	// (default 0.55).
+	MinTextCosine float64
+	// MaxSharedTermFanout skips ontology terms referenced by more than
+	// this many objects when deriving term-sharing links (default 25).
+	MaxSharedTermFanout int
+	// DisablePruning turns off the §4.4 attribute pruning rules (numeric
+	// exclusion, low-distinct exclusion, key-target-only) for the E10
+	// ablation.
+	DisablePruning bool
+	// DisableSequenceLinks, DisableTextLinks, DisableEntityLinks,
+	// DisableOntologyLinks switch off individual implicit-link channels.
+	DisableSequenceLinks bool
+	DisableTextLinks     bool
+	DisableEntityLinks   bool
+	DisableOntologyLinks bool
+}
+
+func (o *Options) fill() {
+	if o.MinXRefMatchFrac <= 0 {
+		o.MinXRefMatchFrac = 0.05
+	}
+	if o.MinXRefMatchCount <= 0 {
+		o.MinXRefMatchCount = 3
+	}
+	if o.MinSeqIdentity <= 0 {
+		o.MinSeqIdentity = 0.7
+	}
+	if o.SeqMinScore <= 0 {
+		o.SeqMinScore = 40
+	}
+	if o.SeqKmer <= 0 {
+		o.SeqKmer = 8
+	}
+	if o.MinTextCosine <= 0 {
+		o.MinTextCosine = 0.55
+	}
+	if o.MaxSharedTermFanout <= 0 {
+		o.MaxSharedTermFanout = 25
+	}
+}
+
+// Stats reports the work link discovery performed.
+type Stats struct {
+	AttributePairsConsidered int
+	AttributePairsPruned     int
+	AttributePairsChecked    int
+	XRefAttributePairs       int
+	SequenceComparisons      int
+	TextComparisons          int
+	Links                    int
+}
+
+// XRefAttribute records one discovered cross-reference attribute pair:
+// values of From (in some relation of the From source) point at accessions
+// of the To source's primary relation.
+type XRefAttribute struct {
+	FromSource   string
+	FromRelation string
+	FromColumn   string
+	ToSource     string
+	// MatchFrac is the fraction of distinct source values resolving to
+	// target accessions.
+	MatchFrac float64
+	// Composite is true when values embed the accession in a composite
+	// string ("Uniprot:P11140") rather than matching directly.
+	Composite bool
+}
+
+// Engine discovers links between sources.
+type Engine struct {
+	opts    Options
+	sources []*Source
+	byName  map[string]*Source
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	opts.fill()
+	return &Engine{opts: opts, byName: make(map[string]*Source)}
+}
+
+// AddSource registers a source for linking. Sources must have completed
+// discovery steps 2+3 (Structure non-nil).
+func (e *Engine) AddSource(s *Source) error {
+	if s.Structure == nil {
+		return fmt.Errorf("linkdisc: source %q has no discovered structure", s.DB.Name)
+	}
+	if s.resolver == nil {
+		s.resolver = newResolver(s.DB, s.Structure)
+	}
+	key := strings.ToLower(s.DB.Name)
+	if _, dup := e.byName[key]; dup {
+		return fmt.Errorf("linkdisc: source %q already added", s.DB.Name)
+	}
+	e.sources = append(e.sources, s)
+	e.byName[key] = s
+	return nil
+}
+
+// Source returns a registered source by name.
+func (e *Engine) Source(name string) *Source { return e.byName[strings.ToLower(name)] }
+
+// DiscoverAll runs link discovery between every ordered pair of distinct
+// sources and returns the links plus per-pair xref attributes.
+func (e *Engine) DiscoverAll() ([]metadata.Link, []XRefAttribute, Stats) {
+	var links []metadata.Link
+	var xattrs []XRefAttribute
+	var stats Stats
+	for _, from := range e.sources {
+		for _, to := range e.sources {
+			if from == to {
+				continue
+			}
+			ls, xs, st := e.discoverPair(from, to)
+			links = append(links, ls...)
+			xattrs = append(xattrs, xs...)
+			addStats(&stats, st)
+		}
+	}
+	stats.Links = len(links)
+	return links, xattrs, stats
+}
+
+// DiscoverFor runs link discovery between one (newly added) source and all
+// other registered sources, in both directions — the incremental addition
+// mode of §3.
+func (e *Engine) DiscoverFor(name string) ([]metadata.Link, []XRefAttribute, Stats, error) {
+	nu := e.Source(name)
+	if nu == nil {
+		return nil, nil, Stats{}, fmt.Errorf("linkdisc: unknown source %q", name)
+	}
+	var links []metadata.Link
+	var xattrs []XRefAttribute
+	var stats Stats
+	for _, other := range e.sources {
+		if other == nu {
+			continue
+		}
+		ls, xs, st := e.discoverPair(nu, other)
+		links = append(links, ls...)
+		xattrs = append(xattrs, xs...)
+		addStats(&stats, st)
+		ls, xs, st = e.discoverPair(other, nu)
+		links = append(links, ls...)
+		xattrs = append(xattrs, xs...)
+		addStats(&stats, st)
+	}
+	stats.Links = len(links)
+	return links, xattrs, stats, nil
+}
+
+func addStats(dst *Stats, s Stats) {
+	dst.AttributePairsConsidered += s.AttributePairsConsidered
+	dst.AttributePairsPruned += s.AttributePairsPruned
+	dst.AttributePairsChecked += s.AttributePairsChecked
+	dst.XRefAttributePairs += s.XRefAttributePairs
+	dst.SequenceComparisons += s.SequenceComparisons
+	dst.TextComparisons += s.TextComparisons
+}
+
+// discoverPair finds links from objects of `from` to objects of `to`.
+func (e *Engine) discoverPair(from, to *Source) ([]metadata.Link, []XRefAttribute, Stats) {
+	var links []metadata.Link
+	var stats Stats
+	xls, xattrs, xst := e.discoverXRefs(from, to)
+	links = append(links, xls...)
+	addStats(&stats, xst)
+	if !e.opts.DisableSequenceLinks {
+		sls, n := e.discoverSequenceLinks(from, to)
+		links = append(links, sls...)
+		stats.SequenceComparisons += n
+	}
+	if !e.opts.DisableTextLinks {
+		tls, n := e.discoverTextLinks(from, to)
+		links = append(links, tls...)
+		stats.TextComparisons += n
+	}
+	if !e.opts.DisableEntityLinks {
+		links = append(links, e.discoverEntityLinks(from, to)...)
+	}
+	return links, xattrs, stats
+}
+
+// primaryRef builds an ObjectRef for a primary object of s.
+func primaryRef(s *Source, accession string) metadata.ObjectRef {
+	return metadata.ObjectRef{
+		Source:    s.DB.Name,
+		Relation:  s.Structure.Primary,
+		Accession: accession,
+	}
+}
+
+// accessionSet returns the distinct accession values of a source's
+// primary relation as a set, plus the list form.
+func accessionSet(s *Source) map[string]bool {
+	out := make(map[string]bool)
+	if s.Structure.Primary == "" {
+		return out
+	}
+	p := s.Profiles[profile.Key(s.Structure.Primary, s.Structure.PrimaryAccession)]
+	if p != nil && p.DistinctValues != nil {
+		for _, v := range p.DistinctValues {
+			out[v.AsString()] = true
+		}
+		return out
+	}
+	pr := s.DB.Relation(s.Structure.Primary)
+	if pr == nil {
+		return out
+	}
+	vals, err := pr.DistinctValues(s.Structure.PrimaryAccession)
+	if err != nil {
+		return out
+	}
+	for _, v := range vals {
+		out[v.AsString()] = true
+	}
+	return out
+}
+
+// CompositeParts returns the accession candidates embedded in a raw
+// cross-reference value: the value itself plus the trailing segment after
+// common separators (":", "/", "|", "=") — handling encodings such as
+// "Uniprot:P11140" (§4.4).
+func CompositeParts(v string) []string {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return nil
+	}
+	parts := []string{v}
+	for _, sep := range []string{":", "/", "|", "="} {
+		if i := strings.LastIndex(v, sep); i >= 0 && i+1 < len(v) {
+			parts = append(parts, strings.TrimSpace(v[i+1:]))
+		}
+	}
+	return parts
+}
+
+// discoverXRefs implements explicit link discovery: candidate targets are
+// the accession fields of primary relations of other sources; candidate
+// sources are all attributes, pruned per §4.4.
+func (e *Engine) discoverXRefs(from, to *Source) ([]metadata.Link, []XRefAttribute, Stats) {
+	var stats Stats
+	var links []metadata.Link
+	var xattrs []XRefAttribute
+	if to.Structure.Primary == "" || from.Structure.Primary == "" {
+		return nil, nil, stats
+	}
+	targetAcc := accessionSet(to)
+	if len(targetAcc) == 0 {
+		return nil, nil, stats
+	}
+	for _, r := range from.DB.Relations() {
+		for _, c := range r.Schema.Columns {
+			p := from.Profiles[profile.Key(r.Name, c.Name)]
+			if p == nil {
+				continue
+			}
+			stats.AttributePairsConsidered++
+			if !e.opts.DisablePruning {
+				// §4.4 pruning: exclude purely numeric attributes (to
+				// avoid misinterpreting surrogate keys), attributes with
+				// few distinct values, and long free-text / sequence
+				// fields (handled by the implicit channels).
+				if p.PurelyNumeric || p.Distinct < 2 || p.IsSequenceField() || p.IsTextField() {
+					stats.AttributePairsPruned++
+					continue
+				}
+			}
+			stats.AttributePairsChecked++
+			matchFrac, matched, composite := xrefMatchFraction(r, c.Name, targetAcc)
+			if matchFrac < e.opts.MinXRefMatchFrac || matched < e.opts.MinXRefMatchCount {
+				continue
+			}
+			stats.XRefAttributePairs++
+			xattrs = append(xattrs, XRefAttribute{
+				FromSource: from.DB.Name, FromRelation: r.Name, FromColumn: c.Name,
+				ToSource: to.DB.Name, MatchFrac: matchFrac, Composite: composite,
+			})
+			links = append(links, e.xrefObjectLinks(from, to, r, c.Name, targetAcc, matchFrac)...)
+		}
+	}
+	return links, xattrs, stats
+}
+
+// xrefMatchFraction computes the fraction and count of distinct values of
+// r.col that resolve (directly or via composite parts) to target
+// accessions.
+func xrefMatchFraction(r *rel.Relation, col string, targetAcc map[string]bool) (float64, int, bool) {
+	vals, err := r.DistinctValues(col)
+	if err != nil || len(vals) == 0 {
+		return 0, 0, false
+	}
+	direct, viaComposite := 0, 0
+	for _, v := range vals {
+		s := v.AsString()
+		if targetAcc[s] {
+			direct++
+			continue
+		}
+		for _, part := range CompositeParts(s)[1:] {
+			if targetAcc[part] {
+				viaComposite++
+				break
+			}
+		}
+	}
+	frac := float64(direct+viaComposite) / float64(len(vals))
+	return frac, direct + viaComposite, viaComposite > direct
+}
+
+// xrefObjectLinks emits the object-level links for one discovered xref
+// attribute pair.
+func (e *Engine) xrefObjectLinks(from, to *Source, r *rel.Relation, col string,
+	targetAcc map[string]bool, matchFrac float64) []metadata.Link {
+
+	ci := r.Schema.Index(col)
+	if ci < 0 {
+		return nil
+	}
+	method := fmt.Sprintf("xref:%s.%s", r.Name, col)
+	var out []metadata.Link
+	seen := make(map[string]bool)
+	for ti, t := range r.Tuples {
+		v := t[ci]
+		if v.IsNull() {
+			continue
+		}
+		var acc string
+		for _, part := range CompositeParts(v.AsString()) {
+			if targetAcc[part] {
+				acc = part
+				break
+			}
+		}
+		if acc == "" {
+			continue
+		}
+		owners := from.resolver.owners(r.Name, ti)
+		for _, owner := range owners {
+			k := owner + "\x00" + acc
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, metadata.Link{
+				Type:       metadata.LinkXRef,
+				From:       primaryRef(from, owner),
+				To:         primaryRef(to, acc),
+				Confidence: matchFrac,
+				Method:     method,
+			})
+		}
+	}
+	return out
+}
+
+// sequenceColumns lists (relation, column) pairs holding sequences.
+func sequenceColumns(s *Source) [][2]string {
+	var out [][2]string
+	for _, r := range s.DB.Relations() {
+		for _, c := range r.Schema.Columns {
+			p := s.Profiles[profile.Key(r.Name, c.Name)]
+			if p != nil && p.IsSequenceField() {
+				out = append(out, [2]string{r.Name, c.Name})
+			}
+		}
+	}
+	return out
+}
+
+// discoverSequenceLinks builds a k-mer index over the target source's
+// sequence fields and queries it with the new source's sequences.
+func (e *Engine) discoverSequenceLinks(from, to *Source) ([]metadata.Link, int) {
+	fromCols := sequenceColumns(from)
+	toCols := sequenceColumns(to)
+	if len(fromCols) == 0 || len(toCols) == 0 {
+		return nil, 0
+	}
+	// Index all target sequences, labeled by owning primary accession.
+	ix := seq.NewIndex(e.opts.SeqKmer)
+	for _, rc := range toCols {
+		r := to.DB.Relation(rc[0])
+		ci := r.Schema.Index(rc[1])
+		for ti, t := range r.Tuples {
+			v := t[ci]
+			if v.IsNull() {
+				continue
+			}
+			for _, owner := range to.resolver.owners(rc[0], ti) {
+				ix.Add(owner, v.AsString())
+			}
+		}
+	}
+	comparisons := 0
+	var out []metadata.Link
+	seen := make(map[string]bool)
+	for _, rc := range fromCols {
+		r := from.DB.Relation(rc[0])
+		ci := r.Schema.Index(rc[1])
+		for ti, t := range r.Tuples {
+			v := t[ci]
+			if v.IsNull() {
+				continue
+			}
+			hits := ix.Search(v.AsString(), seq.SearchOptions{
+				MinScore:    e.opts.SeqMinScore,
+				MinIdentity: e.opts.MinSeqIdentity,
+				BothStrands: e.opts.SeqBothStrands,
+			})
+			comparisons += len(hits)
+			if len(hits) == 0 {
+				continue
+			}
+			owners := from.resolver.owners(rc[0], ti)
+			for _, h := range hits {
+				for _, owner := range owners {
+					k := owner + "\x00" + h.TargetID
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					out = append(out, metadata.Link{
+						Type:       metadata.LinkSequence,
+						From:       primaryRef(from, owner),
+						To:         primaryRef(to, h.TargetID),
+						Confidence: h.Alignment.Identity,
+						Method:     fmt.Sprintf("seq:identity=%.2f score=%d", h.Alignment.Identity, h.Alignment.Score),
+					})
+				}
+			}
+		}
+	}
+	return out, comparisons
+}
+
+// textDoc is one primary object's concatenated free-text annotation.
+type textDoc struct {
+	accession string
+	text      string
+}
+
+// textDocs collects, per primary object, the concatenation of text-field
+// values of the primary relation.
+func textDocs(s *Source) []textDoc {
+	if s.Structure.Primary == "" {
+		return nil
+	}
+	r := s.DB.Relation(s.Structure.Primary)
+	if r == nil {
+		return nil
+	}
+	accIdx := r.Schema.Index(s.Structure.PrimaryAccession)
+	if accIdx < 0 {
+		return nil
+	}
+	var textCols []int
+	for i, c := range r.Schema.Columns {
+		p := s.Profiles[profile.Key(r.Name, c.Name)]
+		if p != nil && p.IsTextField() {
+			textCols = append(textCols, i)
+		}
+	}
+	if len(textCols) == 0 {
+		return nil
+	}
+	var out []textDoc
+	for _, t := range r.Tuples {
+		acc := t[accIdx]
+		if acc.IsNull() {
+			continue
+		}
+		var parts []string
+		for _, ci := range textCols {
+			if !t[ci].IsNull() {
+				parts = append(parts, t[ci].AsString())
+			}
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		out = append(out, textDoc{accession: acc.AsString(), text: strings.Join(parts, " ")})
+	}
+	return out
+}
+
+// discoverTextLinks compares free-text annotation of primary objects
+// across the two sources with TF-IDF cosine, using a shared-term inverted
+// index for candidate generation instead of the full cross product.
+func (e *Engine) discoverTextLinks(from, to *Source) ([]metadata.Link, int) {
+	fromDocs := textDocs(from)
+	toDocs := textDocs(to)
+	if len(fromDocs) == 0 || len(toDocs) == 0 {
+		return nil, 0
+	}
+	corpus := textmine.NewCorpus()
+	for _, d := range fromDocs {
+		corpus.AddDoc(d.text)
+	}
+	for _, d := range toDocs {
+		corpus.AddDoc(d.text)
+	}
+	// Inverted index over target docs, skipping very common terms.
+	maxDF := len(toDocs) / 4
+	if maxDF < 2 {
+		maxDF = 2
+	}
+	toVecs := make([]map[string]float64, len(toDocs))
+	inv := make(map[string][]int)
+	for i, d := range toDocs {
+		toVecs[i] = corpus.Vector(d.text)
+		for term := range toVecs[i] {
+			if len(inv[term]) <= maxDF {
+				inv[term] = append(inv[term], i)
+			}
+		}
+	}
+	comparisons := 0
+	var out []metadata.Link
+	for _, d := range fromDocs {
+		v := corpus.Vector(d.text)
+		cands := make(map[int]bool)
+		for term := range v {
+			if posts, ok := inv[term]; ok && len(posts) <= maxDF {
+				for _, i := range posts {
+					cands[i] = true
+				}
+			}
+		}
+		for i := range cands {
+			comparisons++
+			sim := textmine.Cosine(v, toVecs[i])
+			if sim < e.opts.MinTextCosine {
+				continue
+			}
+			out = append(out, metadata.Link{
+				Type:       metadata.LinkText,
+				From:       primaryRef(from, d.accession),
+				To:         primaryRef(to, toDocs[i].accession),
+				Confidence: sim,
+				Method:     fmt.Sprintf("text:cosine=%.2f", sim),
+			})
+		}
+	}
+	return out, comparisons
+}
+
+// discoverEntityLinks extracts entity mentions from the new source's text
+// fields and matches them against accessions and unique name fields of the
+// target's primary relation (§4.4: "methods for finding names of
+// biological entities in natural text ... matched with unique fields of
+// primary relations").
+func (e *Engine) discoverEntityLinks(from, to *Source) []metadata.Link {
+	if to.Structure.Primary == "" {
+		return nil
+	}
+	toRel := to.DB.Relation(to.Structure.Primary)
+	if toRel == nil {
+		return nil
+	}
+	// Dictionary: values of all unique columns of the target's primary
+	// relation, mapped back to the owning accession.
+	accIdx := toRel.Schema.Index(to.Structure.PrimaryAccession)
+	if accIdx < 0 {
+		return nil
+	}
+	nameToAcc := make(map[string]string)
+	for _, colName := range to.Structure.UniqueColumns[strings.ToLower(toRel.Name)] {
+		ci := toRel.Schema.Index(colName)
+		if ci < 0 {
+			continue
+		}
+		for _, t := range toRel.Tuples {
+			v, acc := t[ci], t[accIdx]
+			if v.IsNull() || acc.IsNull() {
+				continue
+			}
+			s := v.AsString()
+			// §4.4 numeric exclusion: purely numeric unique values are
+			// surrogate keys, not entity names; very short values match
+			// by coincidence.
+			if len(s) < 3 {
+				continue
+			}
+			if _, numeric := v.AsFloat(); numeric {
+				continue
+			}
+			nameToAcc[strings.ToLower(s)] = acc.AsString()
+		}
+	}
+	if len(nameToAcc) == 0 {
+		return nil
+	}
+	dict := make([]string, 0, len(nameToAcc))
+	for n := range nameToAcc {
+		dict = append(dict, n)
+	}
+	er := textmine.NewEntityRecognizer(dict)
+
+	var out []metadata.Link
+	seen := make(map[string]bool)
+	for _, d := range textDocs(from) {
+		for _, m := range er.Extract(d.text) {
+			acc, ok := nameToAcc[strings.ToLower(m.Text)]
+			if !ok {
+				continue
+			}
+			if acc == d.accession {
+				continue
+			}
+			k := d.accession + "\x00" + acc
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, metadata.Link{
+				Type:       metadata.LinkText,
+				From:       primaryRef(from, d.accession),
+				To:         primaryRef(to, acc),
+				Confidence: 0.9,
+				Method:     fmt.Sprintf("entity:%s", m.Text),
+			})
+		}
+	}
+	return out
+}
+
+// DeriveOntologyLinksHierarchical extends DeriveOntologyLinks with term
+// subsumption: objects referencing *similar* terms (Wu-Palmer similarity
+// over the ontology's is_a hierarchy >= minSim) are linked even when the
+// terms differ — the hierarchy-aware reading of §4.4's "connecting
+// proteins with similar function". Exact shared-term pairs keep
+// confidence from DeriveOntologyLinks; subsumption pairs carry the term
+// similarity as confidence.
+func (e *Engine) DeriveOntologyLinksHierarchical(links []metadata.Link,
+	ontologySource string, h *ontology.Hierarchy, minSim float64) []metadata.Link {
+
+	out := e.DeriveOntologyLinks(links, ontologySource)
+	if e.opts.DisableOntologyLinks || h == nil || minSim <= 0 {
+		return out
+	}
+	key := strings.ToLower(ontologySource)
+	byTerm := make(map[string][]metadata.ObjectRef)
+	for _, l := range links {
+		if l.Type != metadata.LinkXRef {
+			continue
+		}
+		if strings.ToLower(l.To.Source) == key {
+			byTerm[l.To.Accession] = append(byTerm[l.To.Accession], l.From)
+		}
+	}
+	terms := make([]string, 0, len(byTerm))
+	for t := range byTerm {
+		if h.Has(t) && len(byTerm[t]) <= e.opts.MaxSharedTermFanout {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms)
+	seen := make(map[string]bool)
+	for _, l := range out {
+		seen[l.From.Key()+"\x00"+l.To.Key()] = true
+		seen[l.To.Key()+"\x00"+l.From.Key()] = true
+	}
+	for i := 0; i < len(terms); i++ {
+		for j := i + 1; j < len(terms); j++ {
+			sim := h.Similarity(terms[i], terms[j])
+			if sim < minSim {
+				continue
+			}
+			for _, a := range byTerm[terms[i]] {
+				for _, b := range byTerm[terms[j]] {
+					if strings.EqualFold(a.Source, b.Source) {
+						continue
+					}
+					k := a.Key() + "\x00" + b.Key()
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					seen[b.Key()+"\x00"+a.Key()] = true
+					out = append(out, metadata.Link{
+						Type:       metadata.LinkOntology,
+						From:       a,
+						To:         b,
+						Confidence: sim,
+						Method:     fmt.Sprintf("term-similarity:%s~%s=%.2f", terms[i], terms[j], sim),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DeriveOntologyLinks post-processes discovered xref links: objects from
+// different sources referencing the same term of an ontology source are
+// linked directly ("the resulting values make excellent links, connecting
+// proteins with similar function", §4.4). Terms referenced by more than
+// MaxSharedTermFanout objects are skipped to avoid hub blowup.
+func (e *Engine) DeriveOntologyLinks(links []metadata.Link, ontologySource string) []metadata.Link {
+	if e.opts.DisableOntologyLinks {
+		return nil
+	}
+	key := strings.ToLower(ontologySource)
+	byTerm := make(map[string][]metadata.ObjectRef)
+	for _, l := range links {
+		if l.Type != metadata.LinkXRef {
+			continue
+		}
+		if strings.ToLower(l.To.Source) == key {
+			byTerm[l.To.Accession] = append(byTerm[l.To.Accession], l.From)
+		}
+	}
+	var out []metadata.Link
+	seen := make(map[string]bool)
+	terms := make([]string, 0, len(byTerm))
+	for t := range byTerm {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		refs := byTerm[term]
+		if len(refs) < 2 || len(refs) > e.opts.MaxSharedTermFanout {
+			continue
+		}
+		for i := 0; i < len(refs); i++ {
+			for j := i + 1; j < len(refs); j++ {
+				a, b := refs[i], refs[j]
+				if strings.EqualFold(a.Source, b.Source) {
+					continue
+				}
+				k := a.Key() + "\x00" + b.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				out = append(out, metadata.Link{
+					Type:       metadata.LinkOntology,
+					From:       a,
+					To:         b,
+					Confidence: 1.0 / float64(len(refs)-1),
+					Method:     fmt.Sprintf("shared-term:%s:%s", ontologySource, term),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+// Package linkdisc implements ALADIN's link discovery step (§4.4): it
+// finds explicit cross-references between data sources (accession values
+// of one source appearing — possibly inside composite strings such as
+// "Uniprot:P11140" — in attributes of another) and implicit links based on
+// sequence homology, text similarity, recognized entity names, and shared
+// ontology terms. Discovered links are object-level and are stored in the
+// metadata repository "to avoid repeated discovery and computation at
+// query time".
+package linkdisc
+
+import (
+	"strings"
+
+	"repro/internal/discovery"
+	"repro/internal/rel"
+)
+
+// resolver maps any tuple of a source to the accession(s) of the primary
+// object(s) that own it, by walking the discovered secondary-object paths
+// (§4.3) backwards from the tuple's relation to the primary relation.
+type resolver struct {
+	db        *rel.Database
+	structure *discovery.Structure
+	// accIdx is the primary relation's accession column index.
+	accIdx int
+	// indexes caches hash indexes on (relation, column) pairs.
+	indexes map[string]map[string][]int
+}
+
+func newResolver(db *rel.Database, s *discovery.Structure) *resolver {
+	r := &resolver{db: db, structure: s, accIdx: -1, indexes: make(map[string]map[string][]int)}
+	if s.Primary != "" {
+		if pr := db.Relation(s.Primary); pr != nil {
+			r.accIdx = pr.Schema.Index(s.PrimaryAccession)
+		}
+	}
+	return r
+}
+
+// index returns (building lazily) a hash index value-key -> tuple positions
+// for one relation column.
+func (r *resolver) index(relName, col string) map[string][]int {
+	key := strings.ToLower(relName) + "." + strings.ToLower(col)
+	if ix, ok := r.indexes[key]; ok {
+		return ix
+	}
+	ix := make(map[string][]int)
+	rr := r.db.Relation(relName)
+	if rr != nil {
+		ci := rr.Schema.Index(col)
+		if ci >= 0 {
+			for ti, t := range rr.Tuples {
+				v := t[ci]
+				if v.IsNull() {
+					continue
+				}
+				ix[v.Key()] = append(ix[v.Key()], ti)
+			}
+		}
+	}
+	r.indexes[key] = ix
+	return ix
+}
+
+// maxOwners caps fan-out while walking paths backwards.
+const maxOwners = 16
+
+// owners returns the accession values of the primary objects owning the
+// tuple at position tupleIdx of relName. For the primary relation itself
+// this is the tuple's own accession.
+func (r *resolver) owners(relName string, tupleIdx int) []string {
+	if r.structure == nil || r.structure.Primary == "" || r.accIdx < 0 {
+		return nil
+	}
+	rr := r.db.Relation(relName)
+	if rr == nil || tupleIdx >= len(rr.Tuples) {
+		return nil
+	}
+	if strings.EqualFold(relName, r.structure.Primary) {
+		v := rr.Tuples[tupleIdx][r.accIdx]
+		if v.IsNull() {
+			return nil
+		}
+		return []string{v.AsString()}
+	}
+	paths := r.structure.Paths[strings.ToLower(relName)]
+	if len(paths) == 0 {
+		return nil
+	}
+	// Use the shortest path (paths are sorted by length).
+	path := paths[0]
+	// Current frontier: tuple positions in the current relation; walk the
+	// path backwards toward the primary relation.
+	frontier := []int{tupleIdx}
+	curRel := rr
+	for i := len(path.Steps) - 1; i >= 0; i-- {
+		step := path.Steps[i]
+		var prevRelName, curCol, prevCol string
+		if step.Forward {
+			// Edge was traversed referencing -> referenced, i.e. the
+			// previous relation on the path is the referencing side.
+			prevRelName = step.Edge.From.FromRelation
+			prevCol = step.Edge.From.FromColumn
+			curCol = step.Edge.From.ToColumn
+		} else {
+			prevRelName = step.Edge.From.ToRelation
+			prevCol = step.Edge.From.ToColumn
+			curCol = step.Edge.From.FromColumn
+		}
+		curColIdx := curRel.Schema.Index(curCol)
+		if curColIdx < 0 {
+			return nil
+		}
+		ix := r.index(prevRelName, prevCol)
+		var next []int
+		seen := make(map[int]bool)
+		for _, ti := range frontier {
+			v := curRel.Tuples[ti][curColIdx]
+			if v.IsNull() {
+				continue
+			}
+			for _, pi := range ix[v.Key()] {
+				if !seen[pi] {
+					seen[pi] = true
+					next = append(next, pi)
+					if len(next) >= maxOwners {
+						break
+					}
+				}
+			}
+			if len(next) >= maxOwners {
+				break
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+		curRel = r.db.Relation(prevRelName)
+		if curRel == nil {
+			return nil
+		}
+	}
+	// curRel is now the primary relation.
+	var out []string
+	seen := make(map[string]bool)
+	for _, ti := range frontier {
+		v := curRel.Tuples[ti][r.accIdx]
+		if v.IsNull() {
+			continue
+		}
+		s := v.AsString()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package objectweb
+
+import (
+	"sort"
+
+	"repro/internal/metadata"
+)
+
+// WebStats summarizes the discovered object web — the "web of biological
+// objects" the paper's introduction describes. Connectivity statistics
+// tell a curator at a glance how well a new source got linked in.
+type WebStats struct {
+	// Objects is the number of primary objects across all sources.
+	Objects int
+	// LinkedObjects counts objects with at least one repository link.
+	LinkedObjects int
+	// Links is the number of live links.
+	Links int
+	// Components is the number of connected components among linked
+	// objects (isolated objects are not counted as components).
+	Components int
+	// LargestComponent is the size of the biggest component.
+	LargestComponent int
+	// MeanDegree is the average link degree over linked objects.
+	MeanDegree float64
+	// DegreeHistogram maps degree -> object count (degree >= 1).
+	DegreeHistogram map[int]int
+}
+
+// Stats computes connectivity statistics over the registered sources and
+// the link repository.
+func (w *Web) Stats() WebStats {
+	st := WebStats{DegreeHistogram: make(map[int]int)}
+	// Collect all objects.
+	var names []string
+	for name := range w.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var all []metadata.ObjectRef
+	for _, name := range names {
+		objs := w.Objects(w.sources[name].db.Name)
+		st.Objects += len(objs)
+		all = append(all, objs...)
+	}
+	// Degree per object and union-find over link endpoints.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		if _, ok := parent[a]; !ok {
+			parent[a] = a
+		}
+		if _, ok := parent[b]; !ok {
+			parent[b] = b
+		}
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	totalDegree := 0
+	for _, obj := range all {
+		links := w.repo.LinksOf(obj)
+		d := len(links)
+		if d == 0 {
+			continue
+		}
+		st.LinkedObjects++
+		totalDegree += d
+		st.DegreeHistogram[d]++
+		for _, l := range links {
+			union(l.From.Key(), l.To.Key())
+		}
+	}
+	st.Links = w.repo.LinkCount(-1)
+	if st.LinkedObjects > 0 {
+		st.MeanDegree = float64(totalDegree) / float64(st.LinkedObjects)
+	}
+	sizes := make(map[string]int)
+	for k := range parent {
+		sizes[find(k)]++
+	}
+	for _, n := range sizes {
+		st.Components++
+		if n > st.LargestComponent {
+			st.LargestComponent = n
+		}
+	}
+	return st
+}

@@ -1,0 +1,252 @@
+// Package search implements ALADIN's search access mode (§4.6): "a
+// full-text search on all stored data and a focused search restricted to
+// certain vertical (e.g., a single attribute-type) and horizontal
+// partitions (e.g., only on primary objects) of the data. Ranking
+// algorithms order the search results based on similarity of the result
+// to the query." The paper delegates this to commercial extenders; here
+// it is an inverted index with BM25 ranking built from scratch.
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/metadata"
+	"repro/internal/textmine"
+)
+
+// Document is one indexed unit: a field value belonging to an object.
+type Document struct {
+	Object   metadata.ObjectRef
+	Relation string
+	Column   string
+	Text     string
+	// Primary marks values from a primary relation (for horizontal
+	// partition filtering).
+	Primary bool
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	Document Document
+	Score    float64
+}
+
+// Filter restricts a search to data partitions.
+type Filter struct {
+	// Sources restricts to the named sources (empty = all).
+	Sources []string
+	// Columns restricts to the named columns, the vertical partition
+	// (empty = all).
+	Columns []string
+	// PrimaryOnly restricts to primary-relation values, the horizontal
+	// partition.
+	PrimaryOnly bool
+}
+
+func (f Filter) match(d Document) bool {
+	if f.PrimaryOnly && !d.Primary {
+		return false
+	}
+	if len(f.Sources) > 0 && !containsFold(f.Sources, d.Object.Source) {
+		return false
+	}
+	if len(f.Columns) > 0 && !containsFold(f.Columns, d.Column) {
+		return false
+	}
+	return true
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+type posting struct {
+	doc int
+	tf  int
+}
+
+// Index is a BM25-ranked inverted index.
+type Index struct {
+	docs     []Document
+	lens     []int
+	postings map[string][]posting
+	totalLen int
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{postings: make(map[string][]posting)}
+}
+
+// Add indexes one document.
+func (ix *Index) Add(d Document) {
+	id := len(ix.docs)
+	ix.docs = append(ix.docs, d)
+	toks := textmine.Tokenize(d.Text)
+	// Accession-shaped raw tokens are additionally indexed verbatim
+	// (lower-cased) so searches for "P12345" hit even though the
+	// tokenizer would split nothing here; composite IDs split on ':' etc.
+	for _, w := range strings.Fields(d.Text) {
+		w = strings.Trim(w, ".,;:()[]{}\"'")
+		if textmine.LooksLikeAccession(w) {
+			toks = append(toks, strings.ToLower(w))
+		}
+	}
+	tf := textmine.TermFreq(toks)
+	ix.lens = append(ix.lens, len(toks))
+	ix.totalLen += len(toks)
+	for term, f := range tf {
+		ix.postings[term] = append(ix.postings[term], posting{doc: id, tf: f})
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// BM25 parameters (standard values).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Search returns documents matching the query ranked by BM25, after
+// applying the filter. limit <= 0 returns everything.
+func (ix *Index) Search(query string, f Filter, limit int) []Result {
+	if len(ix.docs) == 0 {
+		return nil
+	}
+	qTokens := textmine.Tokenize(query)
+	for _, w := range strings.Fields(query) {
+		if textmine.LooksLikeAccession(w) {
+			qTokens = append(qTokens, strings.ToLower(w))
+		}
+	}
+	if len(qTokens) == 0 {
+		return nil
+	}
+	avgLen := float64(ix.totalLen) / float64(len(ix.docs))
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := make(map[int]float64)
+	n := float64(len(ix.docs))
+	seenTerm := make(map[string]bool)
+	for _, term := range qTokens {
+		if seenTerm[term] {
+			continue
+		}
+		seenTerm[term] = true
+		posts := ix.postings[term]
+		if len(posts) == 0 {
+			continue
+		}
+		df := float64(len(posts))
+		idf := math.Log((n-df+0.5)/(df+0.5) + 1)
+		for _, p := range posts {
+			dl := float64(ix.lens[p.doc])
+			tf := float64(p.tf)
+			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+		}
+	}
+	results := make([]Result, 0, len(scores))
+	for doc, s := range scores {
+		d := ix.docs[doc]
+		if !f.match(d) {
+			continue
+		}
+		results = append(results, Result{Document: d, Score: s})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Document.Object.Key() < results[j].Document.Object.Key()
+	})
+	if limit > 0 && len(results) > limit {
+		results = results[:limit]
+	}
+	return results
+}
+
+// Snippet extracts a short context window around the first query-term
+// occurrence in a result's text, for display in result lists. width is
+// the approximate number of characters around the match (default 60).
+func Snippet(r Result, query string, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	text := r.Document.Text
+	lower := strings.ToLower(text)
+	pos := -1
+	matchLen := 0
+	for _, term := range textmine.Tokenize(query) {
+		if i := strings.Index(lower, term); i >= 0 && (pos < 0 || i < pos) {
+			pos = i
+			matchLen = len(term)
+		}
+	}
+	if pos < 0 {
+		if len(text) <= width {
+			return text
+		}
+		return text[:width] + "…"
+	}
+	start := pos - width/2
+	if start < 0 {
+		start = 0
+	}
+	end := pos + matchLen + width/2
+	if end > len(text) {
+		end = len(text)
+	}
+	// Align to word boundaries.
+	for start > 0 && text[start] != ' ' {
+		start--
+	}
+	for end < len(text) && text[end] != ' ' {
+		end++
+	}
+	out := strings.TrimSpace(text[start:end])
+	if start > 0 {
+		out = "…" + out
+	}
+	if end < len(text) {
+		out += "…"
+	}
+	return out
+}
+
+// GroupByObject merges per-field results into per-object results,
+// summing scores — the object-level view users browse from.
+func GroupByObject(results []Result) []Result {
+	byObj := make(map[string]*Result)
+	var order []string
+	for _, r := range results {
+		k := r.Document.Object.Key()
+		if cur, ok := byObj[k]; ok {
+			cur.Score += r.Score
+			continue
+		}
+		cp := r
+		byObj[k] = &cp
+		order = append(order, k)
+	}
+	out := make([]Result, 0, len(byObj))
+	for _, k := range order {
+		out = append(out, *byObj[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Document.Object.Key() < out[j].Document.Object.Key()
+	})
+	return out
+}

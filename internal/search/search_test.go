@@ -1,0 +1,221 @@
+package search
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metadata"
+)
+
+func doc(src, acc, col, text string, primary bool) Document {
+	return Document{
+		Object:   metadata.ObjectRef{Source: src, Relation: "main", Accession: acc},
+		Relation: "main",
+		Column:   col,
+		Text:     text,
+		Primary:  primary,
+	}
+}
+
+func sampleIndex() *Index {
+	ix := NewIndex()
+	ix.Add(doc("uniprot", "P1", "description", "hemoglobin transports oxygen in red blood cells", true))
+	ix.Add(doc("uniprot", "P2", "description", "myoglobin stores oxygen in muscle", true))
+	ix.Add(doc("uniprot", "P3", "description", "insulin regulates glucose", true))
+	ix.Add(doc("pdb", "1ABC", "title", "crystal structure of hemoglobin", true))
+	ix.Add(doc("pdb", "1ABC", "remark", "data collected at synchrotron hemoglobin crystals", false))
+	ix.Add(doc("omim", "M1", "text", "anemia disease of red blood cells caused by hemoglobin defects", true))
+	return ix
+}
+
+func TestSearchRanking(t *testing.T) {
+	ix := sampleIndex()
+	rs := ix.Search("hemoglobin oxygen", Filter{}, 0)
+	if len(rs) < 3 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	// P1 mentions both query terms; it must rank first.
+	if rs[0].Document.Object.Accession != "P1" {
+		t.Errorf("top hit = %+v", rs[0].Document.Object)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score > rs[i-1].Score {
+			t.Errorf("scores not descending at %d", i)
+		}
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := sampleIndex()
+	if rs := ix.Search("nonexistentterm", Filter{}, 0); len(rs) != 0 {
+		t.Errorf("results = %v", rs)
+	}
+	if rs := ix.Search("", Filter{}, 0); len(rs) != 0 {
+		t.Errorf("empty query results = %v", rs)
+	}
+}
+
+func TestSearchSourceFilter(t *testing.T) {
+	ix := sampleIndex()
+	rs := ix.Search("hemoglobin", Filter{Sources: []string{"pdb"}}, 0)
+	for _, r := range rs {
+		if r.Document.Object.Source != "pdb" {
+			t.Errorf("filter leak: %+v", r.Document.Object)
+		}
+	}
+	if len(rs) != 2 {
+		t.Errorf("pdb results = %d want 2", len(rs))
+	}
+}
+
+func TestSearchColumnFilterVerticalPartition(t *testing.T) {
+	ix := sampleIndex()
+	rs := ix.Search("hemoglobin", Filter{Columns: []string{"title"}}, 0)
+	if len(rs) != 1 || rs[0].Document.Column != "title" {
+		t.Errorf("results = %+v", rs)
+	}
+}
+
+func TestSearchPrimaryOnlyHorizontalPartition(t *testing.T) {
+	ix := sampleIndex()
+	all := ix.Search("hemoglobin", Filter{}, 0)
+	prim := ix.Search("hemoglobin", Filter{PrimaryOnly: true}, 0)
+	if len(prim) >= len(all) {
+		t.Errorf("primary-only (%d) should be fewer than all (%d)", len(prim), len(all))
+	}
+	for _, r := range prim {
+		if !r.Document.Primary {
+			t.Error("non-primary doc in primary-only results")
+		}
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	ix := sampleIndex()
+	rs := ix.Search("hemoglobin", Filter{}, 2)
+	if len(rs) != 2 {
+		t.Errorf("limit: %d", len(rs))
+	}
+}
+
+func TestSearchAccessionToken(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(doc("uniprot", "P1", "xref", "see also PDB:1XYZ for structure", true))
+	rs := ix.Search("PDB:1XYZ", Filter{}, 0)
+	if len(rs) != 1 {
+		t.Fatalf("accession search results = %d", len(rs))
+	}
+}
+
+func TestGroupByObject(t *testing.T) {
+	ix := sampleIndex()
+	rs := ix.Search("hemoglobin", Filter{}, 0)
+	grouped := GroupByObject(rs)
+	// 1ABC appears in two fields; grouped results must merge them.
+	counts := map[string]int{}
+	for _, g := range grouped {
+		counts[g.Document.Object.Accession]++
+	}
+	if counts["1ABC"] != 1 {
+		t.Errorf("1ABC grouped %d times", counts["1ABC"])
+	}
+	if len(grouped) >= len(rs) {
+		t.Errorf("grouping should reduce result count: %d vs %d", len(grouped), len(rs))
+	}
+	// The merged object score must exceed its best single-field score.
+	var merged, single float64
+	for _, g := range grouped {
+		if g.Document.Object.Accession == "1ABC" {
+			merged = g.Score
+		}
+	}
+	for _, r := range rs {
+		if r.Document.Object.Accession == "1ABC" && r.Score > single {
+			single = r.Score
+		}
+	}
+	if merged <= single {
+		t.Errorf("merged score %v should exceed best single %v", merged, single)
+	}
+}
+
+func TestIDFOrdering(t *testing.T) {
+	// A term appearing in one doc must outweigh a term appearing in all.
+	ix := NewIndex()
+	for i := 0; i < 10; i++ {
+		text := "common shared words everywhere"
+		if i == 0 {
+			text += " uniqueterm"
+		}
+		ix.Add(doc("s", fmt.Sprintf("A%d", i), "f", text, true))
+	}
+	rs := ix.Search("common uniqueterm", Filter{}, 0)
+	if rs[0].Document.Object.Accession != "A0" {
+		t.Errorf("top = %+v", rs[0].Document.Object)
+	}
+}
+
+// Property: every result's document actually contains at least one query
+// token, and limit is always respected.
+func TestSearchResultsContainQueryTerm(t *testing.T) {
+	ix := sampleIndex()
+	queries := []string{"oxygen", "hemoglobin crystal", "glucose insulin", "blood"}
+	for _, q := range queries {
+		rs := ix.Search(q, Filter{}, 3)
+		if len(rs) > 3 {
+			t.Errorf("limit violated for %q", q)
+		}
+		if len(rs) == 0 {
+			t.Errorf("no results for %q", q)
+		}
+	}
+}
+
+// Property: scores are positive and finite.
+func TestScorePositivity(t *testing.T) {
+	ix := sampleIndex()
+	f := func(q string) bool {
+		for _, r := range ix.Search(q, Filter{}, 0) {
+			if !(r.Score > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	long := "aaa bbb ccc ddd eee fff hemoglobin ggg hhh iii jjj kkk lll mmm nnn ooo ppp qqq rrr sss ttt"
+	r := Result{Document: doc("s", "X", "f", long, true)}
+	snip := Snippet(r, "hemoglobin transport", 30)
+	if !strings.Contains(snip, "hemoglobin") {
+		t.Errorf("snippet missing match: %q", snip)
+	}
+	if len(snip) >= len(long) {
+		t.Errorf("snippet not shortened: %q", snip)
+	}
+	if !strings.HasPrefix(snip, "…") || !strings.HasSuffix(snip, "…") {
+		t.Errorf("snippet should be elided on both sides: %q", snip)
+	}
+}
+
+func TestSnippetNoMatchTruncates(t *testing.T) {
+	long := strings.Repeat("word ", 50)
+	r := Result{Document: doc("s", "X", "f", long, true)}
+	snip := Snippet(r, "absent", 40)
+	if len(snip) > 45 {
+		t.Errorf("snippet too long: %d", len(snip))
+	}
+}
+
+func TestSnippetShortTextUnchanged(t *testing.T) {
+	r := Result{Document: doc("s", "X", "f", "short text", true)}
+	if snip := Snippet(r, "anything", 60); snip != "short text" {
+		t.Errorf("snippet = %q", snip)
+	}
+}

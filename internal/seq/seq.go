@@ -1,0 +1,406 @@
+// Package seq provides the sequence-similarity substrate for ALADIN's
+// implicit link discovery (§4.4): "the values of attributes containing
+// DNA, RNA, or protein sequences are compared to each other", with
+// similarity computed in the style of BLAST [AMS+97] — k-mer seeding
+// followed by local alignment — implemented here from scratch as
+// Smith-Waterman with a k-mer prefilter.
+package seq
+
+import (
+	"sort"
+	"strings"
+)
+
+// Alphabet classifies a sequence string.
+type Alphabet int
+
+const (
+	// AlphabetUnknown is anything that is not a recognizable sequence.
+	AlphabetUnknown Alphabet = iota
+	// AlphabetDNA covers A/C/G/T plus N and U.
+	AlphabetDNA
+	// AlphabetProtein covers the 20 amino acids plus ambiguity codes.
+	AlphabetProtein
+)
+
+// String names the alphabet.
+func (a Alphabet) String() string {
+	switch a {
+	case AlphabetDNA:
+		return "DNA"
+	case AlphabetProtein:
+		return "protein"
+	}
+	return "unknown"
+}
+
+const dnaChars = "ACGTNU"
+const proteinChars = "ACDEFGHIKLMNPQRSTVWYBZX"
+
+// DetectAlphabet classifies s by character content: ≥98% of non-space
+// characters from the respective alphabet, minimum length 20.
+func DetectAlphabet(s string) Alphabet {
+	up := strings.ToUpper(s)
+	var dna, prot, total int
+	for _, r := range up {
+		if r == ' ' || r == '\n' || r == '\t' || r == '\r' {
+			continue
+		}
+		total++
+		if strings.ContainsRune(dnaChars, r) {
+			dna++
+		}
+		if strings.ContainsRune(proteinChars, r) {
+			prot++
+		}
+	}
+	if total < 20 {
+		return AlphabetUnknown
+	}
+	switch {
+	case float64(dna)/float64(total) >= 0.98:
+		return AlphabetDNA
+	case float64(prot)/float64(total) >= 0.98:
+		return AlphabetProtein
+	}
+	return AlphabetUnknown
+}
+
+// Scoring holds alignment parameters. Gap is a linear gap penalty
+// (negative).
+type Scoring struct {
+	Match    int
+	Mismatch int
+	Gap      int
+}
+
+// DefaultScoring matches BLASTN-style defaults: +2/-3 with gap -5.
+func DefaultScoring() Scoring { return Scoring{Match: 2, Mismatch: -3, Gap: -5} }
+
+// Alignment is the result of a local alignment.
+type Alignment struct {
+	Score int
+	// Identity is matches / alignment columns in the locally aligned
+	// region (0 when no positive-scoring alignment exists).
+	Identity float64
+	// AStart/AEnd and BStart/BEnd delimit the aligned region (half-open)
+	// in the two inputs.
+	AStart, AEnd int
+	BStart, BEnd int
+	// Matches and Columns give the raw identity counts.
+	Matches, Columns int
+}
+
+// SmithWaterman computes the optimal local alignment of a and b under sc,
+// with full traceback for identity computation. O(len(a)*len(b)) time,
+// O(min) + traceback memory via a compact direction matrix.
+func SmithWaterman(a, b string, sc Scoring) Alignment {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return Alignment{}
+	}
+	// Direction codes: 0 stop, 1 diagonal, 2 up (gap in b), 3 left (gap in a).
+	dir := make([]uint8, (n+1)*(m+1))
+	prev := make([]int, m+1)
+	curr := make([]int, m+1)
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= n; i++ {
+		curr[0] = 0
+		for j := 1; j <= m; j++ {
+			sub := sc.Mismatch
+			if a[i-1] == b[j-1] {
+				sub = sc.Match
+			}
+			diag := prev[j-1] + sub
+			up := prev[j] + sc.Gap
+			left := curr[j-1] + sc.Gap
+			v, d := 0, uint8(0)
+			if diag > v {
+				v, d = diag, 1
+			}
+			if up > v {
+				v, d = up, 2
+			}
+			if left > v {
+				v, d = left, 3
+			}
+			curr[j] = v
+			dir[i*(m+1)+j] = d
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+		prev, curr = curr, prev
+	}
+	if best == 0 {
+		return Alignment{}
+	}
+	// Traceback.
+	matches, cols := 0, 0
+	i, j := bi, bj
+	for i > 0 && j > 0 {
+		d := dir[i*(m+1)+j]
+		if d == 0 {
+			break
+		}
+		cols++
+		switch d {
+		case 1:
+			if a[i-1] == b[j-1] {
+				matches++
+			}
+			i--
+			j--
+		case 2:
+			i--
+		case 3:
+			j--
+		}
+	}
+	al := Alignment{
+		Score:  best,
+		AStart: i, AEnd: bi,
+		BStart: j, BEnd: bj,
+		Matches: matches, Columns: cols,
+	}
+	if cols > 0 {
+		al.Identity = float64(matches) / float64(cols)
+	}
+	return al
+}
+
+// ReverseComplement returns the reverse complement of a DNA sequence.
+// IUPAC ambiguity codes map to their complements; non-nucleotide
+// characters pass through unchanged.
+func ReverseComplement(s string) string {
+	b := []byte(strings.ToUpper(s))
+	out := make([]byte, len(b))
+	for i, c := range b {
+		out[len(b)-1-i] = complementBase(c)
+	}
+	return string(out)
+}
+
+func complementBase(c byte) byte {
+	switch c {
+	case 'A':
+		return 'T'
+	case 'T', 'U':
+		return 'A'
+	case 'C':
+		return 'G'
+	case 'G':
+		return 'C'
+	case 'R':
+		return 'Y'
+	case 'Y':
+		return 'R'
+	case 'K':
+		return 'M'
+	case 'M':
+		return 'K'
+	}
+	return c
+}
+
+// Record is one named sequence.
+type Record struct {
+	ID  string
+	Seq string
+}
+
+// Index is a k-mer inverted index over target sequences, the seeding
+// stage of the BLAST-shaped search.
+type Index struct {
+	K       int
+	records []Record
+	// postings maps each k-mer to the indexes of records containing it.
+	postings map[string][]int32
+}
+
+// NewIndex builds an index with k-mer length k (k >= 4 recommended for
+// DNA, 3 for protein).
+func NewIndex(k int) *Index {
+	if k < 2 {
+		k = 2
+	}
+	return &Index{K: k, postings: make(map[string][]int32)}
+}
+
+// Add inserts a target sequence.
+func (ix *Index) Add(id, sequence string) {
+	sequence = strings.ToUpper(sequence)
+	recID := int32(len(ix.records))
+	ix.records = append(ix.records, Record{ID: id, Seq: sequence})
+	seen := make(map[string]bool)
+	for i := 0; i+ix.K <= len(sequence); i++ {
+		kmer := sequence[i : i+ix.K]
+		if seen[kmer] {
+			continue
+		}
+		seen[kmer] = true
+		ix.postings[kmer] = append(ix.postings[kmer], recID)
+	}
+}
+
+// Len returns the number of indexed sequences.
+func (ix *Index) Len() int { return len(ix.records) }
+
+// SearchOptions tunes Search.
+type SearchOptions struct {
+	// MinSeeds is the number of distinct shared k-mers required before a
+	// candidate pair is aligned (default 2).
+	MinSeeds int
+	// MinScore drops alignments below this score (default 20).
+	MinScore int
+	// MinIdentity drops alignments below this identity (default 0).
+	MinIdentity float64
+	// MaxHits caps returned hits (0 = unlimited).
+	MaxHits int
+	// Scoring is the alignment scoring (zero value = DefaultScoring).
+	Scoring Scoring
+	// BothStrands additionally searches the query's reverse complement
+	// (DNA only); hits found on the minus strand are marked.
+	BothStrands bool
+}
+
+func (o *SearchOptions) fill() {
+	if o.MinSeeds <= 0 {
+		o.MinSeeds = 2
+	}
+	if o.MinScore <= 0 {
+		o.MinScore = 20
+	}
+	if o.Scoring == (Scoring{}) {
+		o.Scoring = DefaultScoring()
+	}
+}
+
+// Hit is one query-target match.
+type Hit struct {
+	TargetID  string
+	Alignment Alignment
+	Seeds     int
+	// MinusStrand marks hits found against the query's reverse
+	// complement.
+	MinusStrand bool
+}
+
+// Search finds targets sharing at least MinSeeds k-mers with the query,
+// aligns each candidate with Smith-Waterman, and returns hits sorted by
+// score descending. With BothStrands set, the reverse complement is also
+// searched and the best strand per target kept.
+func (ix *Index) Search(query string, opts SearchOptions) []Hit {
+	opts.fill()
+	hits := ix.searchStrand(query, opts, false)
+	if opts.BothStrands {
+		minus := ix.searchStrand(ReverseComplement(query), opts, true)
+		best := make(map[string]Hit, len(hits))
+		for _, h := range hits {
+			best[h.TargetID] = h
+		}
+		for _, h := range minus {
+			if cur, ok := best[h.TargetID]; !ok || h.Alignment.Score > cur.Alignment.Score {
+				best[h.TargetID] = h
+			}
+		}
+		hits = hits[:0]
+		for _, h := range best {
+			hits = append(hits, h)
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Alignment.Score != hits[j].Alignment.Score {
+			return hits[i].Alignment.Score > hits[j].Alignment.Score
+		}
+		return hits[i].TargetID < hits[j].TargetID
+	})
+	if opts.MaxHits > 0 && len(hits) > opts.MaxHits {
+		hits = hits[:opts.MaxHits]
+	}
+	return hits
+}
+
+// searchStrand runs the seeded search for one query orientation.
+func (ix *Index) searchStrand(query string, opts SearchOptions, minus bool) []Hit {
+	query = strings.ToUpper(query)
+	seedCount := make(map[int32]int)
+	seen := make(map[string]bool)
+	for i := 0; i+ix.K <= len(query); i++ {
+		kmer := query[i : i+ix.K]
+		if seen[kmer] {
+			continue
+		}
+		seen[kmer] = true
+		for _, rid := range ix.postings[kmer] {
+			seedCount[rid]++
+		}
+	}
+	var hits []Hit
+	for rid, seeds := range seedCount {
+		if seeds < opts.MinSeeds {
+			continue
+		}
+		rec := ix.records[rid]
+		al := SmithWaterman(query, rec.Seq, opts.Scoring)
+		if al.Score < opts.MinScore || al.Identity < opts.MinIdentity {
+			continue
+		}
+		hits = append(hits, Hit{TargetID: rec.ID, Alignment: al, Seeds: seeds, MinusStrand: minus})
+	}
+	return hits
+}
+
+// CandidateCount returns how many targets share >= minSeeds k-mers with
+// the query — the seeding selectivity, measured by the pruning
+// experiments without paying for alignment.
+func (ix *Index) CandidateCount(query string, minSeeds int) int {
+	if minSeeds <= 0 {
+		minSeeds = 1
+	}
+	query = strings.ToUpper(query)
+	seedCount := make(map[int32]int)
+	seen := make(map[string]bool)
+	for i := 0; i+ix.K <= len(query); i++ {
+		kmer := query[i : i+ix.K]
+		if seen[kmer] {
+			continue
+		}
+		seen[kmer] = true
+		for _, rid := range ix.postings[kmer] {
+			seedCount[rid]++
+		}
+	}
+	n := 0
+	for _, c := range seedCount {
+		if c >= minSeeds {
+			n++
+		}
+	}
+	return n
+}
+
+// AllPairs aligns every query against every target with no seeding — the
+// quadratic baseline for the E7 pruning comparison.
+func AllPairs(queries, targets []Record, opts SearchOptions) map[string][]Hit {
+	opts.fill()
+	out := make(map[string][]Hit, len(queries))
+	for _, q := range queries {
+		var hits []Hit
+		for _, t := range targets {
+			al := SmithWaterman(strings.ToUpper(q.Seq), strings.ToUpper(t.Seq), opts.Scoring)
+			if al.Score < opts.MinScore || al.Identity < opts.MinIdentity {
+				continue
+			}
+			hits = append(hits, Hit{TargetID: t.ID, Alignment: al})
+		}
+		sort.Slice(hits, func(i, j int) bool {
+			if hits[i].Alignment.Score != hits[j].Alignment.Score {
+				return hits[i].Alignment.Score > hits[j].Alignment.Score
+			}
+			return hits[i].TargetID < hits[j].TargetID
+		})
+		out[q.ID] = hits
+	}
+	return out
+}

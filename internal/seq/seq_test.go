@@ -1,0 +1,318 @@
+package seq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectAlphabet(t *testing.T) {
+	cases := []struct {
+		s    string
+		want Alphabet
+	}{
+		{strings.Repeat("ACGT", 10), AlphabetDNA},
+		{strings.Repeat("acgt", 10), AlphabetDNA},
+		{"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFKDLGEENFKALVLIA", AlphabetProtein},
+		{"the quick brown fox jumps over the lazy dog", AlphabetUnknown},
+		{"ACGT", AlphabetUnknown}, // too short
+		{"", AlphabetUnknown},
+	}
+	for _, c := range cases {
+		if got := DetectAlphabet(c.s); got != c.want {
+			t.Errorf("DetectAlphabet(%.20q) = %v want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestDNAPreferredOverProteinForACGT(t *testing.T) {
+	// Pure ACGT qualifies for both alphabets; DNA must win.
+	if got := DetectAlphabet(strings.Repeat("ACGT", 20)); got != AlphabetDNA {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSmithWatermanIdentical(t *testing.T) {
+	s := "ACGTACGTACGT"
+	al := SmithWaterman(s, s, DefaultScoring())
+	if al.Identity != 1.0 {
+		t.Errorf("identity = %v", al.Identity)
+	}
+	if al.Score != len(s)*2 {
+		t.Errorf("score = %d want %d", al.Score, len(s)*2)
+	}
+	if al.AStart != 0 || al.AEnd != len(s) {
+		t.Errorf("span = [%d,%d)", al.AStart, al.AEnd)
+	}
+}
+
+func TestSmithWatermanSubstring(t *testing.T) {
+	a := "TTTTTACGTACGTTTTT"
+	b := "ACGTACG"
+	al := SmithWaterman(a, b, DefaultScoring())
+	if al.Identity != 1.0 {
+		t.Errorf("identity = %v", al.Identity)
+	}
+	if al.BStart != 0 || al.BEnd != len(b) {
+		t.Errorf("b span = [%d,%d)", al.BStart, al.BEnd)
+	}
+	if a[al.AStart:al.AEnd] != "ACGTACG" {
+		t.Errorf("aligned region = %q", a[al.AStart:al.AEnd])
+	}
+}
+
+func TestSmithWatermanMismatchTolerance(t *testing.T) {
+	a := "ACGTACGTACGTACGTACGT"
+	b := "ACGTACGTTCGTACGTACGT" // one substitution
+	al := SmithWaterman(a, b, DefaultScoring())
+	if al.Identity <= 0.9 || al.Identity >= 1.0 {
+		t.Errorf("identity = %v; want (0.9, 1.0)", al.Identity)
+	}
+}
+
+func TestSmithWatermanGap(t *testing.T) {
+	a := "ACGTACGTAACGTACGT"
+	b := "ACGTACGTACGTACGT" // one deletion relative to a
+	al := SmithWaterman(a, b, DefaultScoring())
+	// Must bridge the gap rather than stopping at 8 columns.
+	if al.Columns < 16 {
+		t.Errorf("alignment columns = %d; want gapped alignment >= 16", al.Columns)
+	}
+}
+
+func TestSmithWatermanNoSimilarity(t *testing.T) {
+	al := SmithWaterman("AAAA", "TTTT", DefaultScoring())
+	if al.Score != 0 || al.Identity != 0 {
+		t.Errorf("disjoint alignment = %+v", al)
+	}
+}
+
+func TestSmithWatermanEmpty(t *testing.T) {
+	if al := SmithWaterman("", "ACGT", DefaultScoring()); al.Score != 0 {
+		t.Errorf("empty input score = %d", al.Score)
+	}
+}
+
+func randomDNA(rng *rand.Rand, n int) string {
+	bases := "ACGT"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[rng.Intn(4)]
+	}
+	return string(b)
+}
+
+// mutate applies point mutations at the given rate.
+func mutate(rng *rand.Rand, s string, rate float64) string {
+	bases := "ACGT"
+	b := []byte(s)
+	for i := range b {
+		if rng.Float64() < rate {
+			b[i] = bases[rng.Intn(4)]
+		}
+	}
+	return string(b)
+}
+
+func TestIndexSearchFindsHomolog(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ix := NewIndex(8)
+	orig := randomDNA(rng, 300)
+	ix.Add("target", orig)
+	for i := 0; i < 20; i++ {
+		ix.Add("decoy", randomDNA(rng, 300))
+	}
+	query := mutate(rng, orig, 0.05)
+	hits := ix.Search(query, SearchOptions{MinScore: 50})
+	if len(hits) == 0 {
+		t.Fatal("no hits for 5%-mutated homolog")
+	}
+	if hits[0].TargetID != "target" {
+		t.Errorf("best hit = %q", hits[0].TargetID)
+	}
+	if hits[0].Alignment.Identity < 0.85 {
+		t.Errorf("identity = %v", hits[0].Alignment.Identity)
+	}
+}
+
+func TestIndexSearchRejectsUnrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix := NewIndex(10)
+	for i := 0; i < 10; i++ {
+		ix.Add("decoy", randomDNA(rng, 200))
+	}
+	query := randomDNA(rng, 200)
+	hits := ix.Search(query, SearchOptions{MinScore: 60, MinSeeds: 2})
+	if len(hits) != 0 {
+		t.Errorf("unrelated query got %d hits", len(hits))
+	}
+}
+
+func TestIndexSeedingPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ix := NewIndex(10)
+	orig := randomDNA(rng, 200)
+	ix.Add("homolog", orig)
+	for i := 0; i < 50; i++ {
+		ix.Add("decoy", randomDNA(rng, 200))
+	}
+	query := mutate(rng, orig, 0.03)
+	candidates := ix.CandidateCount(query, 2)
+	if candidates >= 25 {
+		t.Errorf("seeding should prune most of 51 targets; candidates = %d", candidates)
+	}
+	if candidates < 1 {
+		t.Error("seeding pruned the true homolog")
+	}
+}
+
+func TestSearchMinIdentityFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ix := NewIndex(6)
+	orig := randomDNA(rng, 200)
+	ix.Add("t", orig)
+	query := mutate(rng, orig, 0.25)
+	loose := ix.Search(query, SearchOptions{MinScore: 10, MinSeeds: 1})
+	strict := ix.Search(query, SearchOptions{MinScore: 10, MinSeeds: 1, MinIdentity: 0.99})
+	if len(loose) == 0 {
+		t.Fatal("expected a loose hit")
+	}
+	if len(strict) != 0 {
+		t.Errorf("25%%-mutated sequence passed 99%% identity filter: %+v", strict)
+	}
+}
+
+func TestAllPairsMatchesSeededOnStrongHomologs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var queries, targets []Record
+	ix := NewIndex(8)
+	for i := 0; i < 5; i++ {
+		orig := randomDNA(rng, 150)
+		targets = append(targets, Record{ID: string(rune('a' + i)), Seq: orig})
+		ix.Add(string(rune('a'+i)), orig)
+		queries = append(queries, Record{ID: string(rune('A' + i)), Seq: mutate(rng, orig, 0.02)})
+	}
+	full := AllPairs(queries, targets, SearchOptions{MinScore: 100})
+	for _, q := range queries {
+		seeded := ix.Search(q.Seq, SearchOptions{MinScore: 100})
+		if len(full[q.ID]) == 0 || len(seeded) == 0 {
+			t.Fatalf("query %s: full=%d seeded=%d", q.ID, len(full[q.ID]), len(seeded))
+		}
+		if full[q.ID][0].TargetID != seeded[0].TargetID {
+			t.Errorf("query %s: full best %q != seeded best %q",
+				q.ID, full[q.ID][0].TargetID, seeded[0].TargetID)
+		}
+	}
+}
+
+func TestSearchMaxHits(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ix := NewIndex(6)
+	orig := randomDNA(rng, 100)
+	for i := 0; i < 10; i++ {
+		ix.Add("t", mutate(rng, orig, 0.01))
+	}
+	hits := ix.Search(orig, SearchOptions{MinScore: 20, MaxHits: 3})
+	if len(hits) != 3 {
+		t.Errorf("MaxHits: got %d", len(hits))
+	}
+}
+
+// Property: alignment score is symmetric for match-only scoring, and
+// identity stays within [0,1].
+func TestSmithWatermanProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seedA, seedB uint8, lenA, lenB uint8) bool {
+		a := randomDNA(rng, int(lenA%60)+1)
+		b := randomDNA(rng, int(lenB%60)+1)
+		x := SmithWaterman(a, b, DefaultScoring())
+		y := SmithWaterman(b, a, DefaultScoring())
+		if x.Score != y.Score {
+			return false
+		}
+		return x.Identity >= 0 && x.Identity <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a sequence always aligns to itself with identity 1 and score
+// len*match.
+func TestSelfAlignmentProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(n uint8) bool {
+		s := randomDNA(rng, int(n%100)+1)
+		al := SmithWaterman(s, s, DefaultScoring())
+		return al.Identity == 1.0 && al.Score == 2*len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ACGT", "ACGT"}, // palindrome
+		{"AAAA", "TTTT"},
+		{"ATGC", "GCAT"},
+		{"acgt", "ACGT"},
+		{"ACGU", "ACGT"}, // RNA U complements to A
+	}
+	for _, c := range cases {
+		if got := ReverseComplement(c.in); got != c.want {
+			t.Errorf("ReverseComplement(%q) = %q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReverseComplementInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		s := randomDNA(rng, 50+i)
+		if got := ReverseComplement(ReverseComplement(s)); got != s {
+			t.Fatalf("double complement != identity for %q", s)
+		}
+	}
+}
+
+func TestSearchBothStrands(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	target := randomDNA(rng, 200)
+	ix := NewIndex(8)
+	ix.Add("t", target)
+	// A query equal to the reverse complement of the target: invisible on
+	// the plus strand, found on the minus strand.
+	query := ReverseComplement(target)
+	plusOnly := ix.Search(query, SearchOptions{MinScore: 100})
+	if len(plusOnly) != 0 {
+		t.Fatalf("plus-strand search should miss: %v", plusOnly)
+	}
+	both := ix.Search(query, SearchOptions{MinScore: 100, BothStrands: true})
+	if len(both) != 1 {
+		t.Fatalf("both-strand search hits = %d", len(both))
+	}
+	if !both[0].MinusStrand {
+		t.Error("hit should be marked minus-strand")
+	}
+	if both[0].Alignment.Identity != 1.0 {
+		t.Errorf("identity = %v", both[0].Alignment.Identity)
+	}
+}
+
+func TestSearchBothStrandsKeepsBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	target := randomDNA(rng, 150)
+	ix := NewIndex(8)
+	ix.Add("t", target)
+	// Query equal to the target: the plus-strand hit must win.
+	both := ix.Search(target, SearchOptions{MinScore: 50, BothStrands: true})
+	if len(both) != 1 {
+		t.Fatalf("hits = %d", len(both))
+	}
+	if both[0].MinusStrand {
+		t.Error("plus-strand hit should win")
+	}
+	_ = rng
+}

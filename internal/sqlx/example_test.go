@@ -1,0 +1,66 @@
+package sqlx_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/rel"
+	"repro/internal/sqlx"
+)
+
+// Example shows the SQL access mode end to end: create, load, query.
+func Example() {
+	db := rel.NewDatabase("demo")
+	mustExec(db, `CREATE TABLE protein (id INTEGER PRIMARY KEY, accession TEXT UNIQUE, organism TEXT)`)
+	mustExec(db, `INSERT INTO protein VALUES
+		(1, 'P69905', 'Homo sapiens'),
+		(2, 'P00698', 'Gallus gallus'),
+		(3, 'P00761', 'Sus scrofa')`)
+	res := mustExec(db, `SELECT accession FROM protein WHERE organism LIKE 'homo%' ORDER BY accession`)
+	for _, row := range res.Rows {
+		fmt.Println(row[0].AsString())
+	}
+	// Output:
+	// P69905
+}
+
+func Example_aggregation() {
+	db := rel.NewDatabase("demo")
+	mustExec(db, `CREATE TABLE xref (protein TEXT, target_db TEXT)`)
+	mustExec(db, `INSERT INTO xref VALUES
+		('P1', 'PDB'), ('P1', 'GO'), ('P2', 'PDB'), ('P3', 'PDB')`)
+	res := mustExec(db, `
+		SELECT target_db, COUNT(*) AS n
+		FROM xref GROUP BY target_db
+		HAVING COUNT(*) > 1
+		ORDER BY n DESC`)
+	for _, row := range res.Rows {
+		fmt.Printf("%s %s\n", row[0].AsString(), row[1].AsString())
+	}
+	// Output:
+	// PDB 3
+}
+
+func Example_union() {
+	db := rel.NewDatabase("demo")
+	mustExec(db, `CREATE TABLE a (acc TEXT)`)
+	mustExec(db, `CREATE TABLE b (acc TEXT)`)
+	mustExec(db, `INSERT INTO a VALUES ('X1'), ('X2')`)
+	mustExec(db, `INSERT INTO b VALUES ('X2'), ('X3')`)
+	res := mustExec(db, `SELECT acc FROM a UNION SELECT acc FROM b ORDER BY acc`)
+	for _, row := range res.Rows {
+		fmt.Println(row[0].AsString())
+	}
+	// Output:
+	// X1
+	// X2
+	// X3
+}
+
+func mustExec(db *rel.Database, sql string) *sqlx.Result {
+	res, err := sqlx.Exec(db, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

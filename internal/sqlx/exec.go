@@ -1,0 +1,1377 @@
+package sqlx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// Result is the output of a query: column names plus rows.
+type Result struct {
+	Columns []string
+	Rows    []rel.Tuple
+	// Affected is the row count for INSERT/UPDATE/DELETE.
+	Affected int
+}
+
+// Exec parses and executes one SQL statement against db.
+func Exec(db *rel.Database, sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStmt(db, stmt)
+}
+
+// ExecStmt executes a parsed statement against db.
+func ExecStmt(db *rel.Database, stmt Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return execSelect(db, s)
+	case *InsertStmt:
+		return execInsert(db, s)
+	case *CreateTableStmt:
+		return execCreateTable(db, s)
+	case *DropTableStmt:
+		return execDropTable(db, s)
+	case *UpdateStmt:
+		return execUpdate(db, s)
+	case *DeleteStmt:
+		return execDelete(db, s)
+	}
+	return nil, fmt.Errorf("sqlx: unsupported statement %T", stmt)
+}
+
+// binding associates a table binding name with a schema and current tuple.
+type binding struct {
+	name   string
+	schema *rel.Schema
+	tuple  rel.Tuple
+}
+
+type env struct {
+	bindings []binding
+}
+
+func (e *env) lookup(table, column string) (rel.Value, error) {
+	if table != "" {
+		for _, b := range e.bindings {
+			if strings.EqualFold(b.name, table) {
+				i := b.schema.Index(column)
+				if i < 0 {
+					return rel.Null(), fmt.Errorf("sqlx: no column %q in %q", column, table)
+				}
+				return b.tuple[i], nil
+			}
+		}
+		return rel.Null(), fmt.Errorf("sqlx: unknown table binding %q", table)
+	}
+	found := false
+	var v rel.Value
+	for _, b := range e.bindings {
+		if i := b.schema.Index(column); i >= 0 {
+			if found {
+				return rel.Null(), fmt.Errorf("sqlx: ambiguous column %q", column)
+			}
+			v = b.tuple[i]
+			found = true
+		}
+	}
+	if !found {
+		return rel.Null(), fmt.Errorf("sqlx: unknown column %q", column)
+	}
+	return v, nil
+}
+
+// eval evaluates a non-aggregate expression in an environment.
+func eval(e Expr, env *env) (rel.Value, error) {
+	switch x := e.(type) {
+	case groupedProxy:
+		return evalGrouped(x.inner, x.g)
+	case *Literal:
+		return x.Value, nil
+	case *ColumnRef:
+		return env.lookup(x.Table, x.Column)
+	case *UnaryExpr:
+		v, err := eval(x.Expr, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return rel.Null(), nil
+			}
+			b, _ := v.AsBool()
+			return rel.Bool(!b), nil
+		case "-":
+			if v.IsNull() {
+				return rel.Null(), nil
+			}
+			if v.Kind() == rel.KindInt {
+				i, _ := v.AsInt()
+				return rel.Int(-i), nil
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return rel.Null(), fmt.Errorf("sqlx: cannot negate %v", v)
+			}
+			return rel.Float(-f), nil
+		}
+	case *BinaryExpr:
+		return evalBinary(x, env)
+	case *IsNullExpr:
+		v, err := eval(x.Expr, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		return rel.Bool(v.IsNull() != x.Negate), nil
+	case *InExpr:
+		v, err := eval(x.Expr, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		if v.IsNull() {
+			return rel.Null(), nil
+		}
+		match := false
+		for _, le := range x.List {
+			lv, err := eval(le, env)
+			if err != nil {
+				return rel.Null(), err
+			}
+			if v.Equal(lv) {
+				match = true
+				break
+			}
+		}
+		return rel.Bool(match != x.Negate), nil
+	case *BetweenExpr:
+		v, err := eval(x.Expr, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		lo, err := eval(x.Lo, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		hi, err := eval(x.Hi, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return rel.Null(), nil
+		}
+		in := v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+		return rel.Bool(in != x.Negate), nil
+	case *FuncExpr:
+		if aggregateFuncs[x.Name] {
+			return rel.Null(), fmt.Errorf("sqlx: aggregate %s not allowed here", x.Name)
+		}
+		return evalScalarFunc(x, env)
+	}
+	return rel.Null(), fmt.Errorf("sqlx: cannot evaluate %T", e)
+}
+
+func evalBinary(x *BinaryExpr, env *env) (rel.Value, error) {
+	l, err := eval(x.Left, env)
+	if err != nil {
+		return rel.Null(), err
+	}
+	// Short-circuit AND/OR with three-valued logic.
+	switch x.Op {
+	case "AND":
+		if !l.IsNull() {
+			if b, _ := l.AsBool(); !b {
+				return rel.Bool(false), nil
+			}
+		}
+		r, err := eval(x.Right, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		if l.IsNull() || r.IsNull() {
+			if !r.IsNull() {
+				if b, _ := r.AsBool(); !b {
+					return rel.Bool(false), nil
+				}
+			}
+			return rel.Null(), nil
+		}
+		lb, _ := l.AsBool()
+		rb, _ := r.AsBool()
+		return rel.Bool(lb && rb), nil
+	case "OR":
+		if !l.IsNull() {
+			if b, _ := l.AsBool(); b {
+				return rel.Bool(true), nil
+			}
+		}
+		r, err := eval(x.Right, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		if l.IsNull() || r.IsNull() {
+			if !r.IsNull() {
+				if b, _ := r.AsBool(); b {
+					return rel.Bool(true), nil
+				}
+			}
+			return rel.Null(), nil
+		}
+		lb, _ := l.AsBool()
+		rb, _ := r.AsBool()
+		return rel.Bool(lb || rb), nil
+	}
+	r, err := eval(x.Right, env)
+	if err != nil {
+		return rel.Null(), err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return rel.Null(), nil
+		}
+		c := l.Compare(r)
+		switch x.Op {
+		case "=":
+			return rel.Bool(l.Equal(r)), nil
+		case "<>":
+			return rel.Bool(!l.Equal(r)), nil
+		case "<":
+			return rel.Bool(c < 0), nil
+		case "<=":
+			return rel.Bool(c <= 0), nil
+		case ">":
+			return rel.Bool(c > 0), nil
+		case ">=":
+			return rel.Bool(c >= 0), nil
+		}
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return rel.Null(), nil
+		}
+		return rel.Bool(likeMatch(l.AsString(), r.AsString())), nil
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return rel.Null(), nil
+		}
+		return rel.Str(l.AsString() + r.AsString()), nil
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return rel.Null(), nil
+		}
+		return evalArith(x.Op, l, r)
+	}
+	return rel.Null(), fmt.Errorf("sqlx: unknown operator %q", x.Op)
+}
+
+func evalArith(op string, l, r rel.Value) (rel.Value, error) {
+	if l.Kind() == rel.KindInt && r.Kind() == rel.KindInt {
+		a, _ := l.AsInt()
+		b, _ := r.AsInt()
+		switch op {
+		case "+":
+			return rel.Int(a + b), nil
+		case "-":
+			return rel.Int(a - b), nil
+		case "*":
+			return rel.Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return rel.Null(), fmt.Errorf("sqlx: division by zero")
+			}
+			return rel.Int(a / b), nil
+		case "%":
+			if b == 0 {
+				return rel.Null(), fmt.Errorf("sqlx: division by zero")
+			}
+			return rel.Int(a % b), nil
+		}
+	}
+	a, okA := l.AsFloat()
+	b, okB := r.AsFloat()
+	if !okA || !okB {
+		return rel.Null(), fmt.Errorf("sqlx: non-numeric operands for %q", op)
+	}
+	switch op {
+	case "+":
+		return rel.Float(a + b), nil
+	case "-":
+		return rel.Float(a - b), nil
+	case "*":
+		return rel.Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return rel.Null(), fmt.Errorf("sqlx: division by zero")
+		}
+		return rel.Float(a / b), nil
+	case "%":
+		if b == 0 {
+			return rel.Null(), fmt.Errorf("sqlx: division by zero")
+		}
+		return rel.Float(math.Mod(a, b)), nil
+	}
+	return rel.Null(), fmt.Errorf("sqlx: unknown arithmetic op %q", op)
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards (case-insensitive,
+// matching common life-science database practice).
+func likeMatch(s, pattern string) bool {
+	s = strings.ToLower(s)
+	pattern = strings.ToLower(pattern)
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+func evalScalarFunc(x *FuncExpr, env *env) (rel.Value, error) {
+	args := make([]rel.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := eval(a, env)
+		if err != nil {
+			return rel.Null(), err
+		}
+		args[i] = v
+	}
+	switch x.Name {
+	case "LENGTH":
+		if len(args) != 1 {
+			return rel.Null(), fmt.Errorf("sqlx: LENGTH takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return rel.Null(), nil
+		}
+		return rel.Int(int64(len(args[0].AsString()))), nil
+	case "LOWER":
+		if len(args) != 1 {
+			return rel.Null(), fmt.Errorf("sqlx: LOWER takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return rel.Null(), nil
+		}
+		return rel.Str(strings.ToLower(args[0].AsString())), nil
+	case "UPPER":
+		if len(args) != 1 {
+			return rel.Null(), fmt.Errorf("sqlx: UPPER takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return rel.Null(), nil
+		}
+		return rel.Str(strings.ToUpper(args[0].AsString())), nil
+	case "TRIM":
+		if len(args) != 1 {
+			return rel.Null(), fmt.Errorf("sqlx: TRIM takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return rel.Null(), nil
+		}
+		return rel.Str(strings.TrimSpace(args[0].AsString())), nil
+	case "ABS":
+		if len(args) != 1 {
+			return rel.Null(), fmt.Errorf("sqlx: ABS takes 1 argument")
+		}
+		if args[0].IsNull() {
+			return rel.Null(), nil
+		}
+		if args[0].Kind() == rel.KindInt {
+			i, _ := args[0].AsInt()
+			if i < 0 {
+				i = -i
+			}
+			return rel.Int(i), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return rel.Null(), fmt.Errorf("sqlx: ABS of non-numeric")
+		}
+		return rel.Float(math.Abs(f)), nil
+	case "ROUND":
+		if len(args) < 1 || len(args) > 2 {
+			return rel.Null(), fmt.Errorf("sqlx: ROUND takes 1 or 2 arguments")
+		}
+		if args[0].IsNull() {
+			return rel.Null(), nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return rel.Null(), fmt.Errorf("sqlx: ROUND of non-numeric")
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			digits, _ = args[1].AsInt()
+		}
+		scale := math.Pow(10, float64(digits))
+		return rel.Float(math.Round(f*scale) / scale), nil
+	case "SUBSTR":
+		if len(args) < 2 || len(args) > 3 {
+			return rel.Null(), fmt.Errorf("sqlx: SUBSTR takes 2 or 3 arguments")
+		}
+		if args[0].IsNull() {
+			return rel.Null(), nil
+		}
+		s := args[0].AsString()
+		start, _ := args[1].AsInt()
+		if start < 1 {
+			start = 1
+		}
+		if int(start) > len(s) {
+			return rel.Str(""), nil
+		}
+		rest := s[start-1:]
+		if len(args) == 3 {
+			n, _ := args[2].AsInt()
+			if n < 0 {
+				n = 0
+			}
+			if int(n) < len(rest) {
+				rest = rest[:n]
+			}
+		}
+		return rel.Str(rest), nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return rel.Null(), nil
+	}
+	return rel.Null(), fmt.Errorf("sqlx: unknown function %s", x.Name)
+}
+
+// execSelect runs the SELECT pipeline: scan+join, filter, group/aggregate,
+// having, project, distinct, order, limit — then folds in UNION branches.
+func execSelect(db *rel.Database, s *SelectStmt) (*Result, error) {
+	res, err := execSelectOne(db, s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Union == nil {
+		return res, nil
+	}
+	// Evaluate the chain; branch ORDER/LIMIT fields are unused (the
+	// parser binds them to the head).
+	combined := res.Rows
+	allMode := true
+	for cur := s; cur.Union != nil; cur = cur.Union {
+		branch, err := execSelectOne(db, cur.Union)
+		if err != nil {
+			return nil, err
+		}
+		if len(branch.Columns) != len(res.Columns) {
+			return nil, fmt.Errorf("sqlx: UNION arity mismatch: %d vs %d columns",
+				len(res.Columns), len(branch.Columns))
+		}
+		combined = append(combined, branch.Rows...)
+		if !cur.UnionAll {
+			allMode = false
+		}
+	}
+	if !allMode {
+		combined = distinctRows(combined)
+	}
+	out := &Result{Columns: res.Columns, Rows: combined}
+	if len(s.OrderBy) > 0 {
+		if err := sortGroupedRows(&SelectStmt{OrderBy: s.OrderBy}, nil, out); err != nil {
+			return nil, err
+		}
+	}
+	applyLimitOffset(out, s)
+	return out, nil
+}
+
+// applyLimitOffset trims rows per the head's LIMIT/OFFSET.
+func applyLimitOffset(res *Result, s *SelectStmt) {
+	if s.Offset > 0 {
+		if s.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:s.Limit]
+	}
+}
+
+// execSelectOne runs one SELECT without its UNION chain. When the select
+// heads a union, ORDER/LIMIT/OFFSET are applied by the caller instead.
+func execSelectOne(db *rel.Database, s *SelectStmt) (*Result, error) {
+	headOfUnion := s.Union != nil
+	// Materialize uncorrelated IN (SELECT ...) subqueries.
+	if err := materializeSubqueries(db, s.Where); err != nil {
+		return nil, err
+	}
+	if err := materializeSubqueries(db, s.Having); err != nil {
+		return nil, err
+	}
+	// 1. Produce the joined row stream as environments.
+	envs, err := scanJoin(db, s)
+	if err != nil {
+		return nil, err
+	}
+	// 2. WHERE filter.
+	if s.Where != nil {
+		var kept []*env
+		for _, e := range envs {
+			v, err := eval(s.Where, e)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				kept = append(kept, e)
+			}
+		}
+		envs = kept
+	}
+	// 3. Expand stars into concrete items.
+	items, colNames, err := expandItems(db, s, envs)
+	if err != nil {
+		return nil, err
+	}
+	grouped := len(s.GroupBy) > 0
+	if !grouped {
+		for _, it := range items {
+			if it.Expr != nil && isAggregate(it.Expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+	res := &Result{Columns: colNames}
+	if grouped {
+		rows, err := execGrouped(s, items, envs)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
+	} else {
+		for _, e := range envs {
+			row := make(rel.Tuple, len(items))
+			for i, it := range items {
+				v, err := eval(it.Expr, e)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		// ORDER BY for non-grouped queries can reference any column via the
+		// original envs; sort rows and envs in lockstep.
+		if !headOfUnion && len(s.OrderBy) > 0 {
+			if err := sortRows(s, items, res, envs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !headOfUnion && grouped && len(s.OrderBy) > 0 {
+		// For grouped queries, ORDER BY may reference output columns by
+		// alias or position expression.
+		if err := sortGroupedRows(s, items, res); err != nil {
+			return nil, err
+		}
+	}
+	if s.Distinct {
+		res.Rows = distinctRows(res.Rows)
+	}
+	if !headOfUnion {
+		applyLimitOffset(res, s)
+	}
+	return res, nil
+}
+
+// materializeSubqueries executes uncorrelated IN (SELECT ...) subqueries
+// in an expression tree and replaces them with literal lists. Correlated
+// subqueries (referencing outer bindings) are not supported and surface
+// as unknown-column errors from the inner select.
+func materializeSubqueries(db *rel.Database, e Expr) error {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *InExpr:
+		if err := materializeSubqueries(db, x.Expr); err != nil {
+			return err
+		}
+		if x.Sub == nil {
+			for _, le := range x.List {
+				if err := materializeSubqueries(db, le); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		res, err := execSelect(db, x.Sub)
+		if err != nil {
+			return fmt.Errorf("sqlx: IN subquery: %w", err)
+		}
+		if len(res.Columns) != 1 {
+			return fmt.Errorf("sqlx: IN subquery must return one column, got %d", len(res.Columns))
+		}
+		x.List = x.List[:0]
+		for _, row := range res.Rows {
+			x.List = append(x.List, &Literal{Value: row[0]})
+		}
+		x.Sub = nil
+		return nil
+	case *BinaryExpr:
+		if err := materializeSubqueries(db, x.Left); err != nil {
+			return err
+		}
+		return materializeSubqueries(db, x.Right)
+	case *UnaryExpr:
+		return materializeSubqueries(db, x.Expr)
+	case *IsNullExpr:
+		return materializeSubqueries(db, x.Expr)
+	case *BetweenExpr:
+		if err := materializeSubqueries(db, x.Expr); err != nil {
+			return err
+		}
+		if err := materializeSubqueries(db, x.Lo); err != nil {
+			return err
+		}
+		return materializeSubqueries(db, x.Hi)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			if err := materializeSubqueries(db, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scanJoin produces the environments of the FROM/JOIN clause.
+func scanJoin(db *rel.Database, s *SelectStmt) ([]*env, error) {
+	if s.From == nil {
+		// SELECT without FROM: a single empty environment.
+		return []*env{{}}, nil
+	}
+	base := db.Relation(s.From.Name)
+	if base == nil {
+		return nil, fmt.Errorf("sqlx: no such table %q", s.From.Name)
+	}
+	var envs []*env
+	for _, t := range base.Tuples {
+		envs = append(envs, &env{bindings: []binding{{name: s.From.Binding(), schema: base.Schema, tuple: t}}})
+	}
+	for _, j := range s.Joins {
+		right := db.Relation(j.Table.Name)
+		if right == nil {
+			return nil, fmt.Errorf("sqlx: no such table %q", j.Table.Name)
+		}
+		bname := j.Table.Binding()
+		var out []*env
+		nullTuple := make(rel.Tuple, right.Schema.Len())
+		// Hash join when ON is a simple equality of two column refs;
+		// nested loops otherwise.
+		leftCol, rightCol, hashable := equiJoinCols(j.On, bname)
+		var index map[string][]rel.Tuple
+		var rightIdx int
+		if hashable {
+			rightIdx = right.Schema.Index(rightCol.Column)
+			if rightIdx < 0 {
+				hashable = false
+			} else {
+				index = make(map[string][]rel.Tuple, len(right.Tuples))
+				for _, t := range right.Tuples {
+					v := t[rightIdx]
+					if v.IsNull() {
+						continue
+					}
+					index[v.Key()] = append(index[v.Key()], t)
+				}
+			}
+		}
+		for _, le := range envs {
+			matched := false
+			if j.Kind == JoinCross {
+				for _, t := range right.Tuples {
+					out = append(out, extend(le, bname, right.Schema, t))
+				}
+				continue
+			}
+			if hashable {
+				lv, err := eval(leftCol, le)
+				if err == nil && !lv.IsNull() {
+					for _, t := range index[lv.Key()] {
+						out = append(out, extend(le, bname, right.Schema, t))
+						matched = true
+					}
+				}
+			} else {
+				for _, t := range right.Tuples {
+					ne := extend(le, bname, right.Schema, t)
+					v, err := eval(j.On, ne)
+					if err != nil {
+						return nil, err
+					}
+					if b, ok := v.AsBool(); ok && b {
+						out = append(out, ne)
+						matched = true
+					}
+				}
+			}
+			if !matched && j.Kind == JoinLeft {
+				out = append(out, extend(le, bname, right.Schema, nullTuple))
+			}
+		}
+		envs = out
+	}
+	return envs, nil
+}
+
+// equiJoinCols recognizes "a.x = b.y" ON clauses and returns the column
+// ref belonging to the left side and the one on the newly joined binding.
+func equiJoinCols(on Expr, rightBinding string) (left *ColumnRef, right *ColumnRef, ok bool) {
+	be, isBin := on.(*BinaryExpr)
+	if !isBin || be.Op != "=" {
+		return nil, nil, false
+	}
+	l, lok := be.Left.(*ColumnRef)
+	r, rok := be.Right.(*ColumnRef)
+	if !lok || !rok {
+		return nil, nil, false
+	}
+	if strings.EqualFold(r.Table, rightBinding) {
+		return l, r, true
+	}
+	if strings.EqualFold(l.Table, rightBinding) {
+		return r, l, true
+	}
+	return nil, nil, false
+}
+
+func extend(e *env, name string, schema *rel.Schema, t rel.Tuple) *env {
+	bs := make([]binding, len(e.bindings)+1)
+	copy(bs, e.bindings)
+	bs[len(e.bindings)] = binding{name: name, schema: schema, tuple: t}
+	return &env{bindings: bs}
+}
+
+// expandItems resolves stars into column references and computes output
+// column names.
+func expandItems(db *rel.Database, s *SelectStmt, envs []*env) ([]SelectItem, []string, error) {
+	var items []SelectItem
+	var names []string
+	// Determine bindings from the FROM clause (schema info is needed even
+	// when envs is empty).
+	type bind struct {
+		name   string
+		schema *rel.Schema
+	}
+	var binds []bind
+	if s.From != nil {
+		baseRel := db.Relation(s.From.Name)
+		if baseRel == nil {
+			return nil, nil, fmt.Errorf("sqlx: no such table %q", s.From.Name)
+		}
+		binds = append(binds, bind{s.From.Binding(), baseRel.Schema})
+		for _, j := range s.Joins {
+			r := db.Relation(j.Table.Name)
+			if r == nil {
+				return nil, nil, fmt.Errorf("sqlx: no such table %q", j.Table.Name)
+			}
+			binds = append(binds, bind{j.Table.Binding(), r.Schema})
+		}
+	}
+	for _, it := range s.Items {
+		if !it.Star {
+			items = append(items, it)
+			names = append(names, itemName(it))
+			continue
+		}
+		for _, b := range binds {
+			if it.StarTable != "" && !strings.EqualFold(it.StarTable, b.name) {
+				continue
+			}
+			for _, c := range b.schema.Columns {
+				items = append(items, SelectItem{Expr: &ColumnRef{Table: b.name, Column: c.Name}})
+				names = append(names, c.Name)
+			}
+		}
+	}
+	return items, names, nil
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*ColumnRef); ok {
+		return cr.Column
+	}
+	if f, ok := it.Expr.(*FuncExpr); ok {
+		return strings.ToLower(f.Name)
+	}
+	return "expr"
+}
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count    int
+	sum      float64
+	sumInt   int64
+	intOnly  bool
+	min, max rel.Value
+	distinct map[string]struct{}
+}
+
+func newAggState() *aggState { return &aggState{intOnly: true} }
+
+func (a *aggState) add(v rel.Value, distinct bool) {
+	if v.IsNull() {
+		return
+	}
+	if distinct {
+		if a.distinct == nil {
+			a.distinct = make(map[string]struct{})
+		}
+		k := v.Key()
+		if _, dup := a.distinct[k]; dup {
+			return
+		}
+		a.distinct[k] = struct{}{}
+	}
+	a.count++
+	if f, ok := v.AsFloat(); ok {
+		a.sum += f
+	}
+	if v.Kind() == rel.KindInt {
+		i, _ := v.AsInt()
+		a.sumInt += i
+	} else {
+		a.intOnly = false
+	}
+	if a.min.IsNull() || v.Compare(a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || v.Compare(a.max) > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result(fn string) rel.Value {
+	switch fn {
+	case "COUNT":
+		return rel.Int(int64(a.count))
+	case "SUM":
+		if a.count == 0 {
+			return rel.Null()
+		}
+		if a.intOnly {
+			return rel.Int(a.sumInt)
+		}
+		return rel.Float(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return rel.Null()
+		}
+		return rel.Float(a.sum / float64(a.count))
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	}
+	return rel.Null()
+}
+
+// group carries the representative env and aggregate states of one group.
+type group struct {
+	repr *env
+	aggs map[*FuncExpr]*aggState
+	star int // COUNT(*) count
+}
+
+// collectAggs gathers aggregate FuncExpr nodes from an expression.
+func collectAggs(e Expr, out *[]*FuncExpr) {
+	switch x := e.(type) {
+	case *FuncExpr:
+		if aggregateFuncs[x.Name] {
+			*out = append(*out, x)
+			return
+		}
+		for _, a := range x.Args {
+			collectAggs(a, out)
+		}
+	case *BinaryExpr:
+		collectAggs(x.Left, out)
+		collectAggs(x.Right, out)
+	case *UnaryExpr:
+		collectAggs(x.Expr, out)
+	case *IsNullExpr:
+		collectAggs(x.Expr, out)
+	case *BetweenExpr:
+		collectAggs(x.Expr, out)
+		collectAggs(x.Lo, out)
+		collectAggs(x.Hi, out)
+	case *InExpr:
+		collectAggs(x.Expr, out)
+		for _, a := range x.List {
+			collectAggs(a, out)
+		}
+	}
+}
+
+func execGrouped(s *SelectStmt, items []SelectItem, envs []*env) ([]rel.Tuple, error) {
+	// Collect all aggregate expressions in items + HAVING.
+	var aggs []*FuncExpr
+	for _, it := range items {
+		collectAggs(it.Expr, &aggs)
+	}
+	if s.Having != nil {
+		collectAggs(s.Having, &aggs)
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, e := range envs {
+		var keyParts []string
+		for _, ge := range s.GroupBy {
+			v, err := eval(ge, e)
+			if err != nil {
+				return nil, err
+			}
+			keyParts = append(keyParts, v.Key())
+		}
+		key := strings.Join(keyParts, "\x01")
+		g, ok := groups[key]
+		if !ok {
+			g = &group{repr: e, aggs: make(map[*FuncExpr]*aggState)}
+			for _, a := range aggs {
+				g.aggs[a] = newAggState()
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.star++
+		for _, a := range aggs {
+			if a.Star {
+				continue
+			}
+			if len(a.Args) != 1 {
+				return nil, fmt.Errorf("sqlx: aggregate %s takes 1 argument", a.Name)
+			}
+			v, err := eval(a.Args[0], e)
+			if err != nil {
+				return nil, err
+			}
+			g.aggs[a].add(v, a.Distinct)
+		}
+	}
+	// Aggregates over empty input with no GROUP BY produce one row.
+	if len(groups) == 0 && len(s.GroupBy) == 0 {
+		g := &group{repr: &env{}, aggs: make(map[*FuncExpr]*aggState)}
+		for _, a := range aggs {
+			g.aggs[a] = newAggState()
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	var rows []rel.Tuple
+	for _, key := range order {
+		g := groups[key]
+		if s.Having != nil {
+			v, err := evalGrouped(s.Having, g)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); !ok || !b {
+				continue
+			}
+		}
+		row := make(rel.Tuple, len(items))
+		for i, it := range items {
+			v, err := evalGrouped(it.Expr, g)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// evalGrouped evaluates an expression replacing aggregate nodes with their
+// accumulated results; bare columns evaluate against the representative.
+func evalGrouped(e Expr, g *group) (rel.Value, error) {
+	if f, ok := e.(*FuncExpr); ok && aggregateFuncs[f.Name] {
+		st, present := g.aggs[f]
+		if !present {
+			return rel.Null(), fmt.Errorf("sqlx: internal: missing aggregate state for %s", f.Name)
+		}
+		if f.Star {
+			if f.Name != "COUNT" {
+				return rel.Null(), fmt.Errorf("sqlx: %s(*) not supported", f.Name)
+			}
+			return rel.Int(int64(g.star)), nil
+		}
+		return st.result(f.Name), nil
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return evalBinary(&BinaryExpr{Op: x.Op, Left: groupedProxy{x.Left, g}, Right: groupedProxy{x.Right, g}}, g.repr)
+	case *UnaryExpr:
+		return eval(&UnaryExpr{Op: x.Op, Expr: groupedProxy{x.Expr, g}}, g.repr)
+	case *FuncExpr:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = groupedProxy{a, g}
+		}
+		return evalScalarFunc(&FuncExpr{Name: x.Name, Args: args}, g.repr)
+	}
+	return eval(e, g.repr)
+}
+
+// groupedProxy lets evalBinary recurse through grouped evaluation: it is an
+// Expr whose evaluation routes back to evalGrouped.
+type groupedProxy struct {
+	inner Expr
+	g     *group
+}
+
+func (groupedProxy) expr() {}
+
+func sortRows(s *SelectStmt, items []SelectItem, res *Result, envs []*env) error {
+	type pair struct {
+		row rel.Tuple
+		env *env
+	}
+	pairs := make([]pair, len(res.Rows))
+	for i := range res.Rows {
+		pairs[i] = pair{res.Rows[i], envs[i]}
+	}
+	var sortErr error
+	sort.SliceStable(pairs, func(a, b int) bool {
+		for _, oi := range s.OrderBy {
+			va, err := evalOrderKey(oi.Expr, items, pairs[a].row, pairs[a].env)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vb, err := evalOrderKey(oi.Expr, items, pairs[b].row, pairs[b].env)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := va.Compare(vb)
+			if c != 0 {
+				if oi.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	for i := range pairs {
+		res.Rows[i] = pairs[i].row
+	}
+	return nil
+}
+
+// evalOrderKey evaluates an ORDER BY key: aliases and ordinal positions
+// refer to output columns, everything else evaluates in the row env.
+func evalOrderKey(e Expr, items []SelectItem, row rel.Tuple, en *env) (rel.Value, error) {
+	if lit, ok := e.(*Literal); ok && lit.Value.Kind() == rel.KindInt {
+		pos, _ := lit.Value.AsInt()
+		if pos >= 1 && int(pos) <= len(row) {
+			return row[pos-1], nil
+		}
+	}
+	if cr, ok := e.(*ColumnRef); ok && cr.Table == "" {
+		for i, it := range items {
+			if strings.EqualFold(it.Alias, cr.Column) {
+				return row[i], nil
+			}
+		}
+	}
+	return eval(e, en)
+}
+
+func sortGroupedRows(s *SelectStmt, items []SelectItem, res *Result) error {
+	var sortErr error
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for _, oi := range s.OrderBy {
+			va, err := groupedOrderKey(oi.Expr, items, res, a)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vb, err := groupedOrderKey(oi.Expr, items, res, b)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := va.Compare(vb)
+			if c != 0 {
+				if oi.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+func groupedOrderKey(e Expr, items []SelectItem, res *Result, row int) (rel.Value, error) {
+	if lit, ok := e.(*Literal); ok && lit.Value.Kind() == rel.KindInt {
+		pos, _ := lit.Value.AsInt()
+		if pos >= 1 && int(pos) <= len(res.Rows[row]) {
+			return res.Rows[row][pos-1], nil
+		}
+	}
+	if cr, ok := e.(*ColumnRef); ok && cr.Table == "" {
+		for i := range res.Columns {
+			if strings.EqualFold(res.Columns[i], cr.Column) {
+				return res.Rows[row][i], nil
+			}
+		}
+	}
+	// Match structurally equal expressions against projection items.
+	for i, it := range items {
+		if exprString(it.Expr) == exprString(e) {
+			return res.Rows[row][i], nil
+		}
+	}
+	return rel.Null(), fmt.Errorf("sqlx: ORDER BY expression must appear in grouped SELECT list")
+}
+
+// exprString renders an expression canonically for structural comparison.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Literal:
+		return x.Value.String()
+	case *ColumnRef:
+		return strings.ToLower(x.Table) + "." + strings.ToLower(x.Column)
+	case *BinaryExpr:
+		return "(" + exprString(x.Left) + x.Op + exprString(x.Right) + ")"
+	case *UnaryExpr:
+		return x.Op + "(" + exprString(x.Expr) + ")"
+	case *FuncExpr:
+		parts := make([]string, 0, len(x.Args)+1)
+		if x.Star {
+			parts = append(parts, "*")
+		}
+		for _, a := range x.Args {
+			parts = append(parts, exprString(a))
+		}
+		d := ""
+		if x.Distinct {
+			d = "D:"
+		}
+		return x.Name + "(" + d + strings.Join(parts, ",") + ")"
+	case *IsNullExpr:
+		return "isnull(" + exprString(x.Expr) + fmt.Sprintf(",%v)", x.Negate)
+	case *InExpr:
+		parts := make([]string, len(x.List))
+		for i, a := range x.List {
+			parts[i] = exprString(a)
+		}
+		return "in(" + exprString(x.Expr) + ";" + strings.Join(parts, ",") + fmt.Sprintf(";%v)", x.Negate)
+	case *BetweenExpr:
+		return "between(" + exprString(x.Expr) + ";" + exprString(x.Lo) + ";" + exprString(x.Hi) + ")"
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+func distinctRows(rows []rel.Tuple) []rel.Tuple {
+	seen := make(map[string]struct{}, len(rows))
+	var out []rel.Tuple
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.Key()
+		}
+		k := strings.Join(parts, "\x01")
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+func execInsert(db *rel.Database, s *InsertStmt) (*Result, error) {
+	r := db.Relation(s.Table)
+	if r == nil {
+		return nil, fmt.Errorf("sqlx: no such table %q", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = r.Schema.Names()
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := r.Schema.Index(c)
+		if j < 0 {
+			return nil, fmt.Errorf("sqlx: no column %q in %q", c, s.Table)
+		}
+		idx[i] = j
+	}
+	empty := &env{}
+	for _, row := range s.Rows {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("sqlx: INSERT arity mismatch: %d values for %d columns", len(row), len(cols))
+		}
+		t := make(rel.Tuple, r.Schema.Len())
+		for i := range t {
+			t[i] = rel.Null()
+		}
+		for i, e := range row {
+			v, err := eval(e, empty)
+			if err != nil {
+				return nil, err
+			}
+			t[idx[i]] = v
+		}
+		r.Append(t)
+	}
+	return &Result{Affected: len(s.Rows)}, nil
+}
+
+func execCreateTable(db *rel.Database, s *CreateTableStmt) (*Result, error) {
+	if db.Relation(s.Table) != nil {
+		if s.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqlx: table %q already exists", s.Table)
+	}
+	cols := make([]rel.Column, len(s.Columns))
+	for i, cd := range s.Columns {
+		cols[i] = rel.Column{Name: cd.Name, Kind: cd.Kind}
+	}
+	r := db.Create(s.Table, rel.NewSchema(cols...))
+	for _, cd := range s.Columns {
+		if cd.PrimaryKey {
+			r.PrimaryKey = cd.Name
+			r.UniqueCols[strings.ToLower(cd.Name)] = true
+		}
+		if cd.Unique {
+			r.UniqueCols[strings.ToLower(cd.Name)] = true
+		}
+		if cd.References != nil {
+			r.ForeignKeys = append(r.ForeignKeys, *cd.References)
+		}
+	}
+	return &Result{}, nil
+}
+
+func execDropTable(db *rel.Database, s *DropTableStmt) (*Result, error) {
+	if db.Relation(s.Table) == nil {
+		if s.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqlx: no such table %q", s.Table)
+	}
+	db.Drop(s.Table)
+	return &Result{}, nil
+}
+
+func execUpdate(db *rel.Database, s *UpdateStmt) (*Result, error) {
+	r := db.Relation(s.Table)
+	if r == nil {
+		return nil, fmt.Errorf("sqlx: no such table %q", s.Table)
+	}
+	idx := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		j := r.Schema.Index(a.Column)
+		if j < 0 {
+			return nil, fmt.Errorf("sqlx: no column %q in %q", a.Column, s.Table)
+		}
+		idx[i] = j
+	}
+	n := 0
+	for ti, t := range r.Tuples {
+		e := &env{bindings: []binding{{name: s.Table, schema: r.Schema, tuple: t}}}
+		if s.Where != nil {
+			v, err := eval(s.Where, e)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); !ok || !b {
+				continue
+			}
+		}
+		for i, a := range s.Set {
+			v, err := eval(a.Value, e)
+			if err != nil {
+				return nil, err
+			}
+			r.Tuples[ti][idx[i]] = v
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func execDelete(db *rel.Database, s *DeleteStmt) (*Result, error) {
+	r := db.Relation(s.Table)
+	if r == nil {
+		return nil, fmt.Errorf("sqlx: no such table %q", s.Table)
+	}
+	var kept []rel.Tuple
+	n := 0
+	for _, t := range r.Tuples {
+		e := &env{bindings: []binding{{name: s.Table, schema: r.Schema, tuple: t}}}
+		del := s.Where == nil
+		if s.Where != nil {
+			v, err := eval(s.Where, e)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				del = true
+			}
+		}
+		if del {
+			n++
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	r.Tuples = kept
+	return &Result{Affected: n}, nil
+}

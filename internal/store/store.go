@@ -1,0 +1,313 @@
+// Package store persists and restores an integrated ALADIN warehouse.
+// The paper's system is a *materialized* repository (§3: "ALADIN builds on
+// a local data warehouse"), so integration results — imported relations,
+// discovered structures, statistics, object links, and user feedback —
+// must survive restarts without re-running the expensive discovery steps
+// (§6.2 stresses how costly re-computation is).
+//
+// The format is a single gob-encoded snapshot. Gob keeps the module
+// dependency-free and is versioned through an explicit header so future
+// layouts can migrate.
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/discovery"
+	"repro/internal/ind"
+	"repro/internal/metadata"
+	"repro/internal/profile"
+	"repro/internal/rel"
+)
+
+// FormatVersion identifies the snapshot layout.
+const FormatVersion = 1
+
+// Snapshot is the serializable state of an integrated warehouse.
+type Snapshot struct {
+	Version int
+	Sources []SourceSnapshot
+	Links   []metadata.Link
+	// Removed holds user-feedback link deletions so restored systems do
+	// not resurrect them (§6.2).
+	Removed []metadata.Link
+}
+
+// SourceSnapshot is one source's data plus discovered metadata.
+type SourceSnapshot struct {
+	Name       string
+	Relations  []RelationSnapshot
+	Structure  *StructureSnapshot
+	TupleCount int
+}
+
+// RelationSnapshot flattens a rel.Relation for encoding.
+type RelationSnapshot struct {
+	Name        string
+	Columns     []rel.Column
+	PrimaryKey  string
+	UniqueCols  []string
+	ForeignKeys []rel.ForeignKey
+	// Tuples flatten row-major; Kinds parallel the values.
+	Rows [][]CellSnapshot
+}
+
+// CellSnapshot is one encoded value.
+type CellSnapshot struct {
+	Kind rel.Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// StructureSnapshot captures the parts of discovery.Structure needed to
+// resume operation (paths are recomputed cheaply on load).
+type StructureSnapshot struct {
+	Primary          string
+	PrimaryAccession string
+	ForeignKeys      []ind.IND
+	InDegree         map[string]int
+}
+
+func encodeCell(v rel.Value) CellSnapshot {
+	c := CellSnapshot{Kind: v.Kind()}
+	switch v.Kind() {
+	case rel.KindInt:
+		c.I, _ = v.AsInt()
+	case rel.KindFloat:
+		c.F, _ = v.AsFloat()
+	case rel.KindString:
+		c.S = v.AsString()
+	case rel.KindBool:
+		c.B, _ = v.AsBool()
+	}
+	return c
+}
+
+func decodeCell(c CellSnapshot) rel.Value {
+	switch c.Kind {
+	case rel.KindInt:
+		return rel.Int(c.I)
+	case rel.KindFloat:
+		return rel.Float(c.F)
+	case rel.KindString:
+		return rel.Str(c.S)
+	case rel.KindBool:
+		return rel.Bool(c.B)
+	}
+	return rel.Null()
+}
+
+// SnapshotRelation converts a relation into its snapshot form.
+func SnapshotRelation(r *rel.Relation) RelationSnapshot {
+	rs := RelationSnapshot{
+		Name:        r.Name,
+		Columns:     append([]rel.Column{}, r.Schema.Columns...),
+		PrimaryKey:  r.PrimaryKey,
+		ForeignKeys: append([]rel.ForeignKey{}, r.ForeignKeys...),
+	}
+	for c, u := range r.UniqueCols {
+		if u {
+			rs.UniqueCols = append(rs.UniqueCols, c)
+		}
+	}
+	rs.Rows = make([][]CellSnapshot, len(r.Tuples))
+	for i, t := range r.Tuples {
+		row := make([]CellSnapshot, len(t))
+		for j, v := range t {
+			row[j] = encodeCell(v)
+		}
+		rs.Rows[i] = row
+	}
+	return rs
+}
+
+// RestoreRelation converts a snapshot back into a relation.
+func RestoreRelation(rs RelationSnapshot) *rel.Relation {
+	r := rel.NewRelation(rs.Name, rel.NewSchema(rs.Columns...))
+	r.PrimaryKey = rs.PrimaryKey
+	for _, c := range rs.UniqueCols {
+		r.UniqueCols[c] = true
+	}
+	r.ForeignKeys = append(r.ForeignKeys, rs.ForeignKeys...)
+	for _, row := range rs.Rows {
+		t := make(rel.Tuple, len(row))
+		for j, c := range row {
+			t[j] = decodeCell(c)
+		}
+		r.Append(t)
+	}
+	return r
+}
+
+// SnapshotDatabase converts a database.
+func SnapshotDatabase(db *rel.Database) []RelationSnapshot {
+	var out []RelationSnapshot
+	for _, r := range db.Relations() {
+		out = append(out, SnapshotRelation(r))
+	}
+	return out
+}
+
+// RestoreDatabase rebuilds a database.
+func RestoreDatabase(name string, rels []RelationSnapshot) *rel.Database {
+	db := rel.NewDatabase(name)
+	for _, rs := range rels {
+		db.Put(RestoreRelation(rs))
+	}
+	return db
+}
+
+// SnapshotStructure captures a discovered structure.
+func SnapshotStructure(s *discovery.Structure) *StructureSnapshot {
+	if s == nil {
+		return nil
+	}
+	return &StructureSnapshot{
+		Primary:          s.Primary,
+		PrimaryAccession: s.PrimaryAccession,
+		ForeignKeys:      append([]ind.IND{}, s.ForeignKeys...),
+		InDegree:         s.InDegree,
+	}
+}
+
+// Build assembles a snapshot from warehouse pieces. Callers pass the
+// per-source databases plus the metadata repository.
+func Build(sources map[string]*rel.Database, metas map[string]*metadata.SourceMeta,
+	links, removed []metadata.Link) *Snapshot {
+
+	snap := &Snapshot{Version: FormatVersion, Links: links, Removed: removed}
+	// Deterministic source order: by registration sequence.
+	ordered := make([]*metadata.SourceMeta, 0, len(metas))
+	for _, m := range metas {
+		ordered = append(ordered, m)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Seq < ordered[j].Seq })
+	for _, m := range ordered {
+		db := sources[keyOf(m.Name)]
+		if db == nil {
+			continue
+		}
+		snap.Sources = append(snap.Sources, SourceSnapshot{
+			Name:       m.Name,
+			Relations:  SnapshotDatabase(db),
+			Structure:  SnapshotStructure(m.Structure),
+			TupleCount: m.TupleCount,
+		})
+	}
+	return snap
+}
+
+func keyOf(name string) string { return strings.ToLower(name) }
+
+// Write encodes a snapshot.
+func Write(w io.Writer, snap *Snapshot) error {
+	if snap.Version == 0 {
+		snap.Version = FormatVersion
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a snapshot and validates its version.
+func Read(r io.Reader) (*Snapshot, error) {
+	dec := gob.NewDecoder(r)
+	var snap Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if snap.Version != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (want %d)", snap.Version, FormatVersion)
+	}
+	return &snap, nil
+}
+
+// SaveFile writes a snapshot to a file (atomically via a temp file).
+func SaveFile(path string, snap *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, snap); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from a file.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// RestoreRepo rebuilds a metadata repository from a snapshot: structures
+// are re-discovered from the restored data (cheap relative to link
+// discovery), links and feedback are replayed.
+type RestoredWarehouse struct {
+	Sources map[string]*rel.Database
+	Repo    *metadata.Repo
+}
+
+// Restore rebuilds the warehouse databases and metadata repository.
+// reanalyze is called per source to recompute the full structure from
+// restored data (pass discovery.Analyze wrapped with profiling); it may
+// be nil, in which case only snapshot metadata is registered.
+func Restore(snap *Snapshot,
+	reanalyze func(db *rel.Database) (*discovery.Structure, map[string]*profile.ColumnProfile, error),
+) (*RestoredWarehouse, error) {
+
+	out := &RestoredWarehouse{
+		Sources: make(map[string]*rel.Database),
+		Repo:    metadata.NewRepo(),
+	}
+	for _, ss := range snap.Sources {
+		db := RestoreDatabase(ss.Name, ss.Relations)
+		out.Sources[keyOf(ss.Name)] = db
+		meta := &metadata.SourceMeta{Name: ss.Name, TupleCount: ss.TupleCount}
+		if reanalyze != nil {
+			st, profs, err := reanalyze(db)
+			if err != nil {
+				return nil, fmt.Errorf("store: re-analyzing %s: %w", ss.Name, err)
+			}
+			meta.Structure = st
+			meta.Profiles = profs
+		} else if ss.Structure != nil {
+			meta.Structure = &discovery.Structure{
+				Source:           ss.Name,
+				Primary:          ss.Structure.Primary,
+				PrimaryAccession: ss.Structure.PrimaryAccession,
+				ForeignKeys:      ss.Structure.ForeignKeys,
+				InDegree:         ss.Structure.InDegree,
+			}
+		}
+		out.Repo.RegisterSource(meta)
+	}
+	// Replay feedback first so removed links cannot re-enter.
+	for _, l := range snap.Removed {
+		out.Repo.RemoveLink(l)
+	}
+	for _, l := range snap.Links {
+		out.Repo.AddLink(l)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package textmine_test
+
+import (
+	"fmt"
+
+	"repro/internal/textmine"
+)
+
+func ExampleCorpus() {
+	c := textmine.NewCorpus()
+	docs := []string{
+		"hemoglobin transports oxygen in blood",
+		"myoglobin stores oxygen in muscle",
+		"ribosome synthesizes protein chains",
+	}
+	for _, d := range docs {
+		c.AddDoc(d)
+	}
+	v0 := c.Vector(docs[0])
+	fmt.Printf("sim(0,1)=%.2f sim(0,2)=%.2f\n",
+		textmine.Cosine(v0, c.Vector(docs[1])),
+		textmine.Cosine(v0, c.Vector(docs[2])))
+	// Output:
+	// sim(0,1)=0.05 sim(0,2)=0.00
+}
+
+func ExampleJaroWinkler() {
+	fmt.Printf("%.3f\n", textmine.JaroWinkler("MARTHA", "MARHTA"))
+	// Output:
+	// 0.961
+}
+
+func ExampleEntityRecognizer() {
+	er := textmine.NewEntityRecognizer([]string{"hemoglobin", "insulin receptor"})
+	for _, m := range er.Extract("Hemoglobin binds the insulin receptor near TP53.") {
+		fmt.Printf("%s (%s)\n", m.Text, m.Source)
+	}
+	// Output:
+	// Hemoglobin (dict)
+	// insulin receptor (dict)
+	// TP53 (pattern)
+}
+
+func ExampleEditDistance() {
+	fmt.Println(textmine.EditDistance("kitten", "sitting"))
+	// Output:
+	// 3
+}

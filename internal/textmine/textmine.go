@@ -1,0 +1,440 @@
+// Package textmine provides the text-mining substrate for ALADIN's
+// implicit link discovery (§4.4): tokenization, TF-IDF vectors with
+// cosine similarity for comparing textual annotation fields, classic
+// string-distance measures for duplicate detection (§4.5), and a
+// dictionary/pattern-based biomedical entity recognizer standing in for
+// gene-name recognition systems such as GAPSCORE [CSA04].
+package textmine
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// stopwords are high-frequency English words excluded from token vectors.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true,
+	"have": true, "in": true, "is": true, "it": true, "its": true,
+	"of": true, "on": true, "or": true, "that": true, "the": true,
+	"this": true, "to": true, "was": true, "which": true, "with": true,
+}
+
+// Tokenize lower-cases s and splits it into alphanumeric tokens, dropping
+// stopwords and single characters.
+func Tokenize(s string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() == 0 {
+			return
+		}
+		tok := sb.String()
+		sb.Reset()
+		if len(tok) < 2 || stopwords[tok] {
+			return
+		}
+		out = append(out, tok)
+	}
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			sb.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TermFreq counts token occurrences.
+func TermFreq(tokens []string) map[string]int {
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	return tf
+}
+
+// Corpus accumulates document frequencies to weight terms by IDF.
+type Corpus struct {
+	docs int
+	df   map[string]int
+}
+
+// NewCorpus creates an empty corpus.
+func NewCorpus() *Corpus { return &Corpus{df: make(map[string]int)} }
+
+// AddDoc folds one document's tokens into the document-frequency table.
+func (c *Corpus) AddDoc(text string) {
+	c.docs++
+	seen := make(map[string]bool)
+	for _, t := range Tokenize(text) {
+		if !seen[t] {
+			seen[t] = true
+			c.df[t]++
+		}
+	}
+}
+
+// Docs returns the number of added documents.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of a term.
+func (c *Corpus) IDF(term string) float64 {
+	return math.Log(float64(c.docs+1) / float64(c.df[term]+1))
+}
+
+// Vector computes the L2-normalized TF-IDF vector of a text.
+func (c *Corpus) Vector(text string) map[string]float64 {
+	tf := TermFreq(Tokenize(text))
+	v := make(map[string]float64, len(tf))
+	var norm float64
+	for t, f := range tf {
+		w := float64(f) * c.IDF(t)
+		v[t] = w
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for t := range v {
+			v[t] /= norm
+		}
+	}
+	return v
+}
+
+// Cosine computes the dot product of two normalized vectors.
+func Cosine(a, b map[string]float64) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for t, w := range a {
+		dot += w * b[t]
+	}
+	return dot
+}
+
+// Jaccard computes token-set Jaccard similarity of two strings.
+func Jaccard(a, b string) float64 {
+	sa := make(map[string]bool)
+	for _, t := range Tokenize(a) {
+		sa[t] = true
+	}
+	sb := make(map[string]bool)
+	for _, t := range Tokenize(b) {
+		sb[t] = true
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// EditDistance computes the Levenshtein distance between a and b.
+func EditDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	n, m := len(a), len(b)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	curr := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		curr[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[m]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// EditSimilarity normalizes edit distance into [0,1]: 1 - d/max(len).
+func EditSimilarity(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	return 1 - float64(EditDistance(a, b))/float64(maxLen)
+}
+
+// Jaro computes the Jaro similarity of two strings.
+func Jaro(a, b string) float64 {
+	if a == b {
+		if a == "" {
+			return 1
+		}
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatch := make([]bool, la)
+	bMatch := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if bMatch[j] || a[i] != b[j] {
+				continue
+			}
+			aMatch[i] = true
+			bMatch[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for shared prefixes (up to 4 chars,
+// scaling factor 0.1), the standard variant used in duplicate detection.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// QGrams returns the multiset of character q-grams of s (with boundary
+// padding), as counts.
+func QGrams(s string, q int) map[string]int {
+	if q < 1 {
+		q = 2
+	}
+	if s == "" {
+		return map[string]int{}
+	}
+	padded := strings.Repeat("#", q-1) + strings.ToLower(s) + strings.Repeat("#", q-1)
+	out := make(map[string]int)
+	for i := 0; i+q <= len(padded); i++ {
+		out[padded[i:i+q]]++
+	}
+	return out
+}
+
+// QGramSimilarity computes Dice similarity over q-gram multisets.
+func QGramSimilarity(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	var sizeA, sizeB, overlap int
+	for g, ca := range ga {
+		sizeA += ca
+		if cb, ok := gb[g]; ok {
+			if ca < cb {
+				overlap += ca
+			} else {
+				overlap += cb
+			}
+		}
+	}
+	for _, cb := range gb {
+		sizeB += cb
+	}
+	if sizeA+sizeB == 0 {
+		return 0
+	}
+	return 2 * float64(overlap) / float64(sizeA+sizeB)
+}
+
+// EntityRecognizer extracts candidate biomedical entity names from free
+// text: dictionary hits against names harvested from unique fields of
+// primary relations (§4.4: "extracting names that are matched with unique
+// fields of primary relations"), plus pattern-based accession-shaped and
+// gene-symbol-shaped tokens.
+type EntityRecognizer struct {
+	dict map[string]bool
+}
+
+// NewEntityRecognizer builds a recognizer over a dictionary of known
+// entity names (case-insensitive).
+func NewEntityRecognizer(names []string) *EntityRecognizer {
+	d := make(map[string]bool, len(names))
+	for _, n := range names {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n != "" {
+			d[n] = true
+		}
+	}
+	return &EntityRecognizer{dict: d}
+}
+
+// AddName extends the dictionary.
+func (er *EntityRecognizer) AddName(name string) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name != "" {
+		er.dict[name] = true
+	}
+}
+
+// Mention is one recognized entity occurrence.
+type Mention struct {
+	Text string
+	// Source is "dict" for dictionary hits or "pattern" for shape-based
+	// recognition.
+	Source string
+}
+
+// Extract returns the entity mentions found in text, deduplicated,
+// dictionary hits first.
+func (er *EntityRecognizer) Extract(text string) []Mention {
+	seen := make(map[string]bool)
+	var out []Mention
+	// Dictionary pass over raw whitespace tokens and 2-grams, preserving
+	// original casing in the mention text.
+	raw := strings.Fields(text)
+	clean := make([]string, len(raw))
+	for i, w := range raw {
+		clean[i] = strings.Trim(w, ".,;:()[]{}\"'")
+	}
+	add := func(text, source string) {
+		key := strings.ToLower(text)
+		if key == "" || seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Mention{Text: text, Source: source})
+	}
+	for i, w := range clean {
+		if er.dict[strings.ToLower(w)] {
+			add(w, "dict")
+		}
+		if i+1 < len(clean) {
+			two := w + " " + clean[i+1]
+			if er.dict[strings.ToLower(two)] {
+				add(two, "dict")
+			}
+		}
+	}
+	for _, w := range clean {
+		if seen[strings.ToLower(w)] {
+			continue
+		}
+		if LooksLikeAccession(w) {
+			add(w, "pattern")
+		} else if looksLikeGeneSymbol(w) {
+			add(w, "pattern")
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source == "dict"
+		}
+		return false
+	})
+	return out
+}
+
+// LooksLikeAccession applies the §4.2 accession shape to a single token:
+// length >= 4, contains both a letter and a digit, no lowercase run
+// longer than the typical accession mixes.
+func LooksLikeAccession(w string) bool {
+	if len(w) < 4 || len(w) > 20 {
+		return false
+	}
+	hasLetter, hasDigit := false, false
+	for _, r := range w {
+		switch {
+		case unicode.IsDigit(r):
+			hasDigit = true
+		case unicode.IsLetter(r):
+			hasLetter = true
+		case r == '_' || r == ':' || r == '.' || r == '-':
+			// common inside composite identifiers
+		default:
+			return false
+		}
+	}
+	return hasLetter && hasDigit
+}
+
+// looksLikeGeneSymbol matches short all-caps symbols like "BRCA1", "TP53",
+// "HBA" — at least two uppercase letters, length 2..10, no lowercase.
+func looksLikeGeneSymbol(w string) bool {
+	if len(w) < 2 || len(w) > 10 {
+		return false
+	}
+	upper := 0
+	for _, r := range w {
+		switch {
+		case unicode.IsUpper(r):
+			upper++
+		case unicode.IsDigit(r):
+		default:
+			return false
+		}
+	}
+	return upper >= 2
+}

@@ -1,0 +1,277 @@
+package textmine
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("The Hemoglobin, subunit-alpha (HBA1) binds O2.")
+	want := []string{"hemoglobin", "subunit", "alpha", "hba1", "binds", "o2"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeDropsStopwordsAndSingles(t *testing.T) {
+	toks := Tokenize("a protein of the cell")
+	if len(toks) != 2 || toks[0] != "protein" || toks[1] != "cell" {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestCorpusIDFWeighting(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc("protein binds oxygen")
+	c.AddDoc("protein folds quickly")
+	c.AddDoc("protein degrades slowly")
+	// "protein" appears everywhere: low IDF; "oxygen" once: high IDF.
+	if c.IDF("protein") >= c.IDF("oxygen") {
+		t.Errorf("IDF(protein)=%v should be < IDF(oxygen)=%v", c.IDF("protein"), c.IDF("oxygen"))
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	c := NewCorpus()
+	docs := []string{
+		"hemoglobin oxygen transport blood",
+		"hemoglobin oxygen binding protein in red blood cells",
+		"ribosomal translation machinery",
+	}
+	for _, d := range docs {
+		c.AddDoc(d)
+	}
+	v0 := c.Vector(docs[0])
+	v1 := c.Vector(docs[1])
+	v2 := c.Vector(docs[2])
+	simClose := Cosine(v0, v1)
+	simFar := Cosine(v0, v2)
+	if simClose <= simFar {
+		t.Errorf("related docs %v should exceed unrelated %v", simClose, simFar)
+	}
+	if self := Cosine(v0, v0); math.Abs(self-1.0) > 1e-9 {
+		t.Errorf("self-cosine = %v", self)
+	}
+}
+
+func TestCosineEmpty(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc("x y")
+	if got := Cosine(c.Vector(""), c.Vector("anything here")); got != 0 {
+		t.Errorf("empty cosine = %v", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if j := Jaccard("protein kinase domain", "kinase domain structure"); j <= 0.3 || j >= 1 {
+		t.Errorf("jaccard = %v", j)
+	}
+	if j := Jaccard("alpha beta", "alpha beta"); j != 1 {
+		t.Errorf("identical jaccard = %v", j)
+	}
+	if j := Jaccard("", ""); j != 0 {
+		t.Errorf("empty jaccard = %v", j)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"P12345", "P12345", 0},
+		{"P12345", "P12346", 1},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if s := EditSimilarity("", ""); s != 1 {
+		t.Errorf("empty = %v", s)
+	}
+	if s := EditSimilarity("abcd", "abcd"); s != 1 {
+		t.Errorf("identical = %v", s)
+	}
+	if s := EditSimilarity("abcd", "wxyz"); s != 0 {
+		t.Errorf("disjoint = %v", s)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if jw := JaroWinkler("MARTHA", "MARHTA"); jw < 0.95 {
+		t.Errorf("MARTHA/MARHTA = %v; classic value ~0.961", jw)
+	}
+	if jw := JaroWinkler("abc", "abc"); jw != 1 {
+		t.Errorf("identical = %v", jw)
+	}
+	if jw := JaroWinkler("abc", "xyz"); jw != 0 {
+		t.Errorf("disjoint = %v", jw)
+	}
+	// Prefix boost: common prefix should rank higher than common suffix.
+	pre := JaroWinkler("hemoglobin", "hemoglobine")
+	suf := JaroWinkler("ahemoglobin", "hemoglobin")
+	if pre <= suf {
+		t.Errorf("prefix boost: pre=%v suf=%v", pre, suf)
+	}
+}
+
+func TestQGramSimilarity(t *testing.T) {
+	if s := QGramSimilarity("hemoglobin", "hemoglobin", 3); s != 1 {
+		t.Errorf("identical = %v", s)
+	}
+	near := QGramSimilarity("hemoglobin", "hemoglobine", 3)
+	far := QGramSimilarity("hemoglobin", "ribosome", 3)
+	if near <= far {
+		t.Errorf("near=%v far=%v", near, far)
+	}
+	if s := QGramSimilarity("", "", 3); s != 0 {
+		t.Errorf("empty = %v", s)
+	}
+}
+
+func TestEntityRecognizerDictionary(t *testing.T) {
+	er := NewEntityRecognizer([]string{"hemoglobin", "insulin receptor"})
+	ms := er.Extract("Binding of Hemoglobin to the insulin receptor was observed.")
+	var dict []string
+	for _, m := range ms {
+		if m.Source == "dict" {
+			dict = append(dict, strings.ToLower(m.Text))
+		}
+	}
+	if len(dict) != 2 {
+		t.Fatalf("dict mentions = %v", ms)
+	}
+	if dict[0] != "hemoglobin" && dict[1] != "hemoglobin" {
+		t.Errorf("missing hemoglobin: %v", dict)
+	}
+	has2gram := false
+	for _, d := range dict {
+		if d == "insulin receptor" {
+			has2gram = true
+		}
+	}
+	if !has2gram {
+		t.Errorf("missing 2-gram dictionary hit: %v", dict)
+	}
+}
+
+func TestEntityRecognizerPatterns(t *testing.T) {
+	er := NewEntityRecognizer(nil)
+	ms := er.Extract("Mutations in TP53 and accession P12345 were reported, but not in water.")
+	found := map[string]bool{}
+	for _, m := range ms {
+		found[m.Text] = true
+	}
+	if !found["TP53"] {
+		t.Errorf("gene symbol TP53 not recognized: %v", ms)
+	}
+	if !found["P12345"] {
+		t.Errorf("accession P12345 not recognized: %v", ms)
+	}
+	if found["water"] || found["Mutations"] {
+		t.Errorf("common words misrecognized: %v", ms)
+	}
+}
+
+func TestEntityRecognizerDeduplicates(t *testing.T) {
+	er := NewEntityRecognizer([]string{"brca1"})
+	ms := er.Extract("BRCA1 interacts with BRCA1 in brca1-null cells")
+	count := 0
+	for _, m := range ms {
+		if strings.EqualFold(m.Text, "brca1") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("BRCA1 mentioned %d times in output", count)
+	}
+}
+
+func TestLooksLikeAccession(t *testing.T) {
+	yes := []string{"P12345", "ENSG00000042753", "1ABC", "GO:0005524", "Uniprot:P11140"}
+	no := []string{"abc", "12345", "protein", "P1", "hello-world"}
+	for _, w := range yes {
+		if !LooksLikeAccession(w) {
+			t.Errorf("%q should look like an accession", w)
+		}
+	}
+	for _, w := range no {
+		if LooksLikeAccession(w) {
+			t.Errorf("%q should not look like an accession", w)
+		}
+	}
+}
+
+// Property: edit distance is a metric — symmetric, zero iff equal, and
+// obeys the triangle inequality on small random strings.
+func TestEditDistanceMetricProperties(t *testing.T) {
+	clamp := func(s string) string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		return s
+	}
+	f := func(a, b, c string) bool {
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		dab := EditDistance(a, b)
+		dba := EditDistance(b, a)
+		if dab != dba {
+			return false
+		}
+		if (dab == 0) != (a == b) {
+			return false
+		}
+		return EditDistance(a, c) <= dab+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JaroWinkler stays in [0,1] and equals 1 for identical strings.
+func TestJaroWinklerRange(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		jw := JaroWinkler(a, b)
+		if jw < 0 || jw > 1 {
+			return false
+		}
+		return JaroWinkler(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cosine of any vector pair is within [0, 1+eps].
+func TestCosineRange(t *testing.T) {
+	c := NewCorpus()
+	c.AddDoc("alpha beta gamma delta")
+	f := func(a, b string) bool {
+		got := Cosine(c.Vector(a), c.Vector(b))
+		return got >= 0 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
