@@ -10,6 +10,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -67,29 +68,42 @@ func BenchmarkTable1IntegrationCost(b *testing.B) {
 }
 
 // BenchmarkFigure2Pipeline (E2, Figures 1+2): one full five-step pipeline
-// run per iteration, reporting per-step shares via sub-benchmarks.
+// run per iteration, reporting per-step shares via sub-benchmarks, for
+// the serial pipeline (workers=1) and the parallel one (workers=GOMAXPROCS).
 func BenchmarkFigure2Pipeline(b *testing.B) {
 	steps := []string{"profile", "discover-structure", "link-discovery", "duplicate-detection", "register-and-index"}
-	for _, step := range steps {
-		b.Run(step, func(b *testing.B) {
-			var total float64
-			for i := 0; i < b.N; i++ {
-				corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: 40})
-				sys := core.New(core.Options{OntologySources: []string{"go"}})
-				for _, src := range corpus.Sources {
-					rep, err := sys.AddSource(src)
-					if err != nil {
-						b.Fatal(err)
-					}
-					for _, t := range rep.Timings {
-						if t.Step == step {
-							total += float64(t.Duration.Nanoseconds())
+	type pipelineMode struct {
+		name    string
+		workers int
+	}
+	modes := []pipelineMode{{"serial", 1}}
+	// On a single-CPU host the parallel variant is the serial one; skip
+	// the duplicate run.
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		modes = append(modes, pipelineMode{fmt.Sprintf("parallel-%d", n), n})
+	}
+	for _, mode := range modes {
+		for _, step := range steps {
+			b.Run(mode.name+"/"+step, func(b *testing.B) {
+				var total float64
+				for i := 0; i < b.N; i++ {
+					corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: 40})
+					sys := core.New(core.Options{OntologySources: []string{"go"}, Workers: mode.workers})
+					for _, src := range corpus.Sources {
+						rep, err := sys.AddSource(src)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for _, t := range rep.Timings {
+							if t.Step == step {
+								total += float64(t.Duration.Nanoseconds())
+							}
 						}
 					}
 				}
-			}
-			b.ReportMetric(total/float64(b.N), "step-ns/corpus")
-		})
+				b.ReportMetric(total/float64(b.N), "step-ns/corpus")
+			})
+		}
 	}
 }
 
@@ -308,23 +322,31 @@ func BenchmarkBlockingAblation(b *testing.B) {
 }
 
 // BenchmarkAddSourceScaling (E10): cost of adding one more source at
-// increasing corpus sizes.
+// increasing corpus sizes, serial (workers-1) vs parallel
+// (workers-GOMAXPROCS). Both variants discover identical links and
+// duplicates (asserted by TestParallelSerialParity in smoke_test.go).
 func BenchmarkAddSourceScaling(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
 	for _, n := range []int{50, 100, 200} {
-		b.Run(fmt.Sprintf("proteins-%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: n})
-				sys := core.New(core.Options{DisableSearchIndex: true})
-				if _, err := sys.AddSource(corpus.Source("pdb")); err != nil {
-					b.Fatal(err)
+		for _, workers := range workerCounts {
+			b.Run(fmt.Sprintf("proteins-%d/workers-%d", n, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: n})
+					sys := core.New(core.Options{DisableSearchIndex: true, Workers: workers})
+					if _, err := sys.AddSource(corpus.Source("pdb")); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := sys.AddSource(corpus.Source("swissprot")); err != nil {
+						b.Fatal(err)
+					}
 				}
-				b.StartTimer()
-				if _, err := sys.AddSource(corpus.Source("swissprot")); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

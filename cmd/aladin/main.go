@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -25,35 +26,44 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/flatfile"
 	"repro/internal/metadata"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/rel"
 	"repro/internal/search"
 	"repro/internal/store"
 )
 
+// workerCount is the -workers flag: the pipeline worker pool size
+// (0 = all CPUs, 1 = serial).
+var workerCount int
+
 func main() {
-	if len(os.Args) < 2 {
+	flag.IntVar(&workerCount, "workers", 0, "pipeline worker pool size (0 = all CPUs, 1 = serial)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "demo":
 		err = cmdDemo()
 	case "import":
-		err = cmdImport(os.Args[2:])
+		err = cmdImport(args[1:])
 	case "query":
-		err = cmdQuery(os.Args[2:])
+		err = cmdQuery(args[1:])
 	case "search":
-		err = cmdSearch(os.Args[2:])
+		err = cmdSearch(args[1:])
 	case "browse":
-		err = cmdBrowse(os.Args[2:])
+		err = cmdBrowse(args[1:])
 	case "stats":
 		err = cmdStats()
 	case "save":
-		err = cmdSave(os.Args[2:])
+		err = cmdSave(args[1:])
 	case "load":
-		err = cmdLoad(os.Args[2:])
+		err = cmdLoad(args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -65,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: aladin <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: aladin [-workers n] <command> [args]
 
 commands:
   demo                            integrate the synthetic corpus and report
@@ -81,7 +91,7 @@ commands:
 // demoSystem integrates the standard synthetic corpus.
 func demoSystem() (*core.System, error) {
 	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 40})
-	sys := core.New(core.Options{OntologySources: []string{"go"}})
+	sys := core.New(core.Options{OntologySources: []string{"go"}, Workers: workerCount})
 	for _, src := range corpus.Sources {
 		if _, err := sys.AddSource(src); err != nil {
 			return nil, fmt.Errorf("integrating %s: %w", src.Name, err)
@@ -92,7 +102,7 @@ func demoSystem() (*core.System, error) {
 
 func cmdDemo() error {
 	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 40})
-	sys := core.New(core.Options{OntologySources: []string{"go"}})
+	sys := core.New(core.Options{OntologySources: []string{"go"}, Workers: workerCount})
 	fmt.Println("ALADIN demo: integrating the synthetic life-science corpus")
 	fmt.Println()
 	for _, src := range corpus.Sources {
@@ -163,7 +173,7 @@ func cmdImport(args []string) error {
 		return err
 	}
 	fmt.Printf("imported %s: %d relations, %d tuples\n", name, db.Len(), db.TotalTuples())
-	profs, err := profile.ProfileDatabase(db, profile.Options{})
+	profs, err := profile.ProfileDatabase(db, profile.Options{Workers: parallel.Workers(workerCount)})
 	if err != nil {
 		return err
 	}
@@ -292,7 +302,7 @@ func cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.Load(core.Options{OntologySources: []string{"go"}}, snap)
+	sys, err := core.Load(core.Options{OntologySources: []string{"go"}, Workers: workerCount}, snap)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -13,7 +14,10 @@ import (
 )
 
 func main() {
-	if len(os.Args) <= 1 {
+	workers := flag.Int("workers", 0, "pipeline worker pool size (0 = all CPUs, 1 = serial)")
+	flag.Parse()
+	experiments.Workers = *workers
+	if flag.NArg() == 0 {
 		tables, err := experiments.All()
 		for _, t := range tables {
 			t.Print(os.Stdout)
@@ -24,7 +28,7 @@ func main() {
 		}
 		return
 	}
-	for _, arg := range os.Args[1:] {
+	for _, arg := range flag.Args() {
 		tbl, err := run(strings.ToLower(arg))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -29,6 +29,7 @@ import (
 	"repro/internal/linkdisc"
 	"repro/internal/metadata"
 	"repro/internal/objectweb"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/rel"
 	"repro/internal/search"
@@ -50,6 +51,11 @@ type Options struct {
 	// DisableSearchIndex skips search indexing (for benchmarks isolating
 	// pipeline cost).
 	DisableSearchIndex bool
+	// Workers bounds the worker pool parallelizing the pipeline's inner
+	// loops (profiling, IND checks, link discovery, duplicate scoring).
+	// 0 defaults to runtime.GOMAXPROCS(0); 1 forces the serial pipeline.
+	// Results are identical for any worker count.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -58,6 +64,19 @@ func (o *Options) fill() {
 	}
 	if o.Discovery.MaxPathLen == 0 {
 		o.Discovery = discovery.DefaultOptions()
+	}
+	o.Workers = parallel.Workers(o.Workers)
+	if o.Profile.Workers == 0 {
+		o.Profile.Workers = o.Workers
+	}
+	if o.Discovery.IND.Workers == 0 {
+		o.Discovery.IND.Workers = o.Workers
+	}
+	if o.Links.Workers == 0 {
+		o.Links.Workers = o.Workers
+	}
+	if o.Duplicates.Workers == 0 {
+		o.Duplicates.Workers = o.Workers
 	}
 }
 
@@ -106,6 +125,15 @@ type System struct {
 	sources   map[string]*rel.Database
 	// records caches duplicate-detection records per source.
 	records map[string][]dup.Record
+	// dupIndex is the persistent blocking index: every record is bucketed
+	// once, and each new source is compared only against the blocking
+	// windows instead of re-running detection over the whole union.
+	dupIndex *dup.Index
+
+	// failpoint, when non-nil, is invoked at named pipeline stages and
+	// aborts AddSource on error — a test hook exercising the
+	// partial-state unwind.
+	failpoint func(stage string) error
 }
 
 // New creates an empty system.
@@ -121,6 +149,7 @@ func New(opts Options) *System {
 		warehouse: rel.NewDatabase("warehouse"),
 		sources:   make(map[string]*rel.Database),
 		records:   make(map[string][]dup.Record),
+		dupIndex:  dup.NewIndex(),
 	}
 }
 
@@ -155,59 +184,88 @@ func (s *System) AddSource(db *rel.Database) (*AddReport, error) {
 	}
 
 	// Step 4: link discovery against all previously integrated sources.
+	// From here on the engine, link repository and duplicate index hold
+	// state for this source; any failure must unwind it so a failed add
+	// leaves the system exactly as it was.
 	src := &linkdisc.Source{DB: db, Structure: structure, Profiles: profs}
 	if err := s.engine.AddSource(src); err != nil {
 		return nil, err
 	}
+	var added, upgraded []metadata.Link
+	unwind := func() {
+		s.engine.RemoveSource(db.Name)
+		s.Repo.DropLinks(added)
+		s.Repo.RevertUpgrades(upgraded)
+		s.dupIndex.RemoveSource(db.Name)
+		delete(s.records, name)
+	}
+	addLink := func(l metadata.Link) {
+		stored, up, prev := s.Repo.AddLinkTracked(l)
+		switch {
+		case stored:
+			added = append(added, l)
+			report.LinksAdded[l.Type.String()]++
+		case up:
+			// An existing link absorbed this one as higher-confidence
+			// evidence; remember the old value for the unwind path.
+			upgraded = append(upgraded, prev)
+		}
+	}
 	t0 = time.Now()
 	links, xattrs, lstats, err := s.engine.DiscoverFor(db.Name)
 	if err != nil {
+		unwind()
 		return nil, err
 	}
 	report.XRefAttributes = xattrs
 	report.LinkStats = lstats
 	for _, l := range links {
-		if s.Repo.AddLink(l) {
-			report.LinksAdded[l.Type.String()]++
-		}
+		addLink(l)
 	}
 	for _, ont := range s.opts.OntologySources {
-		derived := s.engine.DeriveOntologyLinks(s.Repo.AllLinks(), ont)
-		for _, l := range derived {
-			if s.Repo.AddLink(l) {
-				report.LinksAdded[l.Type.String()]++
-			}
+		for _, l := range s.engine.DeriveOntologyLinks(s.Repo.AllLinks(), ont) {
+			addLink(l)
 		}
 	}
 	report.Timings = append(report.Timings, StepTiming{"link-discovery", time.Since(t0)})
-
-	// Step 5: duplicate detection against all integrated records.
-	t0 = time.Now()
-	s.records[name] = dup.RecordsFromSource(db, structure)
-	var all []dup.Record
-	for _, rs := range s.records {
-		all = append(all, rs...)
+	if err := s.failAt("link-discovery"); err != nil {
+		unwind()
+		return nil, err
 	}
-	matches, dstats := dup.FindDuplicates(all, s.opts.Duplicates)
+
+	// Step 5: duplicate detection, incrementally: the new records are
+	// bucketed into the persistent blocking index and compared only
+	// new×existing + new×new within the blocking windows — matches among
+	// previously integrated records were already flagged when the later
+	// of the two sources arrived.
+	t0 = time.Now()
+	newRecords := dup.RecordsFromSource(db, structure)
+	s.records[name] = newRecords
+	matches, dstats := s.dupIndex.FindNew(newRecords, s.opts.Duplicates)
 	report.DupStats = dstats
 	for _, l := range dup.Links(matches) {
-		if s.Repo.AddLink(l) {
-			report.LinksAdded[l.Type.String()]++
-		}
+		addLink(l)
 	}
 	report.Timings = append(report.Timings, StepTiming{"duplicate-detection", time.Since(t0)})
+	if err := s.failAt("duplicate-detection"); err != nil {
+		unwind()
+		return nil, err
+	}
 
-	// Register everywhere: metadata, browse, SQL warehouse, search index.
+	// Register everywhere: browse, metadata, SQL warehouse, search index.
+	// The browse web goes first: it is the last fallible step, and keeping
+	// it ahead of registration means a failure still unwinds cleanly.
 	t0 = time.Now()
+	if err := s.web.AddSource(db, structure); err != nil {
+		unwind()
+		return nil, err
+	}
 	s.Repo.RegisterSource(&metadata.SourceMeta{
 		Name:       db.Name,
 		Structure:  structure,
 		Profiles:   profs,
 		TupleCount: db.TotalTuples(),
 	})
-	if err := s.web.AddSource(db, structure); err != nil {
-		return nil, err
-	}
 	s.sources[name] = db
 	for _, r := range db.Relations() {
 		qualified := r.Clone()
@@ -219,6 +277,14 @@ func (s *System) AddSource(db *rel.Database) (*AddReport, error) {
 	}
 	report.Timings = append(report.Timings, StepTiming{"register-and-index", time.Since(t0)})
 	return report, nil
+}
+
+// failAt triggers the test failpoint for one pipeline stage.
+func (s *System) failAt(stage string) error {
+	if s.failpoint == nil {
+		return nil
+	}
+	return s.failpoint(stage)
 }
 
 // indexSource feeds a source's text-bearing values into the search index.

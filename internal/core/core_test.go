@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -241,6 +243,83 @@ func TestNoPrimarySourceFails(t *testing.T) {
 }
 
 func itoa(i int) string { return strconv.Itoa(i) }
+
+// TestFailedAddSourceUnwindsPartialState injects failures after the
+// link-discovery and duplicate-detection stages and asserts that a failed
+// AddSource leaves Sources(), WebStats() and the link repository exactly
+// as they were — and that the same source integrates cleanly afterwards.
+func TestFailedAddSourceUnwindsPartialState(t *testing.T) {
+	corpus := datagen.Generate(defaultCfg())
+	sys := New(defaultOpts())
+	if _, err := sys.AddSource(corpus.Source("swissprot")); err != nil {
+		t.Fatal(err)
+	}
+	wantSources := sys.Sources()
+	wantWeb := sys.WebStats()
+	wantLinks := sys.Repo.AllLinks()
+	metadata.SortLinks(wantLinks)
+
+	for _, stage := range []string{"link-discovery", "duplicate-detection"} {
+		failAt := stage
+		sys.failpoint = func(s string) error {
+			if s == failAt {
+				return fmt.Errorf("injected failure at %s", s)
+			}
+			return nil
+		}
+		if _, err := sys.AddSource(corpus.Source("pir")); err == nil {
+			t.Fatalf("stage %s: expected injected error", stage)
+		}
+		if got := sys.Sources(); !reflect.DeepEqual(got, wantSources) {
+			t.Errorf("stage %s: sources changed: %v -> %v", stage, wantSources, got)
+		}
+		if got := sys.WebStats(); !reflect.DeepEqual(got, wantWeb) {
+			t.Errorf("stage %s: web stats changed: %+v -> %+v", stage, wantWeb, got)
+		}
+		gotLinks := sys.Repo.AllLinks()
+		metadata.SortLinks(gotLinks)
+		if !reflect.DeepEqual(gotLinks, wantLinks) {
+			t.Errorf("stage %s: link repo changed: %d -> %d links", stage, len(wantLinks), len(gotLinks))
+		}
+		if sys.engine.Source("pir") != nil {
+			t.Errorf("stage %s: engine retains half-integrated source", stage)
+		}
+		if _, ok := sys.records["pir"]; ok {
+			t.Errorf("stage %s: duplicate records retained", stage)
+		}
+	}
+
+	// After clearing the failpoint the unwound source must integrate as if
+	// the failed attempts never happened: compare against a fresh system.
+	sys.failpoint = nil
+	if _, err := sys.AddSource(corpus.Source("pir")); err != nil {
+		t.Fatalf("re-add after unwind: %v", err)
+	}
+	fresh := New(defaultOpts())
+	freshCorpus := datagen.Generate(defaultCfg())
+	for _, name := range []string{"swissprot", "pir"} {
+		if _, err := fresh.AddSource(freshCorpus.Source(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := linkEndpoints(sys.Repo.AllLinks())
+	want := linkEndpoints(fresh.Repo.AllLinks())
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("links after unwound re-add differ from clean integration: %d vs %d", len(got), len(want))
+	}
+}
+
+// linkEndpoints projects links onto their (type, endpoints) identity;
+// confidences are summed in map iteration order and can differ in the
+// last ulp between runs.
+func linkEndpoints(ls []metadata.Link) []string {
+	metadata.SortLinks(ls)
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = fmt.Sprintf("%s|%s|%s", l.Type, l.From, l.To)
+	}
+	return out
+}
 
 func TestAddReportTimingsAndStats(t *testing.T) {
 	sys := New(defaultOpts())

@@ -47,6 +47,10 @@ func Load(opts Options, snap *store.Snapshot) (*System, error) {
 		}
 		sys.sources[name] = db
 		sys.records[name] = dup.RecordsFromSource(db, structure)
+		// Bucket the records into the incremental duplicate index without
+		// comparing: the snapshot replays the discovered duplicate links,
+		// and later AddSource calls compare against these records.
+		sys.dupIndex.Add(sys.records[name])
 		for _, r := range db.Relations() {
 			qualified := r.Clone()
 			qualified.Name = name + "_" + r.Name

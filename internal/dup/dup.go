@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/discovery"
 	"repro/internal/metadata"
+	"repro/internal/parallel"
 	"repro/internal/rel"
 	"repro/internal/textmine"
 )
@@ -155,8 +156,16 @@ func NewMatcher(records []Record) *Matcher {
 	m := &Matcher{
 		valueCount: make(map[string]int),
 		tokenDF:    make(map[string]int),
-		records:    len(records),
 	}
+	m.addRecords(records)
+	return m
+}
+
+// addRecords folds more records into the frequency tables. All counts are
+// additive, so the incremental duplicate index can keep one Matcher
+// current as sources are integrated.
+func (m *Matcher) addRecords(records []Record) {
+	m.records += len(records)
 	for _, r := range records {
 		for _, v := range r.Fields {
 			m.valueCount[strings.ToLower(v)]++
@@ -170,7 +179,30 @@ func NewMatcher(records []Record) *Matcher {
 			}
 		}
 	}
-	return m
+}
+
+// removeRecords exactly reverses addRecords, used to unwind a failed
+// source addition from the incremental index.
+func (m *Matcher) removeRecords(records []Record) {
+	m.records -= len(records)
+	for _, r := range records {
+		for _, v := range r.Fields {
+			lv := strings.ToLower(v)
+			if m.valueCount[lv]--; m.valueCount[lv] <= 0 {
+				delete(m.valueCount, lv)
+			}
+			m.values--
+			seen := make(map[string]bool)
+			for _, tok := range textmine.Tokenize(v) {
+				if !seen[tok] {
+					seen[tok] = true
+					if m.tokenDF[tok]--; m.tokenDF[tok] <= 0 {
+						delete(m.tokenDF, tok)
+					}
+				}
+			}
+		}
+	}
 }
 
 // tokenIDF returns the informativeness weight of a token.
@@ -337,6 +369,10 @@ type Options struct {
 	// key, catching pairs whose primary keys diverge (default true when
 	// using SortedNeighborhood).
 	DisableSecondPass bool
+	// Workers bounds the worker pool scoring candidate pairs concurrently.
+	// Values <= 1 score serially. Results are identical either way:
+	// candidate generation stays serial and scores land in indexed slots.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -394,15 +430,27 @@ func reverse(s string) string {
 
 // FindDuplicates flags duplicate pairs between records of different
 // sources. Same-source pairs are also reported (duplicates can exist
-// within one source) but self-pairs never are.
+// within one source) but self-pairs never are. Candidate generation is
+// serial and deterministic; similarity scoring fans out over
+// Options.Workers.
 func FindDuplicates(records []Record, opts Options) ([]Match, Stats) {
 	opts.fill()
 	stats := Stats{Records: len(records)}
-	seen := make(map[string]bool)
-	var matches []Match
 	matcher := NewMatcher(records)
+	pairs := candidatePairs(records, opts)
+	stats.Comparisons = len(pairs)
+	matches := scorePairs(pairs, matcher, opts)
+	stats.Flagged = len(matches)
+	sortMatches(matches)
+	return matches, stats
+}
 
-	compare := func(a, b Record) {
+// candidatePairs generates the deduplicated candidate pairs of the chosen
+// blocking mode, in a deterministic order.
+func candidatePairs(records []Record, opts Options) [][2]Record {
+	seen := make(map[string]bool)
+	var pairs [][2]Record
+	add := func(a, b Record) {
 		if a.Source == b.Source && a.Accession == b.Accession {
 			return
 		}
@@ -411,18 +459,14 @@ func FindDuplicates(records []Record, opts Options) ([]Match, Stats) {
 			return
 		}
 		seen[k] = true
-		stats.Comparisons++
-		sim, ev := matcher.Similarity(a, b)
-		if sim >= opts.Threshold {
-			matches = append(matches, Match{A: a, B: b, Similarity: sim, Evidence: ev})
-		}
+		pairs = append(pairs, [2]Record{a, b})
 	}
 
 	switch opts.Blocking {
 	case FullPairwise:
 		for i := 0; i < len(records); i++ {
 			for j := i + 1; j < len(records); j++ {
-				compare(records[i], records[j])
+				add(records[i], records[j])
 			}
 		}
 	case SortedNeighborhood:
@@ -431,30 +475,51 @@ func FindDuplicates(records []Record, opts Options) ([]Match, Stats) {
 			passes = 2
 		}
 		for pass := 0; pass < passes; pass++ {
-			type keyed struct {
-				key string
-				rec Record
-			}
-			ks := make([]keyed, len(records))
+			ks := make([]keyedRecord, len(records))
 			for i, r := range records {
-				ks[i] = keyed{blockingKey(r, pass == 1), r}
+				ks[i] = keyedRecord{blockingKey(r, pass == 1), r}
 			}
-			sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+			sortKeyed(ks)
 			for i := range ks {
 				for j := i + 1; j < len(ks) && j <= i+opts.Window; j++ {
-					compare(ks[i].rec, ks[j].rec)
+					add(ks[i].rec, ks[j].rec)
 				}
 			}
 		}
 	}
-	stats.Flagged = len(matches)
+	return pairs
+}
+
+// scorePairs computes record similarity for every candidate pair on the
+// worker pool (indexed slots keep the output order deterministic) and
+// returns the pairs at or above the threshold.
+func scorePairs(pairs [][2]Record, matcher *Matcher, opts Options) []Match {
+	type scored struct {
+		sim float64
+		ev  string
+	}
+	results := make([]scored, len(pairs))
+	parallel.ForChunked(opts.Workers, len(pairs), 32, func(i int) {
+		sim, ev := matcher.Similarity(pairs[i][0], pairs[i][1])
+		results[i] = scored{sim, ev}
+	})
+	var matches []Match
+	for i, r := range results {
+		if r.sim >= opts.Threshold {
+			matches = append(matches, Match{A: pairs[i][0], B: pairs[i][1], Similarity: r.sim, Evidence: r.ev})
+		}
+	}
+	return matches
+}
+
+// sortMatches orders matches by similarity descending, then pair key.
+func sortMatches(matches []Match) {
 	sort.Slice(matches, func(i, j int) bool {
 		if matches[i].Similarity != matches[j].Similarity {
 			return matches[i].Similarity > matches[j].Similarity
 		}
 		return pairKey(matches[i].A, matches[i].B) < pairKey(matches[j].A, matches[j].B)
 	})
-	return matches, stats
 }
 
 func pairKey(a, b Record) string {

@@ -1,0 +1,228 @@
+// Incremental duplicate detection: instead of re-running FindDuplicates
+// over the union of all integrated records on every source addition —
+// redoing O(total²) comparisons that were already made — an Index keeps
+// every record bucketed by its sorted-neighbourhood blocking keys once,
+// and each new source is compared only new×existing + new×new within the
+// blocking windows. Matches between two previously-integrated records
+// were already flagged when the later of the two arrived.
+//
+// Deliberate tradeoff vs the full re-run: previously compared pairs are
+// NOT rescored under the frequency weights of later batches. A pair just
+// below threshold when its later source arrived stays unflagged even if
+// subsequent sources shift the IDF weights in its favour, and a flagged
+// pair's confidence freezes at its integration-time score. The §6.2
+// change-driven re-analysis path is the place to revisit old pairs.
+package dup
+
+import (
+	"sort"
+	"strings"
+)
+
+// keyedRecord is one record tagged with a blocking key.
+type keyedRecord struct {
+	key string
+	rec Record
+}
+
+// keyedLess is the total order of the sorted-neighbourhood lists: by
+// blocking key, ties broken by record identity. A strict total order
+// matters for the incremental index: merging batches under it yields the
+// exact list a full re-sort would, so windows do not depend on the order
+// sources were integrated in (blocking-key tie groups can exceed the
+// window size, where insertion-point drift would change the candidates).
+func keyedLess(a, b keyedRecord) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	ai := a.rec.Source + "\x00" + a.rec.Accession
+	bi := b.rec.Source + "\x00" + b.rec.Accession
+	return ai < bi
+}
+
+// sortKeyed orders by keyedLess.
+func sortKeyed(ks []keyedRecord) {
+	sort.Slice(ks, func(i, j int) bool { return keyedLess(ks[i], ks[j]) })
+}
+
+// Index is the persistent blocking index over all integrated records.
+// Records are bucketed (their blocking keys computed and merged into the
+// sorted pass lists) exactly once, when added.
+type Index struct {
+	// passes[p] holds every indexed record sorted by the pass-p blocking
+	// key (p=1 uses the reversed key of the second pass).
+	passes  [2][]keyedRecord
+	all     []Record
+	matcher *Matcher
+}
+
+// NewIndex creates an empty incremental duplicate index.
+func NewIndex() *Index {
+	return &Index{matcher: NewMatcher(nil)}
+}
+
+// Len returns the number of indexed records.
+func (ix *Index) Len() int { return len(ix.all) }
+
+// Add buckets records into the index without comparing them — used when
+// replaying a snapshot whose duplicate links are already known.
+func (ix *Index) Add(records []Record) {
+	ix.insert(records)
+}
+
+// insert merges the records into both sorted pass lists and the matcher,
+// returning the merged positions of the inserted records per pass.
+func (ix *Index) insert(records []Record) [2][]int {
+	ix.matcher.addRecords(records)
+	ix.all = append(ix.all, records...)
+	var positions [2][]int
+	for pass := 0; pass < 2; pass++ {
+		ks := make([]keyedRecord, len(records))
+		for i, r := range records {
+			ks[i] = keyedRecord{blockingKey(r, pass == 1), r}
+		}
+		sortKeyed(ks)
+		ix.passes[pass], positions[pass] = mergeKeyed(ix.passes[pass], ks)
+	}
+	return positions
+}
+
+// mergeKeyed merges two key-sorted lists, returning the merged list and
+// the positions the `added` entries landed on.
+func mergeKeyed(existing, added []keyedRecord) ([]keyedRecord, []int) {
+	merged := make([]keyedRecord, 0, len(existing)+len(added))
+	pos := make([]int, 0, len(added))
+	i, j := 0, 0
+	for i < len(existing) || j < len(added) {
+		takeAdded := i >= len(existing) ||
+			(j < len(added) && keyedLess(added[j], existing[i]))
+		if takeAdded {
+			pos = append(pos, len(merged))
+			merged = append(merged, added[j])
+			j++
+		} else {
+			merged = append(merged, existing[i])
+			i++
+		}
+	}
+	return merged, pos
+}
+
+// RemoveSource drops every record of one source from the index — the
+// unwind path when a source addition fails after duplicate detection ran.
+func (ix *Index) RemoveSource(source string) {
+	var removed []Record
+	keep := ix.all[:0]
+	for _, r := range ix.all {
+		if strings.EqualFold(r.Source, source) {
+			removed = append(removed, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	ix.all = keep
+	if len(removed) == 0 {
+		return
+	}
+	ix.matcher.removeRecords(removed)
+	for pass := 0; pass < 2; pass++ {
+		kept := ix.passes[pass][:0]
+		for _, k := range ix.passes[pass] {
+			if !strings.EqualFold(k.rec.Source, source) {
+				kept = append(kept, k)
+			}
+		}
+		ix.passes[pass] = kept
+	}
+}
+
+// FindNew inserts the added records and flags duplicate pairs involving
+// at least one of them: new×existing and new×new pairs whose positions in
+// the merged sorted-neighbourhood order fall within Options.Window (or
+// all such pairs under FullPairwise blocking). Similarity uses frequency
+// weights over the whole indexed record set, so scores match what a full
+// FindDuplicates over the union would compute for the same pairs.
+func (ix *Index) FindNew(added []Record, opts Options) ([]Match, Stats) {
+	opts.fill()
+	existing := len(ix.all)
+	addedSet := make(map[string]bool, len(added))
+	for _, r := range added {
+		addedSet[r.Source+"\x00"+r.Accession] = true
+	}
+	positions := ix.insert(added)
+	stats := Stats{Records: len(ix.all)}
+
+	seen := make(map[string]bool)
+	var pairs [][2]Record
+	add := func(a, b Record) {
+		if a.Source == b.Source && a.Accession == b.Accession {
+			return
+		}
+		k := pairKey(a, b)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		pairs = append(pairs, [2]Record{a, b})
+	}
+
+	switch opts.Blocking {
+	case FullPairwise:
+		for ai, a := range added {
+			for i := 0; i < existing; i++ {
+				add(a, ix.all[i])
+			}
+			for j := ai + 1; j < len(added); j++ {
+				add(a, added[j])
+			}
+		}
+	case SortedNeighborhood:
+		passes := 1
+		if !opts.DisableSecondPass {
+			passes = 2
+		}
+		for pass := 0; pass < passes; pass++ {
+			ks := ix.passes[pass]
+			for _, i := range positions[pass] {
+				lo := i - opts.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + opts.Window
+				if hi > len(ks)-1 {
+					hi = len(ks) - 1
+				}
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					// A new×new pair within the window is produced from
+					// both endpoints' positions; keep the i<j orientation
+					// so each pair is generated once (the seen set catches
+					// the cross-pass repeats).
+					other := ks[j].rec
+					if j < i && addedSet[other.Source+"\x00"+other.Accession] {
+						continue
+					}
+					add(ks[i].rec, other)
+				}
+			}
+		}
+	}
+	stats.Comparisons = len(pairs)
+	matches := scorePairs(pairs, ix.matcher, opts)
+	stats.Flagged = len(matches)
+	sortMatches(matches)
+	return matches, stats
+}
+
+// FindDuplicatesIncremental compares only new×existing + new×new pairs
+// within blocking buckets — the incremental replacement for running
+// FindDuplicates over the union. The stateless form builds a fresh index
+// from the existing records; callers integrating many sources should keep
+// one Index and call FindNew so records are bucketed once.
+func FindDuplicatesIncremental(existing, added []Record, opts Options) ([]Match, Stats) {
+	ix := NewIndex()
+	ix.Add(existing)
+	return ix.FindNew(added, opts)
+}

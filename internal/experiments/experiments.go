@@ -75,8 +75,15 @@ func dur(d time.Duration) string {
 	return d.Round(10 * time.Microsecond).String()
 }
 
+// Workers bounds the pipeline worker pool of every experiment's system
+// (0 = all CPUs, 1 = serial); cmd/experiments sets it from -workers.
+var Workers int
+
 // buildSystem integrates a corpus and returns the system.
 func buildSystem(corpus *datagen.Corpus, opts core.Options) (*core.System, []*core.AddReport, error) {
+	if opts.Workers == 0 {
+		opts.Workers = Workers
+	}
 	sys := core.New(opts)
 	var reports []*core.AddReport
 	for _, src := range corpus.Sources {
@@ -94,7 +101,7 @@ func buildSystem(corpus *datagen.Corpus, opts core.Options) (*core.System, []*co
 // source under the three approaches, plus ALADIN's measured wall time.
 func E1Table1(proteins int) (Table, error) {
 	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: proteins})
-	sys := core.New(core.Options{OntologySources: []string{"go"}})
+	sys := core.New(core.Options{OntologySources: []string{"go"}, Workers: Workers})
 	t := Table{
 		ID:    "E1",
 		Title: "Table 1 — integration cost per source (manual actions; ALADIN adds measured machine time)",
@@ -408,7 +415,7 @@ func E7SequencePR(proteins int) (Table, error) {
 			Noise: datagen.Noise{SeqMutation: mut},
 		})
 		// Only swissprot + pdb + genbank carry sequences; integrate those.
-		sys := core.New(core.Options{DisableSearchIndex: true})
+		sys := core.New(core.Options{DisableSearchIndex: true, Workers: Workers})
 		for _, name := range []string{"swissprot", "pdb", "genbank"} {
 			if _, err := sys.AddSource(corpus.Source(name)); err != nil {
 				return t, err
@@ -569,6 +576,7 @@ func E10Scaling() (Table, error) {
 			sys := core.New(core.Options{
 				Discovery: variant.discOpts, Links: variant.linkOpts,
 				Profile: variant.profOpts, DisableSearchIndex: true,
+				Workers: Workers,
 			})
 			if _, err := sys.AddSource(corpus.Source("pdb")); err != nil {
 				return t, err

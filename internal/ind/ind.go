@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/rel"
 )
@@ -74,6 +75,9 @@ type Options struct {
 	// default); cross-source link discovery turns it off to "avoid
 	// misinterpretation of surrogate keys" (§4.4).
 	AllowNumericSourcesOff bool
+	// Workers bounds the worker pool checking candidate attribute pairs
+	// concurrently. Values <= 1 check serially.
+	Workers int
 }
 
 // Stats reports the work performed, for the pruning experiments.
@@ -151,6 +155,15 @@ func Discover(db *rel.Database, profs map[string]*profile.ColumnProfile, opts Op
 		}
 	}
 
+	// Candidate pair generation stays serial (it is cheap and updates
+	// stats); the exact set-containment checks — the expensive part — run
+	// on the worker pool, collecting into indexed slots so the discovered
+	// dependencies keep the serial order.
+	type pair struct {
+		src, tgt colRef
+		fk       rel.ForeignKey
+	}
+	var pairs []pair
 	for _, src := range sources {
 		for _, tgt := range targets {
 			if strings.EqualFold(src.relation.Name, tgt.relation.Name) && strings.EqualFold(src.column, tgt.column) {
@@ -179,19 +192,39 @@ func Discover(db *rel.Database, profs map[string]*profile.ColumnProfile, opts Op
 					continue
 				}
 			}
-			stats.PairsChecked++
-			cont, equal, err := containment(src.relation, src.column, src.prof, tgt.relation, tgt.column, tgt.prof)
-			if err != nil {
-				return nil, stats, err
-			}
-			if cont < minCont {
-				continue
-			}
-			d := IND{From: fk, Containment: cont, Cardinality: OneToN}
-			if equal {
-				d.Cardinality = OneToOne
-			}
-			out = append(out, d)
+			pairs = append(pairs, pair{src: src, tgt: tgt, fk: fk})
+		}
+	}
+	stats.PairsChecked = len(pairs)
+
+	type checkResult struct {
+		d   IND
+		ok  bool
+		err error
+	}
+	results := make([]checkResult, len(pairs))
+	parallel.For(opts.Workers, len(pairs), func(i int) {
+		p := pairs[i]
+		cont, equal, err := containment(p.src.relation, p.src.column, p.src.prof, p.tgt.relation, p.tgt.column, p.tgt.prof)
+		if err != nil {
+			results[i].err = err
+			return
+		}
+		if cont < minCont {
+			return
+		}
+		d := IND{From: p.fk, Containment: cont, Cardinality: OneToN}
+		if equal {
+			d.Cardinality = OneToOne
+		}
+		results[i] = checkResult{d: d, ok: true}
+	})
+	for _, res := range results {
+		if res.err != nil {
+			return nil, stats, res.err
+		}
+		if res.ok {
+			out = append(out, res.d)
 		}
 	}
 	return out, stats, nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/metadata"
 	"repro/internal/ontology"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/rel"
 	"repro/internal/seq"
@@ -66,6 +67,10 @@ type Options struct {
 	DisableTextLinks     bool
 	DisableEntityLinks   bool
 	DisableOntologyLinks bool
+	// Workers bounds the worker pool parallelizing the per-attribute and
+	// per-tuple inner loops of each discovery channel. Values <= 1 run
+	// serially; results are identical for any worker count.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -152,6 +157,25 @@ func (e *Engine) AddSource(s *Source) error {
 
 // Source returns a registered source by name.
 func (e *Engine) Source(name string) *Source { return e.byName[strings.ToLower(name)] }
+
+// RemoveSource deregisters a source (the unwind path when integration
+// fails after the source was added). It reports whether the source was
+// registered.
+func (e *Engine) RemoveSource(name string) bool {
+	key := strings.ToLower(name)
+	src, ok := e.byName[key]
+	if !ok {
+		return false
+	}
+	delete(e.byName, key)
+	for i, s := range e.sources {
+		if s == src {
+			e.sources = append(e.sources[:i], e.sources[i+1:]...)
+			break
+		}
+	}
+	return true
+}
 
 // DiscoverAll runs link discovery between every ordered pair of distinct
 // sources and returns the links plus per-pair xref attributes.
@@ -303,6 +327,15 @@ func (e *Engine) discoverXRefs(from, to *Source) ([]metadata.Link, []XRefAttribu
 	if len(targetAcc) == 0 {
 		return nil, nil, stats
 	}
+	// Candidate generation and §4.4 pruning are cheap and stay serial; the
+	// value scans checking each surviving attribute run on the worker
+	// pool, writing into indexed slots so output order stays the serial
+	// order.
+	type task struct {
+		r   *rel.Relation
+		col string
+	}
+	var tasks []task
 	for _, r := range from.DB.Relations() {
 		for _, c := range r.Schema.Columns {
 			p := from.Profiles[profile.Key(r.Name, c.Name)]
@@ -320,18 +353,39 @@ func (e *Engine) discoverXRefs(from, to *Source) ([]metadata.Link, []XRefAttribu
 					continue
 				}
 			}
-			stats.AttributePairsChecked++
-			matchFrac, matched, composite := xrefMatchFraction(r, c.Name, targetAcc)
-			if matchFrac < e.opts.MinXRefMatchFrac || matched < e.opts.MinXRefMatchCount {
-				continue
-			}
-			stats.XRefAttributePairs++
-			xattrs = append(xattrs, XRefAttribute{
-				FromSource: from.DB.Name, FromRelation: r.Name, FromColumn: c.Name,
-				ToSource: to.DB.Name, MatchFrac: matchFrac, Composite: composite,
-			})
-			links = append(links, e.xrefObjectLinks(from, to, r, c.Name, targetAcc, matchFrac)...)
+			tasks = append(tasks, task{r, c.Name})
 		}
+	}
+	stats.AttributePairsChecked = len(tasks)
+
+	type taskResult struct {
+		hit       bool
+		xattr     XRefAttribute
+		taskLinks []metadata.Link
+	}
+	results := make([]taskResult, len(tasks))
+	parallel.For(e.opts.Workers, len(tasks), func(i int) {
+		t := tasks[i]
+		matchFrac, matched, composite := xrefMatchFraction(t.r, t.col, targetAcc)
+		if matchFrac < e.opts.MinXRefMatchFrac || matched < e.opts.MinXRefMatchCount {
+			return
+		}
+		results[i] = taskResult{
+			hit: true,
+			xattr: XRefAttribute{
+				FromSource: from.DB.Name, FromRelation: t.r.Name, FromColumn: t.col,
+				ToSource: to.DB.Name, MatchFrac: matchFrac, Composite: composite,
+			},
+			taskLinks: e.xrefObjectLinks(from, to, t.r, t.col, targetAcc, matchFrac),
+		}
+	})
+	for _, res := range results {
+		if !res.hit {
+			continue
+		}
+		stats.XRefAttributePairs++
+		xattrs = append(xattrs, res.xattr)
+		links = append(links, res.taskLinks...)
 	}
 	return links, xattrs, stats
 }
@@ -445,9 +499,16 @@ func (e *Engine) discoverSequenceLinks(from, to *Source) ([]metadata.Link, int) 
 			}
 		}
 	}
-	comparisons := 0
-	var out []metadata.Link
-	seen := make(map[string]bool)
+	// Each query tuple's seeded search + Smith-Waterman alignments are
+	// independent — the dominant cost of this channel — so they fan out
+	// over the worker pool; the cross-tuple link dedupe reduces serially
+	// in tuple order.
+	type query struct {
+		rel string
+		ti  int
+		val string
+	}
+	var queries []query
 	for _, rc := range fromCols {
 		r := from.DB.Relation(rc[0])
 		ci := r.Schema.Index(rc[1])
@@ -456,31 +517,45 @@ func (e *Engine) discoverSequenceLinks(from, to *Source) ([]metadata.Link, int) 
 			if v.IsNull() {
 				continue
 			}
-			hits := ix.Search(v.AsString(), seq.SearchOptions{
-				MinScore:    e.opts.SeqMinScore,
-				MinIdentity: e.opts.MinSeqIdentity,
-				BothStrands: e.opts.SeqBothStrands,
-			})
-			comparisons += len(hits)
-			if len(hits) == 0 {
-				continue
-			}
-			owners := from.resolver.owners(rc[0], ti)
-			for _, h := range hits {
-				for _, owner := range owners {
-					k := owner + "\x00" + h.TargetID
-					if seen[k] {
-						continue
-					}
-					seen[k] = true
-					out = append(out, metadata.Link{
-						Type:       metadata.LinkSequence,
-						From:       primaryRef(from, owner),
-						To:         primaryRef(to, h.TargetID),
-						Confidence: h.Alignment.Identity,
-						Method:     fmt.Sprintf("seq:identity=%.2f score=%d", h.Alignment.Identity, h.Alignment.Score),
-					})
+			queries = append(queries, query{rel: rc[0], ti: ti, val: v.AsString()})
+		}
+	}
+	type queryResult struct {
+		hits   []seq.Hit
+		owners []string
+	}
+	results := make([]queryResult, len(queries))
+	parallel.For(e.opts.Workers, len(queries), func(i int) {
+		q := queries[i]
+		hits := ix.Search(q.val, seq.SearchOptions{
+			MinScore:    e.opts.SeqMinScore,
+			MinIdentity: e.opts.MinSeqIdentity,
+			BothStrands: e.opts.SeqBothStrands,
+		})
+		if len(hits) == 0 {
+			return
+		}
+		results[i] = queryResult{hits: hits, owners: from.resolver.owners(q.rel, q.ti)}
+	})
+	comparisons := 0
+	var out []metadata.Link
+	seen := make(map[string]bool)
+	for _, res := range results {
+		comparisons += len(res.hits)
+		for _, h := range res.hits {
+			for _, owner := range res.owners {
+				k := owner + "\x00" + h.TargetID
+				if seen[k] {
+					continue
 				}
+				seen[k] = true
+				out = append(out, metadata.Link{
+					Type:       metadata.LinkSequence,
+					From:       primaryRef(from, owner),
+					To:         primaryRef(to, h.TargetID),
+					Confidence: h.Alignment.Identity,
+					Method:     fmt.Sprintf("seq:identity=%.2f score=%d", h.Alignment.Identity, h.Alignment.Score),
+				})
 			}
 		}
 	}
@@ -568,9 +643,17 @@ func (e *Engine) discoverTextLinks(from, to *Source) ([]metadata.Link, int) {
 			}
 		}
 	}
-	comparisons := 0
-	var out []metadata.Link
-	for _, d := range fromDocs {
+	// Per-document vectorization and candidate scoring fan out over the
+	// worker pool; candidate indices are sorted so each document's links
+	// come out in a deterministic order (the serial map iteration did not
+	// guarantee one).
+	type docResult struct {
+		comparisons int
+		links       []metadata.Link
+	}
+	results := make([]docResult, len(fromDocs))
+	parallel.For(e.opts.Workers, len(fromDocs), func(di int) {
+		d := fromDocs[di]
 		v := corpus.Vector(d.text)
 		cands := make(map[int]bool)
 		for term := range v {
@@ -580,13 +663,18 @@ func (e *Engine) discoverTextLinks(from, to *Source) ([]metadata.Link, int) {
 				}
 			}
 		}
+		order := make([]int, 0, len(cands))
 		for i := range cands {
-			comparisons++
+			order = append(order, i)
+		}
+		sort.Ints(order)
+		res := docResult{comparisons: len(order)}
+		for _, i := range order {
 			sim := textmine.Cosine(v, toVecs[i])
 			if sim < e.opts.MinTextCosine {
 				continue
 			}
-			out = append(out, metadata.Link{
+			res.links = append(res.links, metadata.Link{
 				Type:       metadata.LinkText,
 				From:       primaryRef(from, d.accession),
 				To:         primaryRef(to, toDocs[i].accession),
@@ -594,6 +682,13 @@ func (e *Engine) discoverTextLinks(from, to *Source) ([]metadata.Link, int) {
 				Method:     fmt.Sprintf("text:cosine=%.2f", sim),
 			})
 		}
+		results[di] = res
+	})
+	comparisons := 0
+	var out []metadata.Link
+	for _, res := range results {
+		comparisons += res.comparisons
+		out = append(out, res.links...)
 	}
 	return out, comparisons
 }
@@ -650,9 +745,13 @@ func (e *Engine) discoverEntityLinks(from, to *Source) []metadata.Link {
 	}
 	er := textmine.NewEntityRecognizer(dict)
 
-	var out []metadata.Link
-	seen := make(map[string]bool)
-	for _, d := range textDocs(from) {
+	// Mention extraction per document is independent; the cross-document
+	// dedupe reduces serially in document order.
+	docs := textDocs(from)
+	results := make([][]metadata.Link, len(docs))
+	parallel.For(e.opts.Workers, len(docs), func(di int) {
+		d := docs[di]
+		var ls []metadata.Link
 		for _, m := range er.Extract(d.text) {
 			acc, ok := nameToAcc[strings.ToLower(m.Text)]
 			if !ok {
@@ -661,18 +760,26 @@ func (e *Engine) discoverEntityLinks(from, to *Source) []metadata.Link {
 			if acc == d.accession {
 				continue
 			}
-			k := d.accession + "\x00" + acc
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			out = append(out, metadata.Link{
+			ls = append(ls, metadata.Link{
 				Type:       metadata.LinkText,
 				From:       primaryRef(from, d.accession),
 				To:         primaryRef(to, acc),
 				Confidence: 0.9,
 				Method:     fmt.Sprintf("entity:%s", m.Text),
 			})
+		}
+		results[di] = ls
+	})
+	var out []metadata.Link
+	seen := make(map[string]bool)
+	for _, ls := range results {
+		for _, l := range ls {
+			k := l.From.Accession + "\x00" + l.To.Accession
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, l)
 		}
 	}
 	return out

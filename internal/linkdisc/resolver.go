@@ -10,6 +10,7 @@ package linkdisc
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/discovery"
 	"repro/internal/rel"
@@ -18,11 +19,16 @@ import (
 // resolver maps any tuple of a source to the accession(s) of the primary
 // object(s) that own it, by walking the discovered secondary-object paths
 // (§4.3) backwards from the tuple's relation to the primary relation.
+// It is safe for concurrent use: the lazily built column indexes are the
+// only mutable state and are guarded by mu.
 type resolver struct {
 	db        *rel.Database
 	structure *discovery.Structure
 	// accIdx is the primary relation's accession column index.
 	accIdx int
+	// mu guards indexes, which concurrent link-discovery workers populate
+	// lazily.
+	mu sync.Mutex
 	// indexes caches hash indexes on (relation, column) pairs.
 	indexes map[string]map[string][]int
 }
@@ -38,9 +44,12 @@ func newResolver(db *rel.Database, s *discovery.Structure) *resolver {
 }
 
 // index returns (building lazily) a hash index value-key -> tuple positions
-// for one relation column.
+// for one relation column. The returned index is never mutated again, so
+// callers may read it without holding the lock.
 func (r *resolver) index(relName, col string) map[string][]int {
 	key := strings.ToLower(relName) + "." + strings.ToLower(col)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if ix, ok := r.indexes[key]; ok {
 		return ix
 	}

@@ -173,26 +173,53 @@ func (r *Repo) Sources() []*SourceMeta {
 // AddLink stores a link unless an equivalent link exists or the pair was
 // removed by user feedback. It reports whether the link was stored.
 func (r *Repo) AddLink(l Link) bool {
+	stored, _, _ := r.AddLinkTracked(l)
+	return stored
+}
+
+// AddLinkTracked stores a link like AddLink, additionally reporting when
+// an existing equivalent link was upgraded in place to higher-confidence
+// evidence — returning the pre-upgrade value so a failed source addition
+// can revert the mutation (see RevertUpgrades).
+func (r *Repo) AddLinkTracked(l Link) (stored, upgraded bool, prev Link) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	pk := l.pairKey()
 	if r.removed[pk] {
-		return false
+		return false, false, Link{}
 	}
 	if i, ok := r.present[pk]; ok {
 		// Keep the higher-confidence evidence.
 		if l.Confidence > r.links[i].Confidence {
+			prev = r.links[i]
 			r.links[i].Confidence = l.Confidence
 			r.links[i].Method = l.Method
+			return false, true, prev
 		}
-		return false
+		return false, false, Link{}
 	}
 	idx := len(r.links)
 	r.links = append(r.links, l)
 	r.present[pk] = idx
 	r.byObject[l.From.Key()] = append(r.byObject[l.From.Key()], idx)
 	r.byObject[l.To.Key()] = append(r.byObject[l.To.Key()], idx)
-	return true
+	return true, false, Link{}
+}
+
+// RevertUpgrades restores the pre-upgrade confidence/method of links
+// upgraded in place by AddLinkTracked — the unwind path for a failed
+// source addition. Reversing the order handles a pair upgraded twice
+// within one addition.
+func (r *Repo) RevertUpgrades(prevs []Link) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(prevs) - 1; i >= 0; i-- {
+		p := prevs[i]
+		if j, ok := r.present[p.pairKey()]; ok {
+			r.links[j].Confidence = p.Confidence
+			r.links[j].Method = p.Method
+		}
+	}
 }
 
 // AddLinks stores a batch and returns how many were new.
@@ -224,6 +251,22 @@ func (r *Repo) RemoveLink(l Link) bool {
 	// Mark the slot dead; index slices keep positions, readers skip dead.
 	r.links[i].Confidence = -1
 	return true
+}
+
+// DropLinks deletes links without recording user feedback — unlike
+// RemoveLink, a dropped pair may be re-added later. It is the unwind path
+// for a failed source addition: only the exact links stored during that
+// addition are dropped.
+func (r *Repo) DropLinks(ls []Link) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range ls {
+		pk := l.pairKey()
+		if i, ok := r.present[pk]; ok {
+			delete(r.present, pk)
+			r.links[i].Confidence = -1
+		}
+	}
 }
 
 // LinksOf returns all live links touching the given object.

@@ -65,6 +65,49 @@ func TestAddLinkKeepsHigherConfidence(t *testing.T) {
 	}
 }
 
+func TestAddLinkTrackedAndRevertUpgrades(t *testing.T) {
+	r := NewRepo()
+	orig := Link{Type: LinkText, From: ref("a", "1"), To: ref("b", "2"), Confidence: 0.4, Method: "weak"}
+	if stored, _, _ := r.AddLinkTracked(orig); !stored {
+		t.Fatal("first add should store")
+	}
+	stored, upgraded, prev := r.AddLinkTracked(Link{
+		Type: LinkText, From: ref("a", "1"), To: ref("b", "2"), Confidence: 0.9, Method: "strong",
+	})
+	if stored || !upgraded {
+		t.Fatalf("stored=%v upgraded=%v", stored, upgraded)
+	}
+	if prev.Confidence != 0.4 || prev.Method != "weak" {
+		t.Errorf("prev = %+v", prev)
+	}
+	// A lower-confidence re-add neither stores nor upgrades.
+	if s, u, _ := r.AddLinkTracked(orig); s || u {
+		t.Errorf("low-confidence re-add: stored=%v upgraded=%v", s, u)
+	}
+	r.RevertUpgrades([]Link{prev})
+	ls := r.Links(LinkText)
+	if len(ls) != 1 || ls[0].Confidence != 0.4 || ls[0].Method != "weak" {
+		t.Errorf("after revert: %+v", ls)
+	}
+}
+
+func TestDropLinksDoesNotBlockReAdd(t *testing.T) {
+	r := NewRepo()
+	l := Link{Type: LinkXRef, From: ref("a", "1"), To: ref("b", "2"), Confidence: 0.7}
+	r.AddLink(l)
+	r.DropLinks([]Link{l})
+	if n := r.LinkCount(-1); n != 0 {
+		t.Fatalf("count after drop = %d", n)
+	}
+	// Unlike RemoveLink (user feedback), a dropped pair may come back.
+	if !r.AddLink(l) {
+		t.Error("re-add after DropLinks should store")
+	}
+	if n := r.LinkCount(-1); n != 1 {
+		t.Errorf("count after re-add = %d", n)
+	}
+}
+
 func TestDifferentTypesAreSeparateLinks(t *testing.T) {
 	r := NewRepo()
 	r.AddLink(Link{Type: LinkXRef, From: ref("a", "1"), To: ref("b", "2"), Confidence: 1})

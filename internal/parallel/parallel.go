@@ -1,0 +1,76 @@
+// Package parallel provides the bounded worker pool used to parallelize
+// the per-relation / per-column-pair inner loops of the integration
+// pipeline (§3: "there is high potential for parallelization and
+// combination of these steps"). Callers keep their output deterministic
+// by writing results into indexed slots and reducing in input order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: values <= 0 mean "use all
+// available CPUs" (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n), distributing iterations over at
+// most workers goroutines. With workers <= 1 (or n <= 1) it runs inline
+// on the calling goroutine, so the zero Options value of every pipeline
+// package stays serial. Iterations are handed out atomically one at a
+// time, which balances skewed per-item costs (one huge relation next to
+// many tiny ones).
+func For(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunked is For with iterations handed out in contiguous chunks of
+// the given size, amortizing the scheduling atomics when per-item work is
+// tiny (e.g. one record-pair similarity).
+func ForChunked(workers, n, chunk int, fn func(i int)) {
+	if chunk <= 1 {
+		For(workers, n, fn)
+		return
+	}
+	chunks := (n + chunk - 1) / chunk
+	For(workers, chunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

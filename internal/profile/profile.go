@@ -15,6 +15,7 @@ import (
 	"strings"
 	"unicode"
 
+	"repro/internal/parallel"
 	"repro/internal/rel"
 )
 
@@ -31,6 +32,9 @@ type Options struct {
 	// column; above the cap only the approximate signature remains.
 	// 0 means unlimited.
 	MaxTrackedDistinct int
+	// Workers bounds the worker pool profiling columns concurrently.
+	// Values <= 1 profile serially.
+	Workers int
 }
 
 // ColumnProfile holds the discovered statistics of one attribute.
@@ -232,17 +236,31 @@ func ProfileRelation(r *rel.Relation, opts Options) ([]*ColumnProfile, error) {
 }
 
 // ProfileDatabase profiles every column of every relation in db, returned
-// as a map keyed "relation.column" (lower-cased).
+// as a map keyed "relation.column" (lower-cased). Columns are profiled
+// concurrently when Options.Workers allows; each column is an independent
+// scan, so the result is identical to the serial order.
 func ProfileDatabase(db *rel.Database, opts Options) (map[string]*ColumnProfile, error) {
-	out := make(map[string]*ColumnProfile)
+	type task struct {
+		r   *rel.Relation
+		col string
+	}
+	var tasks []task
 	for _, r := range db.Relations() {
-		ps, err := ProfileRelation(r, opts)
-		if err != nil {
-			return nil, err
+		for _, c := range r.Schema.Columns {
+			tasks = append(tasks, task{r, c.Name})
 		}
-		for _, p := range ps {
-			out[Key(r.Name, p.Column)] = p
+	}
+	profs := make([]*ColumnProfile, len(tasks))
+	errs := make([]error, len(tasks))
+	parallel.For(opts.Workers, len(tasks), func(i int) {
+		profs[i], errs[i] = ProfileColumn(tasks[i].r, tasks[i].col, opts)
+	})
+	out := make(map[string]*ColumnProfile, len(tasks))
+	for i, t := range tasks {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		out[Key(t.r.Name, profs[i].Column)] = profs[i]
 	}
 	return out, nil
 }
