@@ -1,0 +1,28 @@
+package aladin
+
+import "errors"
+
+// Sentinel errors returned by DB methods; test with errors.Is. Wrapped
+// variants carry detail (the offending name, the underlying error).
+var (
+	// ErrClosed is returned by every method after Close.
+	ErrClosed = errors.New("aladin: database closed")
+	// ErrSourceExists rejects integrating a source name twice.
+	ErrSourceExists = errors.New("aladin: source already integrated")
+	// ErrUnknownSource names a source that was never integrated.
+	ErrUnknownSource = errors.New("aladin: unknown source")
+	// ErrUnknownObject names an accession the source does not contain, or
+	// an object without duplicate-detection records.
+	ErrUnknownObject = errors.New("aladin: unknown object")
+	// ErrNoPrimary means discovery found no primary relation (§4.2) — the
+	// source cannot be integrated as imported.
+	ErrNoPrimary = errors.New("aladin: no primary relation found")
+	// ErrBadQuery wraps SQL parse and execution errors.
+	ErrBadQuery = errors.New("aladin: bad query")
+	// ErrCanceled wraps context.Canceled / context.DeadlineExceeded; the
+	// wrapped chain still matches the original context error.
+	ErrCanceled = errors.New("aladin: canceled")
+	// ErrInternal wraps a recovered pipeline panic. The database state is
+	// unwound; the source that triggered it was not integrated.
+	ErrInternal = errors.New("aladin: internal error")
+)

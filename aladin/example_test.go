@@ -1,0 +1,49 @@
+package aladin_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/aladin"
+	"repro/internal/datagen"
+)
+
+// Example integrates two sources of the synthetic life-science corpus
+// and exercises the three access modes: SQL, search, and browsing.
+func Example() {
+	ctx := context.Background()
+	db, err := aladin.Open(aladin.WithOntologySources("go"), aladin.WithWorkers(1))
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	// Step 1, data import, is the caller's job (§3); the synthetic corpus
+	// stands in for parsed flat files here.
+	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 8})
+	for _, name := range []string{"swissprot", "pdb"} {
+		if _, err := db.AddSource(ctx, corpus.Source(name)); err != nil {
+			panic(err)
+		}
+	}
+
+	// SQL over the integrated warehouse: <source>_<relation> names.
+	res, err := db.Query(ctx, "SELECT COUNT(*) FROM swissprot_protein")
+	if err != nil {
+		panic(err)
+	}
+	n, _ := res.Rows[0][0].AsInt()
+	fmt.Println("proteins:", n)
+
+	// Ranked search and object browsing.
+	objs, _ := db.Objects(ctx, "swissprot")
+	view, err := db.Browse(ctx, objs[0])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("first object:", view.Ref.Accession)
+
+	// Output:
+	// proteins: 8
+	// first object: P10000
+}

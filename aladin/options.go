@@ -1,0 +1,70 @@
+package aladin
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// config is the resolved Open configuration.
+type config struct {
+	core     core.Options
+	snapshot *store.Snapshot
+	err      error
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithWorkers bounds the worker pool parallelizing the pipeline's inner
+// loops (profiling, IND checks, link discovery, duplicate scoring).
+// 0 means all CPUs; 1 forces the serial pipeline. Results are identical
+// for any worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.err = fmt.Errorf("aladin: negative worker count %d", n)
+			return
+		}
+		c.core.Workers = n
+	}
+}
+
+// WithOntologySources names sources whose shared terms yield derived
+// ontology links (§4.4), e.g. "go".
+func WithOntologySources(names ...string) Option {
+	return func(c *config) {
+		c.core.OntologySources = append(c.core.OntologySources, names...)
+	}
+}
+
+// WithChangeThreshold sets the §6.2 re-analysis threshold as a fraction
+// of changed tuples (default 0.1).
+func WithChangeThreshold(frac float64) Option {
+	return func(c *config) {
+		if frac <= 0 || frac > 1 {
+			c.err = fmt.Errorf("aladin: change threshold %v outside (0, 1]", frac)
+			return
+		}
+		c.core.ChangeThreshold = frac
+	}
+}
+
+// WithoutSearchIndex skips search indexing; Search returns nothing.
+// Useful for pipeline benchmarks and pure-SQL workloads.
+func WithoutSearchIndex() Option {
+	return func(c *config) { c.core.DisableSearchIndex = true }
+}
+
+// WithSnapshot restores a previously saved warehouse during Open.
+func WithSnapshot(snap *Snapshot) Option {
+	return func(c *config) { c.snapshot = snap }
+}
+
+// WithCoreOptions replaces the full pipeline configuration — the escape
+// hatch for tuning thresholds of individual discovery channels. Options
+// set by other With* calls before this one are overwritten.
+func WithCoreOptions(o core.Options) Option {
+	return func(c *config) { c.core = o }
+}

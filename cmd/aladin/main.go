@@ -1,7 +1,7 @@
 // Command aladin is the command-line front end of the ALADIN system: it
 // imports flat-file data sources, runs the five-step almost-automatic
 // integration pipeline, and exposes the three access modes (browse,
-// search, SQL query) of §4.6.
+// search, SQL query) of §4.6 — all through the public aladin package.
 //
 // Usage:
 //
@@ -12,24 +12,25 @@
 //	aladin search "<terms>"              ranked full-text search over the demo corpus
 //	aladin browse <source> <accession>   show one object's web view
 //	aladin stats                         repository statistics for the demo corpus
+//
+// Flags may be given before or after the subcommand: both
+// `aladin -workers 4 demo` and `aladin demo -workers 4` work.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
-	"repro/internal/core"
+	"repro/aladin"
 	"repro/internal/datagen"
 	"repro/internal/discovery"
 	"repro/internal/flatfile"
-	"repro/internal/metadata"
 	"repro/internal/parallel"
 	"repro/internal/profile"
-	"repro/internal/rel"
-	"repro/internal/search"
 	"repro/internal/store"
 )
 
@@ -38,44 +39,53 @@ import (
 var workerCount int
 
 func main() {
-	flag.IntVar(&workerCount, "workers", 0, "pipeline worker pool size (0 = all CPUs, 1 = serial)")
-	flag.Usage = usage
-	flag.Parse()
-	args := flag.Args()
+	global := newFlagSet("aladin")
+	global.Usage = usage
+	global.Parse(os.Args[1:])
+	args := global.Args()
 	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch args[0] {
-	case "demo":
-		err = cmdDemo()
-	case "import":
-		err = cmdImport(args[1:])
-	case "query":
-		err = cmdQuery(args[1:])
-	case "search":
-		err = cmdSearch(args[1:])
-	case "browse":
-		err = cmdBrowse(args[1:])
-	case "stats":
-		err = cmdStats()
-	case "save":
-		err = cmdSave(args[1:])
-	case "load":
-		err = cmdLoad(args[1:])
-	default:
+	cmd, rest := args[0], args[1:]
+	run, ok := commands()[cmd]
+	if !ok {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
+	// Per-subcommand parse: flags placed after the subcommand
+	// ("aladin demo -workers 4") are honored, not silently ignored.
+	fs := newFlagSet("aladin " + cmd)
+	fs.Parse(rest)
+	if err := run(fs.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "aladin:", err)
 		os.Exit(1)
 	}
 }
 
+// newFlagSet defines the shared flags; later parses override earlier
+// values, so global and per-subcommand placement both work.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.IntVar(&workerCount, "workers", workerCount, "pipeline worker pool size (0 = all CPUs, 1 = serial)")
+	return fs
+}
+
+func commands() map[string]func([]string) error {
+	return map[string]func([]string) error{
+		"demo":   func(args []string) error { return cmdDemo() },
+		"import": cmdImport,
+		"query":  cmdQuery,
+		"search": cmdSearch,
+		"browse": cmdBrowse,
+		"stats":  func(args []string) error { return cmdStats() },
+		"save":   cmdSave,
+		"load":   cmdLoad,
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: aladin [-workers n] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: aladin [-workers n] <command> [flags] [args]
 
 commands:
   demo                            integrate the synthetic corpus and report
@@ -85,28 +95,41 @@ commands:
   browse <source> <accession>     object web view (demo corpus)
   stats                           repository statistics (demo corpus)
   save <file>                     integrate the demo corpus and snapshot it
-  load <file>                     restore a snapshot and report its contents`)
+  load <file>                     restore a snapshot and report its contents
+
+flags (accepted before or after the command):
+  -workers n                      pipeline worker pool size (0 = all CPUs)
+
+an argument beginning with "-" must follow a "--" terminator, e.g.
+  aladin search -- "-terminal domain"`)
 }
 
-// demoSystem integrates the standard synthetic corpus.
-func demoSystem() (*core.System, error) {
+// demoDB integrates the standard synthetic corpus through the public API.
+func demoDB(ctx context.Context) (*aladin.DB, error) {
 	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 40})
-	sys := core.New(core.Options{OntologySources: []string{"go"}, Workers: workerCount})
+	db, err := aladin.Open(aladin.WithOntologySources("go"), aladin.WithWorkers(workerCount))
+	if err != nil {
+		return nil, err
+	}
 	for _, src := range corpus.Sources {
-		if _, err := sys.AddSource(src); err != nil {
+		if _, err := db.AddSource(ctx, src); err != nil {
 			return nil, fmt.Errorf("integrating %s: %w", src.Name, err)
 		}
 	}
-	return sys, nil
+	return db, nil
 }
 
 func cmdDemo() error {
+	ctx := context.Background()
 	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 40})
-	sys := core.New(core.Options{OntologySources: []string{"go"}, Workers: workerCount})
+	db, err := aladin.Open(aladin.WithOntologySources("go"), aladin.WithWorkers(workerCount))
+	if err != nil {
+		return err
+	}
 	fmt.Println("ALADIN demo: integrating the synthetic life-science corpus")
 	fmt.Println()
 	for _, src := range corpus.Sources {
-		rep, err := sys.AddSource(src)
+		rep, err := db.AddSource(ctx, src)
 		if err != nil {
 			return fmt.Errorf("integrating %s: %w", src.Name, err)
 		}
@@ -125,9 +148,12 @@ func cmdDemo() error {
 		}
 	}
 	fmt.Println()
-	st := sys.Repo.Stats()
+	st, err := db.Stats(ctx)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("integrated %d sources, %d object links (%v), %d removed by feedback\n",
-		st.Sources, st.Links, st.LinksByType, st.RemovedLinks)
+		st.Repo.Sources, st.Repo.Links, st.Repo.LinksByType, st.Repo.RemovedLinks)
 	return nil
 }
 
@@ -150,25 +176,7 @@ func cmdImport(args []string) error {
 		return err
 	}
 	defer f.Close()
-	var db *rel.Database
-	switch format {
-	case "embl":
-		db, err = flatfile.ParseEMBL(f, name)
-	case "genbank":
-		db, err = flatfile.ParseGenBank(f, name)
-	case "fasta":
-		db, err = flatfile.ParseFASTA(f, name)
-	case "obo":
-		db, err = flatfile.ParseOBO(f, name)
-	case "csv":
-		db, err = flatfile.ParseCSV(f, name, "data", ',')
-	case "tsv":
-		db, err = flatfile.ParseCSV(f, name, "data", '\t')
-	case "xml":
-		db, err = flatfile.ParseXML(f, name)
-	default:
-		return fmt.Errorf("unknown format %q", format)
-	}
+	db, err := flatfile.Parse(format, f, name)
 	if err != nil {
 		return err
 	}
@@ -189,11 +197,12 @@ func cmdQuery(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: aladin query \"<sql>\"")
 	}
-	sys, err := demoSystem()
+	ctx := context.Background()
+	db, err := demoDB(ctx)
 	if err != nil {
 		return err
 	}
-	res, err := sys.Query(args[0])
+	res, err := db.Query(ctx, args[0])
 	if err != nil {
 		return err
 	}
@@ -213,16 +222,20 @@ func cmdSearch(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: aladin search \"<terms>\"")
 	}
-	sys, err := demoSystem()
+	ctx := context.Background()
+	db, err := demoDB(ctx)
 	if err != nil {
 		return err
 	}
-	results := sys.Search(args[0], search.Filter{}, 10)
+	results, err := db.Search(ctx, args[0], aladin.SearchFilter{}, 10)
+	if err != nil {
+		return err
+	}
 	for i, r := range results {
 		fmt.Printf("%2d. [%.2f] %s:%s (%s.%s)\n      %s\n", i+1, r.Score,
 			r.Document.Object.Source, r.Document.Object.Accession,
 			r.Document.Relation, r.Document.Column,
-			search.Snippet(r, args[0], 70))
+			aladin.Snippet(r, args[0], 70))
 	}
 	if len(results) == 0 {
 		fmt.Println("no results")
@@ -234,16 +247,17 @@ func cmdBrowse(args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: aladin browse <source> <accession>")
 	}
-	sys, err := demoSystem()
+	ctx := context.Background()
+	db, err := demoDB(ctx)
 	if err != nil {
 		return err
 	}
-	m := sys.Repo.Source(args[0])
-	if m == nil {
-		return fmt.Errorf("unknown source %q", args[0])
+	info, err := db.Source(ctx, args[0])
+	if err != nil {
+		return err
 	}
-	ref := metadata.ObjectRef{Source: m.Name, Relation: m.Structure.Primary, Accession: args[1]}
-	v, err := sys.Browse(ref)
+	ref := aladin.ObjectRef{Source: info.Name, Relation: info.Primary, Accession: args[1]}
+	v, err := db.Browse(ctx, ref)
 	if err != nil {
 		return err
 	}
@@ -282,15 +296,23 @@ func cmdSave(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: aladin save <file>")
 	}
-	sys, err := demoSystem()
+	ctx := context.Background()
+	db, err := demoDB(ctx)
 	if err != nil {
 		return err
 	}
-	if err := store.SaveFile(args[0], sys.Snapshot()); err != nil {
+	snap, err := db.Snapshot(ctx)
+	if err != nil {
 		return err
 	}
-	st := sys.Repo.Stats()
-	fmt.Printf("saved %d sources and %d links to %s\n", st.Sources, st.Links, args[0])
+	if err := store.SaveFile(args[0], snap); err != nil {
+		return err
+	}
+	st, err := db.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved %d sources and %d links to %s\n", st.Repo.Sources, st.Repo.Links, args[0])
 	return nil
 }
 
@@ -298,38 +320,49 @@ func cmdLoad(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("usage: aladin load <file>")
 	}
+	ctx := context.Background()
 	snap, err := store.LoadFile(args[0])
 	if err != nil {
 		return err
 	}
-	sys, err := core.Load(core.Options{OntologySources: []string{"go"}, Workers: workerCount}, snap)
+	db, err := aladin.Open(aladin.WithOntologySources("go"),
+		aladin.WithWorkers(workerCount), aladin.WithSnapshot(snap))
 	if err != nil {
 		return err
 	}
-	st := sys.Repo.Stats()
-	fmt.Printf("restored %d sources, %d links %v\n", st.Sources, st.Links, st.LinksByType)
-	ws := sys.WebStats()
+	st, err := db.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored %d sources, %d links %v\n", st.Repo.Sources, st.Repo.Links, st.Repo.LinksByType)
 	fmt.Printf("object web: %d objects, %d components, mean degree %.1f\n",
-		ws.Objects, ws.Components, ws.MeanDegree)
+		st.Web.Objects, st.Web.Components, st.Web.MeanDegree)
 	return nil
 }
 
 func cmdStats() error {
-	sys, err := demoSystem()
+	ctx := context.Background()
+	db, err := demoDB(ctx)
 	if err != nil {
 		return err
 	}
-	st := sys.Repo.Stats()
-	fmt.Printf("sources: %d\n", st.Sources)
-	fmt.Printf("links:   %d\n", st.Links)
-	for _, k := range sortedKeys(st.LinksByType) {
-		fmt.Printf("  %-10s %d\n", k, st.LinksByType[k])
+	st, err := db.Stats(ctx)
+	if err != nil {
+		return err
 	}
-	for _, m := range sys.Repo.Sources() {
-		fmt.Printf("source %-10s primary=%-10s tuples=%d\n", m.Name, m.Structure.Primary, m.TupleCount)
+	fmt.Printf("sources: %d\n", st.Repo.Sources)
+	fmt.Printf("links:   %d\n", st.Repo.Links)
+	for _, k := range sortedKeys(st.Repo.LinksByType) {
+		fmt.Printf("  %-10s %d\n", k, st.Repo.LinksByType[k])
 	}
-	ws := sys.WebStats()
+	infos, err := db.Sources(ctx)
+	if err != nil {
+		return err
+	}
+	for _, m := range infos {
+		fmt.Printf("source %-10s primary=%-10s tuples=%d\n", m.Name, m.Primary, m.Tuples)
+	}
 	fmt.Printf("object web: %d objects (%d linked), %d components (largest %d), mean degree %.1f\n",
-		ws.Objects, ws.LinkedObjects, ws.Components, ws.LargestComponent, ws.MeanDegree)
+		st.Web.Objects, st.Web.LinkedObjects, st.Web.Components, st.Web.LargestComponent, st.Web.MeanDegree)
 	return nil
 }

@@ -1,0 +1,130 @@
+// Command aladind serves an integrated ALADIN warehouse over HTTP/JSON —
+// the §4.6 access modes (SQL query, ranked search, object-web browsing)
+// as a stable request/response API on top of the concurrency-safe
+// aladin package. Readers are served concurrently, including while a
+// POST /v1/sources integration is computing; each request runs under a
+// deadline, and SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Usage:
+//
+//	aladind [-addr :8317] [-workers n] [-timeout 30s]
+//	        [-proteins 40 | -load snapshot.gob | -empty]
+//
+// Endpoints:
+//
+//	GET  /v1/query?q=SQL                                 SQL over the warehouse
+//	GET  /v1/search?q=terms[&source=s][&column=c][&primary=true][&limit=n]
+//	GET  /v1/stats                                       repository + web statistics
+//	GET  /v1/sources                                     integrated sources
+//	POST /v1/sources?name=n&format=f                     integrate an uploaded flat file
+//	GET  /v1/objects/{source}                            a source's primary objects
+//	GET  /v1/objects/{source}/{accession}                one object's browse view
+//	GET  /v1/objects/{source}/{accession}/related        ranked related objects
+//	GET  /v1/objects/{source}/{accession}/crawl          breadth-first link crawl
+//
+// Errors are structured JSON: {"error":{"status":404,"code":"unknown_source","message":"..."}}.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/aladin"
+	"repro/internal/datagen"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8317", "listen address")
+		workers  = flag.Int("workers", 0, "pipeline worker pool size (0 = all CPUs, 1 = serial)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout (0 = none)")
+		proteins = flag.Int("proteins", 40, "demo corpus size (proteins per source)")
+		load     = flag.String("load", "", "restore a snapshot file instead of the demo corpus")
+		empty    = flag.Bool("empty", false, "start with no sources (integrate via POST /v1/sources)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *timeout, *proteins, *load, *empty); err != nil {
+		fmt.Fprintln(os.Stderr, "aladind:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, timeout time.Duration, proteins int, load string, empty bool) error {
+	db, err := openDB(workers, proteins, load, empty)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           newServer(db, timeout).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("aladind: serving on %s", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("aladind: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return db.Close()
+}
+
+// openDB builds the served database: a restored snapshot, an empty
+// warehouse, or the integrated synthetic demo corpus.
+func openDB(workers, proteins int, load string, empty bool) (*aladin.DB, error) {
+	if load != "" && empty {
+		return nil, errors.New("-load and -empty are mutually exclusive")
+	}
+	opts := []aladin.Option{aladin.WithWorkers(workers), aladin.WithOntologySources("go")}
+	if load != "" {
+		snap, err := store.LoadFile(load)
+		if err != nil {
+			return nil, err
+		}
+		db, err := aladin.Open(append(opts, aladin.WithSnapshot(snap))...)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("aladind: restored snapshot %s", load)
+		return db, nil
+	}
+	db, err := aladin.Open(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return db, nil
+	}
+	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: proteins})
+	ctx := context.Background()
+	for _, src := range corpus.Sources {
+		t0 := time.Now()
+		if _, err := db.AddSource(ctx, src); err != nil {
+			return nil, fmt.Errorf("integrating demo source %s: %w", src.Name, err)
+		}
+		log.Printf("aladind: integrated %s in %v", src.Name, time.Since(t0).Round(time.Millisecond))
+	}
+	return db, nil
+}

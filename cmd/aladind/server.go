@@ -1,0 +1,416 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/aladin"
+	"repro/internal/flatfile"
+)
+
+// maxUploadBytes caps POST /v1/sources bodies.
+const maxUploadBytes = 64 << 20
+
+// server routes HTTP requests onto one aladin.DB.
+type server struct {
+	db *aladin.DB
+	// timeout bounds each request's context (0 = none).
+	timeout time.Duration
+	logf    func(format string, args ...any)
+}
+
+func newServer(db *aladin.DB, timeout time.Duration) *server {
+	return &server{db: db, timeout: timeout, logf: log.Printf}
+}
+
+// handler builds the route table and wraps it with the recovery and
+// per-request-timeout middleware.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/search", s.handleSearch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/sources", s.handleSources)
+	mux.HandleFunc("POST /v1/sources", s.handleAddSource)
+	mux.HandleFunc("GET /v1/objects/{source}", s.handleObjects)
+	mux.HandleFunc("GET /v1/objects/{source}/{accession}", s.handleObject)
+	mux.HandleFunc("GET /v1/objects/{source}/{accession}/related", s.handleRelated)
+	mux.HandleFunc("GET /v1/objects/{source}/{accession}/crawl", s.handleCrawl)
+	return s.middleware(mux)
+}
+
+// middleware applies the per-request timeout and converts panics into
+// structured 500 responses instead of killing the connection.
+func (s *server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logf("aladind: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				writeError(w, http.StatusInternalServerError, "internal", fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// errorBody is the structured error payload of every non-2xx response.
+type errorBody struct {
+	Error struct {
+		Status  int    `json:"status"`
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Status = status
+	body.Error.Code = code
+	body.Error.Message = msg
+	writeJSONStatus(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK, v) }
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// fail maps the aladin package's typed errors onto HTTP statuses.
+func (s *server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, aladin.ErrBadQuery):
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+	case errors.Is(err, aladin.ErrUnknownSource):
+		writeError(w, http.StatusNotFound, "unknown_source", err.Error())
+	case errors.Is(err, aladin.ErrUnknownObject):
+		writeError(w, http.StatusNotFound, "unknown_object", err.Error())
+	case errors.Is(err, aladin.ErrSourceExists):
+		writeError(w, http.StatusConflict, "source_exists", err.Error())
+	case errors.Is(err, aladin.ErrNoPrimary):
+		writeError(w, http.StatusUnprocessableEntity, "no_primary_relation", err.Error())
+	case errors.Is(err, aladin.ErrCanceled):
+		// DeadlineExceeded = the per-request timeout fired; plain Canceled
+		// = the client went away.
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, "timeout", err.Error())
+		} else {
+			writeError(w, http.StatusBadRequest, "canceled", err.Error())
+		}
+	case errors.Is(err, aladin.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// --- wire DTOs -------------------------------------------------------
+
+type refJSON struct {
+	Source    string `json:"source"`
+	Relation  string `json:"relation"`
+	Accession string `json:"accession"`
+}
+
+func toRefJSON(r aladin.ObjectRef) refJSON {
+	return refJSON{Source: r.Source, Relation: r.Relation, Accession: r.Accession}
+}
+
+type linkJSON struct {
+	Type       string  `json:"type"`
+	From       refJSON `json:"from"`
+	To         refJSON `json:"to"`
+	Confidence float64 `json:"confidence"`
+	Method     string  `json:"method"`
+}
+
+func toLinkJSON(l aladin.Link) linkJSON {
+	return linkJSON{
+		Type: l.Type.String(), From: toRefJSON(l.From), To: toRefJSON(l.To),
+		Confidence: l.Confidence, Method: l.Method,
+	}
+}
+
+// --- handlers --------------------------------------------------------
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing_parameter", "missing query parameter q")
+		return
+	}
+	res, err := s.db.Query(r.Context(), q)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	rows := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.AsString()
+		}
+		rows[i] = cells
+	}
+	writeJSON(w, map[string]any{
+		"columns": res.Columns,
+		"rows":    rows,
+		"count":   len(rows),
+	})
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	q := params.Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing_parameter", "missing query parameter q")
+		return
+	}
+	f := aladin.SearchFilter{
+		Sources:     params["source"],
+		Columns:     params["column"],
+		PrimaryOnly: params.Get("primary") == "true",
+	}
+	limit := intParam(params.Get("limit"), 10)
+	results, err := s.db.Search(r.Context(), q, f, limit)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	type hit struct {
+		Object   refJSON `json:"object"`
+		Relation string  `json:"relation"`
+		Column   string  `json:"column"`
+		Score    float64 `json:"score"`
+		Snippet  string  `json:"snippet"`
+	}
+	hits := make([]hit, 0, len(results))
+	for _, res := range results {
+		hits = append(hits, hit{
+			Object:   toRefJSON(res.Document.Object),
+			Relation: res.Document.Relation,
+			Column:   res.Document.Column,
+			Score:    res.Score,
+			Snippet:  aladin.Snippet(res, q, 80),
+		})
+	}
+	writeJSON(w, map[string]any{"query": q, "results": hits, "count": len(hits)})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.db.Stats(r.Context())
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"sources":       st.Repo.Sources,
+		"links":         st.Repo.Links,
+		"links_by_type": st.Repo.LinksByType,
+		"removed_links": st.Repo.RemovedLinks,
+		"web": map[string]any{
+			"objects":           st.Web.Objects,
+			"linked_objects":    st.Web.LinkedObjects,
+			"components":        st.Web.Components,
+			"largest_component": st.Web.LargestComponent,
+			"mean_degree":       st.Web.MeanDegree,
+		},
+		"indexed_documents": st.IndexedDocuments,
+	})
+}
+
+func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.db.Sources(r.Context())
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	type src struct {
+		Name      string `json:"name"`
+		Primary   string `json:"primary"`
+		Accession string `json:"accession"`
+		Tuples    int    `json:"tuples"`
+	}
+	out := make([]src, 0, len(infos))
+	for _, m := range infos {
+		out = append(out, src{Name: m.Name, Primary: m.Primary, Accession: m.Accession, Tuples: m.Tuples})
+	}
+	writeJSON(w, map[string]any{"sources": out, "count": len(out)})
+}
+
+// handleAddSource integrates an uploaded flat file:
+//
+//	POST /v1/sources?name=<source>&format=<embl|genbank|fasta|obo|csv|tsv|xml>
+//
+// with the raw file as the request body. Integration can take a while on
+// big sources; the per-request timeout applies and cancels cleanly.
+func (s *server) handleAddSource(w http.ResponseWriter, r *http.Request) {
+	params := r.URL.Query()
+	name, format := params.Get("name"), params.Get("format")
+	if name == "" || format == "" {
+		writeError(w, http.StatusBadRequest, "missing_parameter", "missing query parameter name or format")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	db, err := flatfile.Parse(format, body, name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
+		return
+	}
+	rep, err := s.db.AddSource(r.Context(), db)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	timings := make(map[string]string, len(rep.Timings))
+	for _, t := range rep.Timings {
+		timings[t.Step] = t.Duration.String()
+	}
+	writeJSONStatus(w, http.StatusCreated, map[string]any{
+		"source":      rep.Source,
+		"primary":     rep.Structure.Primary,
+		"accession":   rep.Structure.PrimaryAccession,
+		"links_added": rep.LinksAdded,
+		"timings":     timings,
+		"duration":    rep.Duration().String(),
+	})
+}
+
+func (s *server) handleObjects(w http.ResponseWriter, r *http.Request) {
+	refs, err := s.db.Objects(r.Context(), r.PathValue("source"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	out := make([]refJSON, 0, len(refs))
+	for _, ref := range refs {
+		out = append(out, toRefJSON(ref))
+	}
+	writeJSON(w, map[string]any{"objects": out, "count": len(out)})
+}
+
+// objectRef resolves the {source}/{accession} path elements against the
+// source's discovered primary relation.
+func (s *server) objectRef(r *http.Request) (aladin.ObjectRef, error) {
+	name := r.PathValue("source")
+	info, err := s.db.Source(r.Context(), name)
+	if err != nil {
+		return aladin.ObjectRef{}, err
+	}
+	return aladin.ObjectRef{
+		Source:    info.Name,
+		Relation:  info.Primary,
+		Accession: r.PathValue("accession"),
+	}, nil
+}
+
+func (s *server) handleObject(w http.ResponseWriter, r *http.Request) {
+	ref, err := s.objectRef(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	v, err := s.db.Browse(r.Context(), ref)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	type annotation struct {
+		Relation string            `json:"relation"`
+		Fields   map[string]string `json:"fields"`
+	}
+	annotations := make([]annotation, 0, len(v.Annotations))
+	for _, a := range v.Annotations {
+		annotations = append(annotations, annotation{Relation: a.Relation, Fields: a.Fields})
+	}
+	duplicates := make([]linkJSON, 0, len(v.Duplicates))
+	for _, l := range v.Duplicates {
+		duplicates = append(duplicates, toLinkJSON(l))
+	}
+	linked := make([]linkJSON, 0, len(v.Linked))
+	for _, l := range v.Linked {
+		linked = append(linked, toLinkJSON(l))
+	}
+	writeJSON(w, map[string]any{
+		"object":      toRefJSON(v.Ref),
+		"fields":      v.Fields,
+		"annotations": annotations,
+		"prev":        v.PrevAccession,
+		"next":        v.NextAccession,
+		"duplicates":  duplicates,
+		"linked":      linked,
+	})
+}
+
+func (s *server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	ref, err := s.objectRef(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	params := r.URL.Query()
+	maxLen := intParam(params.Get("maxlen"), 3)
+	limit := intParam(params.Get("limit"), 10)
+	scored, err := s.db.Related(r.Context(), ref, maxLen, limit)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	type related struct {
+		Object refJSON `json:"object"`
+		Score  float64 `json:"score"`
+		Paths  int     `json:"paths"`
+	}
+	out := make([]related, 0, len(scored))
+	for _, sc := range scored {
+		out = append(out, related{Object: toRefJSON(sc.Ref), Score: sc.Score, Paths: sc.Paths})
+	}
+	writeJSON(w, map[string]any{"object": toRefJSON(ref), "related": out, "count": len(out)})
+}
+
+func (s *server) handleCrawl(w http.ResponseWriter, r *http.Request) {
+	ref, err := s.objectRef(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	depth := intParam(r.URL.Query().Get("depth"), 2)
+	refs, err := s.db.Crawl(r.Context(), ref, depth)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	out := make([]refJSON, 0, len(refs))
+	for _, c := range refs {
+		out = append(out, toRefJSON(c))
+	}
+	writeJSON(w, map[string]any{"start": toRefJSON(ref), "objects": out, "count": len(out)})
+}
+
+// intParam parses a positive integer query parameter with a default.
+func intParam(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/aladin"
+	"repro/internal/datagen"
+)
+
+// newTestServer serves the demo corpus (2 sources, small) over httptest.
+func newTestServer(t *testing.T) (*httptest.Server, *aladin.DB) {
+	t.Helper()
+	db, err := aladin.Open(aladin.WithOntologySources("go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 10})
+	ctx := context.Background()
+	for _, name := range []string{"swissprot", "pdb"} {
+		if _, err := db.AddSource(ctx, corpus.Source(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(newServer(db, 30*time.Second).handler())
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+// getJSON fetches a URL, asserts the status, and decodes the body.
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d; body: %s", url, resp.StatusCode, wantStatus, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("GET %s content-type = %q", url, ct)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("GET %s: invalid JSON: %v; body: %s", url, err, body)
+	}
+	return out
+}
+
+// TestHTTPSmoke is the end-to-end smoke test: query and search against
+// the demo corpus must return 200 with non-empty JSON payloads.
+func TestHTTPSmoke(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	q := getJSON(t, ts.URL+"/v1/query?q="+escape("SELECT COUNT(*) FROM swissprot_protein"), 200)
+	if q["count"].(float64) != 1 {
+		t.Errorf("query count = %v", q["count"])
+	}
+	rows := q["rows"].([]any)
+	if len(rows) != 1 || rows[0].([]any)[0].(string) != "10" {
+		t.Errorf("query rows = %v", rows)
+	}
+
+	sr := getJSON(t, ts.URL+"/v1/search?q=protein+structure&limit=5", 200)
+	if sr["count"].(float64) == 0 {
+		t.Error("search returned no results")
+	}
+
+	st := getJSON(t, ts.URL+"/v1/stats", 200)
+	if st["sources"].(float64) != 2 {
+		t.Errorf("stats sources = %v", st["sources"])
+	}
+	if st["links"].(float64) == 0 {
+		t.Error("stats links = 0")
+	}
+
+	src := getJSON(t, ts.URL+"/v1/sources", 200)
+	if src["count"].(float64) != 2 {
+		t.Errorf("sources count = %v", src["count"])
+	}
+}
+
+func TestHTTPObjectEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	objs := getJSON(t, ts.URL+"/v1/objects/swissprot", 200)
+	if objs["count"].(float64) != 10 {
+		t.Fatalf("objects count = %v", objs["count"])
+	}
+	first := objs["objects"].([]any)[0].(map[string]any)
+	acc := first["accession"].(string)
+
+	obj := getJSON(t, ts.URL+"/v1/objects/swissprot/"+acc, 200)
+	if len(obj["fields"].(map[string]any)) == 0 {
+		t.Error("object view has no fields")
+	}
+	rel := getJSON(t, ts.URL+"/v1/objects/swissprot/"+acc+"/related?maxlen=2&limit=5", 200)
+	if rel["object"].(map[string]any)["accession"] != acc {
+		t.Errorf("related echo = %v", rel["object"])
+	}
+	crawl := getJSON(t, ts.URL+"/v1/objects/swissprot/"+acc+"/crawl?depth=1", 200)
+	if crawl["count"].(float64) == 0 {
+		t.Error("crawl returned nothing")
+	}
+}
+
+// TestHTTPErrors asserts the structured error body and status mapping.
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	cases := []struct {
+		url        string
+		wantStatus int
+		wantCode   string
+	}{
+		{"/v1/query", 400, "missing_parameter"},
+		{"/v1/query?q=" + escape("SELEKT nope"), 400, "bad_query"},
+		{"/v1/search", 400, "missing_parameter"},
+		{"/v1/objects/nope", 404, "unknown_source"},
+		{"/v1/objects/swissprot/NOPE999", 404, "unknown_object"},
+		{"/v1/objects/nope/X1/related", 404, "unknown_source"},
+	}
+	for _, c := range cases {
+		body := getJSON(t, ts.URL+c.url, c.wantStatus)
+		e := body["error"].(map[string]any)
+		if e["code"] != c.wantCode {
+			t.Errorf("%s: code = %v, want %s", c.url, e["code"], c.wantCode)
+		}
+		if e["status"].(float64) != float64(c.wantStatus) {
+			t.Errorf("%s: body status = %v", c.url, e["status"])
+		}
+	}
+}
+
+// TestHTTPAddSource uploads a CSV flat file and asserts it becomes
+// queryable; a duplicate upload returns 409.
+func TestHTTPAddSource(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	csv := "accession,name,description\n" +
+		"UP001,hemoglobin alpha,oxygen transport protein chain\n" +
+		"UP002,lysozyme C,bacteriolytic enzyme found in secretions\n" +
+		"UP003,insulin precursor,glucose regulating hormone precursor\n" +
+		"UP004,myoglobin,oxygen storage protein of muscle tissue\n"
+	url := ts.URL + "/v1/sources?name=upload&format=csv"
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("POST = %d; body: %s", resp.StatusCode, body)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep["source"] != "upload" || rep["primary"] == "" {
+		t.Errorf("report = %v", rep)
+	}
+
+	q := getJSON(t, ts.URL+"/v1/query?q="+escape("SELECT COUNT(*) FROM upload_data"), 200)
+	if rows := q["rows"].([]any); rows[0].([]any)[0].(string) != "4" {
+		t.Errorf("uploaded rows = %v", rows)
+	}
+
+	resp, err = http.Post(url, "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Errorf("duplicate POST = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHTTPTimeout gives the server a tiny per-request budget and asserts
+// a slow integration maps to 504 with the state unwound. The uploaded
+// source and the corpus are sized so integration takes hundreds of
+// milliseconds: context timers need the scheduler to run the timer
+// goroutine, which a sub-10ms CPU-bound burst on a loaded single-core
+// box can outrace.
+func TestHTTPTimeout(t *testing.T) {
+	db, err := aladin.Open(aladin.WithOntologySources("go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 120})
+	ctx := context.Background()
+	for _, name := range []string{"swissprot", "pdb"} {
+		if _, err := db.AddSource(ctx, corpus.Source(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(newServer(db, time.Millisecond).handler())
+	defer ts.Close()
+
+	var csv strings.Builder
+	csv.WriteString("accession,name,description\n")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&csv, "UX%04d,uploaded protein variant %d,"+
+			"synthetic description of uploaded protein number %d with enough prose to feed text linking\n", i, i, i)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sources?name=upload&format=csv", "text/csv",
+		strings.NewReader(csv.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("POST under 1ms deadline = %d; body: %s", resp.StatusCode, body)
+	}
+	var e map[string]any
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("invalid error JSON: %v", err)
+	}
+	if code := e["error"].(map[string]any)["code"]; code != "timeout" {
+		t.Errorf("error code = %v, want timeout", code)
+	}
+	st, err := db.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repo.Sources != 2 {
+		t.Errorf("timed-out integration left %d sources, want 2", st.Repo.Sources)
+	}
+	// The server stays fully usable after the timed-out integration.
+	if _, err := db.Query(ctx, "SELECT COUNT(*) FROM swissprot_protein"); err != nil {
+		t.Errorf("query after timeout: %v", err)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer(" ", "+", "*", "%2A", "(", "%28", ")", "%29")
+	return r.Replace(s)
+}

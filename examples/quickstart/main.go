@@ -1,18 +1,18 @@
 // Quickstart: import two small flat-file sources, let ALADIN integrate
-// them hands-off, and use all three access modes.
+// them hands-off, and use all three access modes — through the public
+// aladin package, the supported entry point.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/core"
+	"repro/aladin"
 	"repro/internal/flatfile"
-	"repro/internal/metadata"
-	"repro/internal/search"
 )
 
 // Two tiny sources in real exchange formats: a Swiss-Prot-style flat file
@@ -71,14 +71,19 @@ func main() {
 	}
 
 	// Steps 2-5 are automatic.
-	sys := core.New(core.Options{})
-	rep, err := sys.AddSource(swissprot)
+	ctx := context.Background()
+	db, err := aladin.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := db.AddSource(ctx, swissprot)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("swissprot: primary relation %q, accession column %q\n",
 		rep.Structure.Primary, rep.Structure.PrimaryAccession)
-	rep, err = sys.AddSource(pdb)
+	swissprotPrimary := rep.Structure.Primary
+	rep, err = db.AddSource(ctx, pdb)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,8 +92,8 @@ func main() {
 	fmt.Printf("links discovered while adding pdb: %v\n\n", rep.LinksAdded)
 
 	// Access mode 1: browse the object web.
-	ref := metadata.ObjectRef{Source: "swissprot", Relation: rep0Primary(sys), Accession: "P69905"}
-	view, err := sys.Browse(ref)
+	ref := aladin.ObjectRef{Source: "swissprot", Relation: swissprotPrimary, Accession: "P69905"}
+	view, err := db.Browse(ctx, ref)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,13 +106,17 @@ func main() {
 
 	// Access mode 2: ranked full-text search.
 	fmt.Println("\nsearch \"oxygen transport\":")
-	for _, r := range sys.Search("oxygen transport", search.Filter{}, 3) {
+	hits, err := db.Search(ctx, "oxygen transport", aladin.SearchFilter{}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range hits {
 		fmt.Printf("  [%.2f] %s:%s\n", r.Score, r.Document.Object.Source, r.Document.Object.Accession)
 	}
 
 	// Access mode 3: SQL over the imported schemata.
 	fmt.Println("\nSQL join across both sources:")
-	res, err := sys.Query(`
+	res, err := db.Query(ctx, `
 		SELECT e.accession, e.entry_name, d.ref_accession
 		FROM swissprot_entry e
 		JOIN swissprot_dbref d ON d.entry_id = e.entry_id
@@ -118,9 +127,4 @@ func main() {
 	for _, row := range res.Rows {
 		fmt.Printf("  %s  %s  ->  PDB %s\n", row[0].AsString(), row[1].AsString(), row[2].AsString())
 	}
-}
-
-// rep0Primary returns the primary relation name of the first source.
-func rep0Primary(sys *core.System) string {
-	return sys.Repo.Source("swissprot").Structure.Primary
 }

@@ -20,6 +20,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -79,6 +81,15 @@ func (o *Options) fill() {
 		o.Duplicates.Workers = o.Workers
 	}
 }
+
+// Typed pipeline errors, for callers that must distinguish failure
+// classes without parsing messages (test with errors.Is).
+var (
+	// ErrSourceExists rejects integrating a source name twice.
+	ErrSourceExists = errors.New("core: source already integrated")
+	// ErrNoPrimary means discovery found no primary relation (§4.2).
+	ErrNoPrimary = errors.New("core: no primary relation found")
+)
 
 // StepTiming records the duration of one pipeline step.
 type StepTiming struct {
@@ -155,81 +166,107 @@ func New(opts Options) *System {
 
 // AddSource runs the five-step pipeline for one imported source.
 func (s *System) AddSource(db *rel.Database) (*AddReport, error) {
+	return s.AddSourceContext(context.Background(), db)
+}
+
+// AddSourceContext is AddSource with cancellation: a canceled ctx aborts
+// the pipeline promptly, unwinds any partial state, and returns ctx's
+// error — the system is left exactly as it was before the call.
+func (s *System) AddSourceContext(ctx context.Context, db *rel.Database) (*AddReport, error) {
+	p, err := s.PrepareAdd(ctx, db)
+	if err != nil {
+		return nil, err
+	}
+	return s.CommitAdd(p)
+}
+
+// PendingAdd is a fully computed but uncommitted source addition: the
+// output of pipeline steps 2–5 for one source, not yet visible to any
+// access mode. Either CommitAdd or Abort must be called exactly once.
+type PendingAdd struct {
+	db        *rel.Database
+	name      string
+	structure *discovery.Structure
+	profs     map[string]*profile.ColumnProfile
+	src       *linkdisc.Source
+	links     []metadata.Link
+	xattrs    []linkdisc.XRefAttribute
+	lstats    linkdisc.Stats
+	records   []dup.Record
+	dupLinks  []metadata.Link
+	ontLinks  []metadata.Link
+	dstats    dup.Stats
+	web       *objectweb.Prepared
+	searchIdx *search.Index
+	warehouse []*rel.Relation
+	timings   []StepTiming
+	done      bool
+}
+
+// Source returns the name of the source being added.
+func (p *PendingAdd) Source() string { return p.db.Name }
+
+// PrepareAdd runs pipeline steps 2–5 for one imported source against a
+// snapshot of the current system, without touching any state visible to
+// the access modes (repository, browse web, warehouse, search index,
+// records): readers may run concurrently with PrepareAdd, and CommitAdd
+// publishes the result in one short step under the caller's write lock.
+//
+// Only the duplicate blocking index — internal to the pipeline, never
+// read by queries — is updated eagerly; a failed or canceled prepare
+// unwinds it before returning, reusing the same machinery as the
+// mid-pipeline failure path. Concurrent PrepareAdd calls are NOT safe;
+// integrations must be serialized by the caller (package aladin does).
+func (s *System) PrepareAdd(ctx context.Context, db *rel.Database) (*PendingAdd, error) {
 	name := strings.ToLower(db.Name)
 	if _, exists := s.sources[name]; exists {
-		return nil, fmt.Errorf("core: source %q already integrated", db.Name)
+		return nil, fmt.Errorf("%w: %q", ErrSourceExists, db.Name)
 	}
-	report := &AddReport{Source: db.Name, LinksAdded: make(map[string]int)}
+	// A panic escaping the pipeline (e.g. re-raised from a worker pool)
+	// must not leave the source half-bucketed in the duplicate index.
+	defer func() {
+		if r := recover(); r != nil {
+			s.dupIndex.RemoveSource(db.Name)
+			panic(r)
+		}
+	}()
+	p := &PendingAdd{db: db, name: name}
 
 	// Step 2: discovery of primary objects (profiling + §4.2).
 	t0 := time.Now()
-	profs, err := profile.ProfileDatabase(db, s.opts.Profile)
+	profs, err := profile.ProfileDatabaseContext(ctx, db, s.opts.Profile)
 	if err != nil {
 		return nil, err
 	}
-	report.Timings = append(report.Timings, StepTiming{"profile", time.Since(t0)})
+	p.profs = profs
+	p.timings = append(p.timings, StepTiming{"profile", time.Since(t0)})
 
 	t0 = time.Now()
-	structure, err := discovery.Analyze(db, profs, s.opts.Discovery)
+	structure, err := discovery.AnalyzeContext(ctx, db, profs, s.opts.Discovery)
 	if err != nil {
 		return nil, err
 	}
-	report.Structure = structure
+	p.structure = structure
 	// Steps 2+3 run in one Analyze call ("there is high potential for
 	// parallelization and combination of these steps", §3).
-	report.Timings = append(report.Timings, StepTiming{"discover-structure", time.Since(t0)})
+	p.timings = append(p.timings, StepTiming{"discover-structure", time.Since(t0)})
 
 	if structure.Primary == "" {
-		return report, fmt.Errorf("core: no primary relation found for source %q", db.Name)
+		return nil, fmt.Errorf("%w for source %q", ErrNoPrimary, db.Name)
 	}
 
 	// Step 4: link discovery against all previously integrated sources.
-	// From here on the engine, link repository and duplicate index hold
-	// state for this source; any failure must unwind it so a failed add
-	// leaves the system exactly as it was.
-	src := &linkdisc.Source{DB: db, Structure: structure, Profiles: profs}
-	if err := s.engine.AddSource(src); err != nil {
-		return nil, err
-	}
-	var added, upgraded []metadata.Link
-	unwind := func() {
-		s.engine.RemoveSource(db.Name)
-		s.Repo.DropLinks(added)
-		s.Repo.RevertUpgrades(upgraded)
-		s.dupIndex.RemoveSource(db.Name)
-		delete(s.records, name)
-	}
-	addLink := func(l metadata.Link) {
-		stored, up, prev := s.Repo.AddLinkTracked(l)
-		switch {
-		case stored:
-			added = append(added, l)
-			report.LinksAdded[l.Type.String()]++
-		case up:
-			// An existing link absorbed this one as higher-confidence
-			// evidence; remember the old value for the unwind path.
-			upgraded = append(upgraded, prev)
-		}
-	}
+	// DiscoverAgainst computes both directions without registering the
+	// source in the engine, so nothing needs unwinding on failure here.
+	p.src = &linkdisc.Source{DB: db, Structure: structure, Profiles: profs}
 	t0 = time.Now()
-	links, xattrs, lstats, err := s.engine.DiscoverFor(db.Name)
+	p.links, p.xattrs, p.lstats, err = s.engine.DiscoverAgainst(ctx, p.src)
 	if err != nil {
-		unwind()
 		return nil, err
 	}
-	report.XRefAttributes = xattrs
-	report.LinkStats = lstats
-	for _, l := range links {
-		addLink(l)
-	}
-	for _, ont := range s.opts.OntologySources {
-		for _, l := range s.engine.DeriveOntologyLinks(s.Repo.AllLinks(), ont) {
-			addLink(l)
-		}
-	}
-	report.Timings = append(report.Timings, StepTiming{"link-discovery", time.Since(t0)})
+	p.ontLinks = s.deriveOntologyLinks(p.links)
+	p.timings = append(p.timings, StepTiming{"link-discovery", time.Since(t0)})
 	if err := s.failAt("link-discovery"); err != nil {
-		unwind()
 		return nil, err
 	}
 
@@ -237,43 +274,151 @@ func (s *System) AddSource(db *rel.Database) (*AddReport, error) {
 	// bucketed into the persistent blocking index and compared only
 	// new×existing + new×new within the blocking windows — matches among
 	// previously integrated records were already flagged when the later
-	// of the two sources arrived.
+	// of the two sources arrived. From here on the index holds this
+	// source's records; any later failure must unwind them.
 	t0 = time.Now()
-	newRecords := dup.RecordsFromSource(db, structure)
-	s.records[name] = newRecords
-	matches, dstats := s.dupIndex.FindNew(newRecords, s.opts.Duplicates)
-	report.DupStats = dstats
-	for _, l := range dup.Links(matches) {
-		addLink(l)
+	p.records = dup.RecordsFromSource(db, structure)
+	matches, dstats, err := s.dupIndex.FindNewContext(ctx, p.records, s.opts.Duplicates)
+	if err != nil {
+		s.unwindPrepare(p)
+		return nil, err
 	}
-	report.Timings = append(report.Timings, StepTiming{"duplicate-detection", time.Since(t0)})
+	p.dstats = dstats
+	p.dupLinks = dup.Links(matches)
+	p.timings = append(p.timings, StepTiming{"duplicate-detection", time.Since(t0)})
 	if err := s.failAt("duplicate-detection"); err != nil {
-		unwind()
+		s.unwindPrepare(p)
 		return nil, err
 	}
 
-	// Register everywhere: browse, metadata, SQL warehouse, search index.
-	// The browse web goes first: it is the last fallible step, and keeping
-	// it ahead of registration means a failure still unwinds cleanly.
-	t0 = time.Now()
-	if err := s.web.AddSource(db, structure); err != nil {
-		unwind()
+	// Precompute everything CommitAdd publishes: browse data, qualified
+	// warehouse relations, and the per-source search index (tokenization
+	// is the expensive part; the commit-time merge is a cheap splice).
+	p.web, err = s.web.Prepare(db, structure)
+	if err != nil {
+		s.unwindPrepare(p)
 		return nil, err
 	}
-	s.Repo.RegisterSource(&metadata.SourceMeta{
-		Name:       db.Name,
-		Structure:  structure,
-		Profiles:   profs,
-		TupleCount: db.TotalTuples(),
-	})
-	s.sources[name] = db
 	for _, r := range db.Relations() {
 		qualified := r.Clone()
 		qualified.Name = name + "_" + r.Name
-		s.warehouse.Put(qualified)
+		p.warehouse = append(p.warehouse, qualified)
 	}
 	if !s.opts.DisableSearchIndex {
-		s.indexSource(db, structure, profs)
+		p.searchIdx = buildSearchIndex(db, structure, profs)
+	}
+	if err := ctx.Err(); err != nil {
+		s.unwindPrepare(p)
+		return nil, err
+	}
+	return p, nil
+}
+
+// deriveOntologyLinks computes the §4.4 shared-term links that
+// committing newLinks would let the engine derive, against a snapshot of
+// the current repository — so the derivation's O(links) scan runs in the
+// prepare phase, outside any reader-blocking lock. The input mirrors
+// what the repository would hold after the commit's addLink loop: stored
+// links, plus the new links deduplicated by (type, endpoints) with
+// feedback-removed pairs excluded.
+func (s *System) deriveOntologyLinks(newLinks []metadata.Link) []metadata.Link {
+	if len(s.opts.OntologySources) == 0 {
+		return nil
+	}
+	combined := s.Repo.AllLinks()
+	seen := make(map[string]bool, len(newLinks))
+	for _, l := range newLinks {
+		a, b := l.From.Key(), l.To.Key()
+		if b < a {
+			a, b = b, a
+		}
+		k := fmt.Sprintf("%d\x00%s\x00%s", l.Type, a, b)
+		if seen[k] || s.Repo.Removed(l) {
+			continue
+		}
+		seen[k] = true
+		combined = append(combined, l)
+	}
+	var out []metadata.Link
+	for _, ont := range s.opts.OntologySources {
+		out = append(out, s.engine.DeriveOntologyLinks(combined, ont)...)
+	}
+	return out
+}
+
+// unwindPrepare reverts the pipeline-internal state PrepareAdd touched.
+func (s *System) unwindPrepare(p *PendingAdd) {
+	p.done = true
+	s.dupIndex.RemoveSource(p.db.Name)
+}
+
+// Abort discards a prepared addition, unwinding the pipeline-internal
+// state it holds. Aborting an already committed or aborted pending add is
+// a no-op.
+func (s *System) Abort(p *PendingAdd) {
+	if p == nil || p.done {
+		return
+	}
+	s.unwindPrepare(p)
+}
+
+// CommitAdd publishes a prepared source addition to every access mode:
+// link repository, browse web, metadata, SQL warehouse and search index.
+// This is the only part of an addition that mutates reader-visible state;
+// callers serving concurrent readers hold their write lock exactly for
+// this call. CommitAdd itself cannot leave partial state: every fallible
+// step ran in PrepareAdd.
+func (s *System) CommitAdd(p *PendingAdd) (*AddReport, error) {
+	if p.done {
+		return nil, fmt.Errorf("core: pending add for %q already committed or aborted", p.db.Name)
+	}
+	if _, exists := s.sources[p.name]; exists {
+		s.unwindPrepare(p)
+		return nil, fmt.Errorf("core: source %q already integrated", p.db.Name)
+	}
+	p.done = true
+	report := &AddReport{
+		Source:         p.db.Name,
+		Structure:      p.structure,
+		Timings:        p.timings,
+		LinksAdded:     make(map[string]int),
+		XRefAttributes: p.xattrs,
+		LinkStats:      p.lstats,
+		DupStats:       p.dstats,
+	}
+	t0 := time.Now()
+	if err := s.engine.AddSource(p.src); err != nil {
+		s.dupIndex.RemoveSource(p.db.Name)
+		return nil, err
+	}
+	addLink := func(l metadata.Link) {
+		if stored, _, _ := s.Repo.AddLinkTracked(l); stored {
+			report.LinksAdded[l.Type.String()]++
+		}
+	}
+	for _, l := range p.links {
+		addLink(l)
+	}
+	for _, l := range p.ontLinks {
+		addLink(l)
+	}
+	for _, l := range p.dupLinks {
+		addLink(l)
+	}
+	s.records[p.name] = p.records
+	s.web.Install(p.web)
+	s.Repo.RegisterSource(&metadata.SourceMeta{
+		Name:       p.db.Name,
+		Structure:  p.structure,
+		Profiles:   p.profs,
+		TupleCount: p.db.TotalTuples(),
+	})
+	s.sources[p.name] = p.db
+	for _, r := range p.warehouse {
+		s.warehouse.Put(r)
+	}
+	if p.searchIdx != nil {
+		s.index.Merge(p.searchIdx)
 	}
 	report.Timings = append(report.Timings, StepTiming{"register-and-index", time.Since(t0)})
 	return report, nil
@@ -287,8 +432,21 @@ func (s *System) failAt(stage string) error {
 	return s.failpoint(stage)
 }
 
+// SetFailpoint installs a hook invoked at named pipeline stages
+// ("link-discovery", "duplicate-detection"); a non-nil return aborts the
+// AddSource in flight and unwinds its partial state. It exists for tests
+// exercising the failure and cancellation paths.
+func (s *System) SetFailpoint(f func(stage string) error) { s.failpoint = f }
+
 // indexSource feeds a source's text-bearing values into the search index.
 func (s *System) indexSource(db *rel.Database, st *discovery.Structure, profs map[string]*profile.ColumnProfile) {
+	s.index.Merge(buildSearchIndex(db, st, profs))
+}
+
+// buildSearchIndex tokenizes a source's text-bearing values into a fresh
+// per-source index, ready to be spliced into the system index with Merge.
+func buildSearchIndex(db *rel.Database, st *discovery.Structure, profs map[string]*profile.ColumnProfile) *search.Index {
+	ix := search.NewIndex()
 	resolver := newOwnerIndex(db, st)
 	for _, r := range db.Relations() {
 		isPrimary := strings.EqualFold(r.Name, st.Primary)
@@ -306,7 +464,7 @@ func (s *System) indexSource(db *rel.Database, st *discovery.Structure, profs ma
 				if acc == "" {
 					continue
 				}
-				s.index.Add(search.Document{
+				ix.Add(search.Document{
 					Object: metadata.ObjectRef{
 						Source: db.Name, Relation: st.Primary, Accession: acc,
 					},
@@ -318,6 +476,7 @@ func (s *System) indexSource(db *rel.Database, st *discovery.Structure, profs ma
 			}
 		}
 	}
+	return ix
 }
 
 // Sources returns the names of integrated sources in order.
@@ -370,6 +529,11 @@ func (s *System) WebStats() objectweb.WebStats {
 	return s.web.Stats()
 }
 
+// IndexedDocuments returns the number of values in the search index.
+func (s *System) IndexedDocuments() int {
+	return s.index.Len()
+}
+
 // Conflicts reports field-level disagreements between two objects flagged
 // as duplicates — "Conflicts are highlighted, and data lineage is shown"
 // (§4.6).
@@ -410,6 +574,15 @@ func (s *System) RecordChanges(source string, n int) bool {
 // Reanalyze re-runs structural discovery and link discovery for one
 // source after data changes, resetting its change counter (§6.2).
 func (s *System) Reanalyze(source string) (*AddReport, error) {
+	return s.ReanalyzeContext(context.Background(), source)
+}
+
+// ReanalyzeContext is Reanalyze with cancellation. Unlike AddSource,
+// re-analysis mutates the engine's view of the source in place, so
+// callers serving concurrent readers must hold their write lock for the
+// whole call; a canceled ctx may leave the engine's structure refreshed
+// but the link repository untouched (both are consistent states).
+func (s *System) ReanalyzeContext(ctx context.Context, source string) (*AddReport, error) {
 	name := strings.ToLower(source)
 	db, ok := s.sources[name]
 	if !ok {
@@ -417,11 +590,11 @@ func (s *System) Reanalyze(source string) (*AddReport, error) {
 	}
 	report := &AddReport{Source: db.Name, LinksAdded: make(map[string]int)}
 	t0 := time.Now()
-	profs, err := profile.ProfileDatabase(db, s.opts.Profile)
+	profs, err := profile.ProfileDatabaseContext(ctx, db, s.opts.Profile)
 	if err != nil {
 		return nil, err
 	}
-	structure, err := discovery.Analyze(db, profs, s.opts.Discovery)
+	structure, err := discovery.AnalyzeContext(ctx, db, profs, s.opts.Discovery)
 	if err != nil {
 		return nil, err
 	}
@@ -433,7 +606,7 @@ func (s *System) Reanalyze(source string) (*AddReport, error) {
 		src.Structure = structure
 		src.Profiles = profs
 	}
-	links, xattrs, lstats, err := s.engine.DiscoverFor(db.Name)
+	links, xattrs, lstats, err := s.engine.DiscoverForContext(ctx, db.Name)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"strconv"
@@ -394,5 +396,131 @@ func TestConflictsAPI(t *testing.T) {
 	}
 	if _, err := sys.Conflicts(a, metadata.ObjectRef{Source: "pir", Accession: "NOPE"}); err == nil {
 		t.Error("missing object should error")
+	}
+}
+
+// TestCanceledAddSourceLeavesStateUntouched cancels AddSourceContext at
+// several points of the pipeline — before it starts, and mid-pipeline via
+// failpoints that fire the cancel — and asserts the system equals its
+// pre-call state each time.
+func TestCanceledAddSourceLeavesStateUntouched(t *testing.T) {
+	corpus := datagen.Generate(defaultCfg())
+	sys := New(defaultOpts())
+	if _, err := sys.AddSource(corpus.Source("swissprot")); err != nil {
+		t.Fatal(err)
+	}
+	wantSources := sys.Sources()
+	wantWeb := sys.WebStats()
+	wantLinks := sys.Repo.AllLinks()
+	metadata.SortLinks(wantLinks)
+	wantSearch := sys.index.Len()
+
+	check := func(label string, err error) {
+		t.Helper()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", label, err)
+		}
+		if got := sys.Sources(); !reflect.DeepEqual(got, wantSources) {
+			t.Errorf("%s: sources changed: %v -> %v", label, wantSources, got)
+		}
+		if got := sys.WebStats(); !reflect.DeepEqual(got, wantWeb) {
+			t.Errorf("%s: web stats changed: %+v -> %+v", label, wantWeb, got)
+		}
+		gotLinks := sys.Repo.AllLinks()
+		metadata.SortLinks(gotLinks)
+		if !reflect.DeepEqual(gotLinks, wantLinks) {
+			t.Errorf("%s: link repo changed: %d -> %d links", label, len(wantLinks), len(gotLinks))
+		}
+		if got := sys.index.Len(); got != wantSearch {
+			t.Errorf("%s: search index changed: %d -> %d docs", label, wantSearch, got)
+		}
+		if sys.engine.Source("pir") != nil {
+			t.Errorf("%s: engine retains canceled source", label)
+		}
+		if _, ok := sys.records["pir"]; ok {
+			t.Errorf("%s: duplicate records retained", label)
+		}
+		if sys.dupIndex.Len() != len(sys.records["swissprot"]) {
+			t.Errorf("%s: dup index retains canceled records", label)
+		}
+	}
+
+	// Pre-canceled context: the pipeline must not run at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sys.AddSourceContext(ctx, corpus.Source("pir"))
+	check("pre-canceled", err)
+
+	// Mid-pipeline: the failpoint cancels the context after the named
+	// stage completed; the next context check aborts and unwinds.
+	for _, stage := range []string{"link-discovery", "duplicate-detection"} {
+		ctx, cancel := context.WithCancel(context.Background())
+		failAt := stage
+		sys.SetFailpoint(func(s string) error {
+			if s == failAt {
+				cancel()
+				return ctx.Err()
+			}
+			return nil
+		})
+		_, err := sys.AddSourceContext(ctx, corpus.Source("pir"))
+		check("cancel-at-"+stage, err)
+		sys.SetFailpoint(nil)
+		cancel()
+	}
+
+	// After all the canceled attempts the source must integrate cleanly.
+	if _, err := sys.AddSource(corpus.Source("pir")); err != nil {
+		t.Fatalf("add after canceled attempts: %v", err)
+	}
+}
+
+// TestPrepareCommitSplit exercises the snapshot-then-commit API directly:
+// readers between Prepare and Commit see the old state, Commit publishes
+// atomically, and Abort discards a prepared addition completely.
+func TestPrepareCommitSplit(t *testing.T) {
+	corpus := datagen.Generate(defaultCfg())
+	sys := New(defaultOpts())
+	if _, err := sys.AddSource(corpus.Source("swissprot")); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := sys.PrepareAdd(context.Background(), corpus.Source("pir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not yet committed: no access mode sees pir.
+	if got := len(sys.Sources()); got != 1 {
+		t.Fatalf("prepared-but-uncommitted source visible: %d sources", got)
+	}
+	if _, err := sys.Query("SELECT accession FROM pir_entry"); err == nil {
+		t.Error("warehouse sees uncommitted source")
+	}
+	rep, err := sys.CommitAdd(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Structure.Primary == "" {
+		t.Error("commit report missing structure")
+	}
+	if got := len(sys.Sources()); got != 2 {
+		t.Fatalf("after commit: %d sources, want 2", got)
+	}
+	if _, err := sys.CommitAdd(p); err == nil {
+		t.Error("double commit must fail")
+	}
+
+	// Abort: prepared state is discarded, and the source can be prepared
+	// again afterwards (the dup index holds no leftover records).
+	p2, err := sys.PrepareAdd(context.Background(), corpus.Source("pdb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Abort(p2)
+	if got := len(sys.Sources()); got != 2 {
+		t.Fatalf("aborted source visible: %d sources", got)
+	}
+	if _, err := sys.AddSource(corpus.Source("pdb")); err != nil {
+		t.Fatalf("add after abort: %v", err)
 	}
 }

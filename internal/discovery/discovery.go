@@ -21,6 +21,7 @@
 package discovery
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -180,6 +181,13 @@ type Structure struct {
 
 // Analyze performs steps 2 and 3 on one imported source.
 func Analyze(db *rel.Database, profs map[string]*profile.ColumnProfile, opts Options) (*Structure, error) {
+	return AnalyzeContext(context.Background(), db, profs, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: when ctx is canceled
+// during IND discovery the partial result is discarded and ctx.Err() is
+// returned.
+func AnalyzeContext(ctx context.Context, db *rel.Database, profs map[string]*profile.ColumnProfile, opts Options) (*Structure, error) {
 	if opts.MaxPathLen == 0 {
 		opts.MaxPathLen = 4
 	}
@@ -214,7 +222,7 @@ func Analyze(db *rel.Database, profs map[string]*profile.ColumnProfile, opts Opt
 		}
 	}
 	// Step 2c: foreign keys / cardinalities.
-	inds, stats, err := ind.Discover(db, profs, opts.IND)
+	inds, stats, err := ind.DiscoverContext(ctx, db, profs, opts.IND)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@
 package dup
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -434,15 +435,26 @@ func reverse(s string) string {
 // serial and deterministic; similarity scoring fans out over
 // Options.Workers.
 func FindDuplicates(records []Record, opts Options) ([]Match, Stats) {
+	matches, stats, _ := FindDuplicatesContext(context.Background(), records, opts)
+	return matches, stats
+}
+
+// FindDuplicatesContext is FindDuplicates with cancellation: when ctx is
+// canceled mid-scoring the partial result is discarded and ctx.Err() is
+// returned.
+func FindDuplicatesContext(ctx context.Context, records []Record, opts Options) ([]Match, Stats, error) {
 	opts.fill()
 	stats := Stats{Records: len(records)}
 	matcher := NewMatcher(records)
 	pairs := candidatePairs(records, opts)
 	stats.Comparisons = len(pairs)
-	matches := scorePairs(pairs, matcher, opts)
+	matches, err := scorePairs(ctx, pairs, matcher, opts)
+	if err != nil {
+		return nil, stats, err
+	}
 	stats.Flagged = len(matches)
 	sortMatches(matches)
-	return matches, stats
+	return matches, stats, nil
 }
 
 // candidatePairs generates the deduplicated candidate pairs of the chosen
@@ -493,23 +505,25 @@ func candidatePairs(records []Record, opts Options) [][2]Record {
 // scorePairs computes record similarity for every candidate pair on the
 // worker pool (indexed slots keep the output order deterministic) and
 // returns the pairs at or above the threshold.
-func scorePairs(pairs [][2]Record, matcher *Matcher, opts Options) []Match {
+func scorePairs(ctx context.Context, pairs [][2]Record, matcher *Matcher, opts Options) ([]Match, error) {
 	type scored struct {
 		sim float64
 		ev  string
 	}
 	results := make([]scored, len(pairs))
-	parallel.ForChunked(opts.Workers, len(pairs), 32, func(i int) {
+	if err := parallel.ForChunked(ctx, opts.Workers, len(pairs), 32, func(i int) {
 		sim, ev := matcher.Similarity(pairs[i][0], pairs[i][1])
 		results[i] = scored{sim, ev}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var matches []Match
 	for i, r := range results {
 		if r.sim >= opts.Threshold {
 			matches = append(matches, Match{A: pairs[i][0], B: pairs[i][1], Similarity: r.sim, Evidence: r.ev})
 		}
 	}
-	return matches
+	return matches, nil
 }
 
 // sortMatches orders matches by similarity descending, then pair key.

@@ -15,6 +15,7 @@
 package dup
 
 import (
+	"context"
 	"sort"
 	"strings"
 )
@@ -143,6 +144,15 @@ func (ix *Index) RemoveSource(source string) {
 // weights over the whole indexed record set, so scores match what a full
 // FindDuplicates over the union would compute for the same pairs.
 func (ix *Index) FindNew(added []Record, opts Options) ([]Match, Stats) {
+	matches, stats, _ := ix.FindNewContext(context.Background(), added, opts)
+	return matches, stats
+}
+
+// FindNewContext is FindNew with cancellation. The added records are
+// bucketed into the index before scoring, so when ctx is canceled
+// mid-scoring the caller must unwind with RemoveSource — exactly as on
+// any other mid-pipeline failure.
+func (ix *Index) FindNewContext(ctx context.Context, added []Record, opts Options) ([]Match, Stats, error) {
 	opts.fill()
 	existing := len(ix.all)
 	addedSet := make(map[string]bool, len(added))
@@ -210,10 +220,13 @@ func (ix *Index) FindNew(added []Record, opts Options) ([]Match, Stats) {
 		}
 	}
 	stats.Comparisons = len(pairs)
-	matches := scorePairs(pairs, ix.matcher, opts)
+	matches, err := scorePairs(ctx, pairs, ix.matcher, opts)
+	if err != nil {
+		return nil, stats, err
+	}
 	stats.Flagged = len(matches)
 	sortMatches(matches)
-	return matches, stats
+	return matches, stats, nil
 }
 
 // FindDuplicatesIncremental compares only new×existing + new×new pairs

@@ -339,3 +339,33 @@ func ParseCSV(r io.Reader, dbName, table string, comma rune) (*rel.Database, err
 	}
 	return db, nil
 }
+
+// Formats lists the format names accepted by Parse.
+func Formats() []string {
+	return []string{"embl", "genbank", "fasta", "obo", "csv", "tsv", "xml"}
+}
+
+// Parse dispatches to the parser for the named format — the single
+// registry behind every front end (CLI import, HTTP upload), so the
+// supported format set cannot drift between them. CSV and TSV data
+// lands in a relation named "data".
+func Parse(format string, r io.Reader, dbName string) (*rel.Database, error) {
+	switch format {
+	case "embl":
+		return ParseEMBL(r, dbName)
+	case "genbank":
+		return ParseGenBank(r, dbName)
+	case "fasta":
+		return ParseFASTA(r, dbName)
+	case "obo":
+		return ParseOBO(r, dbName)
+	case "csv":
+		return ParseCSV(r, dbName, "data", ',')
+	case "tsv":
+		return ParseCSV(r, dbName, "data", '\t')
+	case "xml":
+		return ParseXML(r, dbName)
+	default:
+		return nil, fmt.Errorf("flatfile: unknown format %q (supported: %s)", format, strings.Join(Formats(), ", "))
+	}
+}

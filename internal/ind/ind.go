@@ -11,6 +11,7 @@
 package ind
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -92,6 +93,12 @@ type Stats struct {
 // Declared foreign keys from relation metadata are included first and
 // never duplicated by data analysis.
 func Discover(db *rel.Database, profs map[string]*profile.ColumnProfile, opts Options) ([]IND, Stats, error) {
+	return DiscoverContext(context.Background(), db, profs, opts)
+}
+
+// DiscoverContext is Discover with cancellation: when ctx is canceled the
+// partial result is discarded and ctx.Err() is returned.
+func DiscoverContext(ctx context.Context, db *rel.Database, profs map[string]*profile.ColumnProfile, opts Options) ([]IND, Stats, error) {
 	minCont := opts.MinContainment
 	if minCont <= 0 {
 		minCont = 1.0
@@ -203,7 +210,7 @@ func Discover(db *rel.Database, profs map[string]*profile.ColumnProfile, opts Op
 		err error
 	}
 	results := make([]checkResult, len(pairs))
-	parallel.For(opts.Workers, len(pairs), func(i int) {
+	if err := parallel.For(ctx, opts.Workers, len(pairs), func(i int) {
 		p := pairs[i]
 		cont, equal, err := containment(p.src.relation, p.src.column, p.src.prof, p.tgt.relation, p.tgt.column, p.tgt.prof)
 		if err != nil {
@@ -218,7 +225,9 @@ func Discover(db *rel.Database, profs map[string]*profile.ColumnProfile, opts Op
 			d.Cardinality = OneToOne
 		}
 		results[i] = checkResult{d: d, ok: true}
-	})
+	}); err != nil {
+		return nil, stats, err
+	}
 	for _, res := range results {
 		if res.err != nil {
 			return nil, stats, res.err

@@ -1,6 +1,7 @@
 package linkdisc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -180,6 +181,7 @@ func (e *Engine) RemoveSource(name string) bool {
 // DiscoverAll runs link discovery between every ordered pair of distinct
 // sources and returns the links plus per-pair xref attributes.
 func (e *Engine) DiscoverAll() ([]metadata.Link, []XRefAttribute, Stats) {
+	ctx := context.Background()
 	var links []metadata.Link
 	var xattrs []XRefAttribute
 	var stats Stats
@@ -188,7 +190,7 @@ func (e *Engine) DiscoverAll() ([]metadata.Link, []XRefAttribute, Stats) {
 			if from == to {
 				continue
 			}
-			ls, xs, st := e.discoverPair(from, to)
+			ls, xs, st, _ := e.discoverPair(ctx, from, to)
 			links = append(links, ls...)
 			xattrs = append(xattrs, xs...)
 			addStats(&stats, st)
@@ -202,10 +204,42 @@ func (e *Engine) DiscoverAll() ([]metadata.Link, []XRefAttribute, Stats) {
 // other registered sources, in both directions — the incremental addition
 // mode of §3.
 func (e *Engine) DiscoverFor(name string) ([]metadata.Link, []XRefAttribute, Stats, error) {
+	return e.DiscoverForContext(context.Background(), name)
+}
+
+// DiscoverForContext is DiscoverFor with cancellation: when ctx is
+// canceled the partial result is discarded and ctx.Err() is returned.
+func (e *Engine) DiscoverForContext(ctx context.Context, name string) ([]metadata.Link, []XRefAttribute, Stats, error) {
 	nu := e.Source(name)
 	if nu == nil {
 		return nil, nil, Stats{}, fmt.Errorf("linkdisc: unknown source %q", name)
 	}
+	return e.discoverBothWays(ctx, nu)
+}
+
+// DiscoverAgainst runs link discovery between a candidate source and all
+// registered sources — in both directions — WITHOUT registering the
+// candidate. This is the compute half of a snapshot-then-commit source
+// addition: the engine's registered set is only read, so arbitrarily many
+// readers may use the engine concurrently while a candidate is analyzed,
+// and registration (AddSource) happens later under the caller's write
+// lock. The candidate's resolver is built here if missing.
+func (e *Engine) DiscoverAgainst(ctx context.Context, nu *Source) ([]metadata.Link, []XRefAttribute, Stats, error) {
+	if nu.Structure == nil {
+		return nil, nil, Stats{}, fmt.Errorf("linkdisc: source %q has no discovered structure", nu.DB.Name)
+	}
+	if s := e.Source(nu.DB.Name); s != nil {
+		return nil, nil, Stats{}, fmt.Errorf("linkdisc: source %q already added", nu.DB.Name)
+	}
+	if nu.resolver == nil {
+		nu.resolver = newResolver(nu.DB, nu.Structure)
+	}
+	return e.discoverBothWays(ctx, nu)
+}
+
+// discoverBothWays discovers links between nu and every *other* registered
+// source, in both directions.
+func (e *Engine) discoverBothWays(ctx context.Context, nu *Source) ([]metadata.Link, []XRefAttribute, Stats, error) {
 	var links []metadata.Link
 	var xattrs []XRefAttribute
 	var stats Stats
@@ -213,11 +247,17 @@ func (e *Engine) DiscoverFor(name string) ([]metadata.Link, []XRefAttribute, Sta
 		if other == nu {
 			continue
 		}
-		ls, xs, st := e.discoverPair(nu, other)
+		ls, xs, st, err := e.discoverPair(ctx, nu, other)
+		if err != nil {
+			return nil, nil, Stats{}, err
+		}
 		links = append(links, ls...)
 		xattrs = append(xattrs, xs...)
 		addStats(&stats, st)
-		ls, xs, st = e.discoverPair(other, nu)
+		ls, xs, st, err = e.discoverPair(ctx, other, nu)
+		if err != nil {
+			return nil, nil, Stats{}, err
+		}
 		links = append(links, ls...)
 		xattrs = append(xattrs, xs...)
 		addStats(&stats, st)
@@ -236,26 +276,39 @@ func addStats(dst *Stats, s Stats) {
 }
 
 // discoverPair finds links from objects of `from` to objects of `to`.
-func (e *Engine) discoverPair(from, to *Source) ([]metadata.Link, []XRefAttribute, Stats) {
+func (e *Engine) discoverPair(ctx context.Context, from, to *Source) ([]metadata.Link, []XRefAttribute, Stats, error) {
 	var links []metadata.Link
 	var stats Stats
-	xls, xattrs, xst := e.discoverXRefs(from, to)
+	xls, xattrs, xst, err := e.discoverXRefs(ctx, from, to)
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
 	links = append(links, xls...)
 	addStats(&stats, xst)
 	if !e.opts.DisableSequenceLinks {
-		sls, n := e.discoverSequenceLinks(from, to)
+		sls, n, err := e.discoverSequenceLinks(ctx, from, to)
+		if err != nil {
+			return nil, nil, Stats{}, err
+		}
 		links = append(links, sls...)
 		stats.SequenceComparisons += n
 	}
 	if !e.opts.DisableTextLinks {
-		tls, n := e.discoverTextLinks(from, to)
+		tls, n, err := e.discoverTextLinks(ctx, from, to)
+		if err != nil {
+			return nil, nil, Stats{}, err
+		}
 		links = append(links, tls...)
 		stats.TextComparisons += n
 	}
 	if !e.opts.DisableEntityLinks {
-		links = append(links, e.discoverEntityLinks(from, to)...)
+		els, err := e.discoverEntityLinks(ctx, from, to)
+		if err != nil {
+			return nil, nil, Stats{}, err
+		}
+		links = append(links, els...)
 	}
-	return links, xattrs, stats
+	return links, xattrs, stats, nil
 }
 
 // primaryRef builds an ObjectRef for a primary object of s.
@@ -316,16 +369,16 @@ func CompositeParts(v string) []string {
 // discoverXRefs implements explicit link discovery: candidate targets are
 // the accession fields of primary relations of other sources; candidate
 // sources are all attributes, pruned per §4.4.
-func (e *Engine) discoverXRefs(from, to *Source) ([]metadata.Link, []XRefAttribute, Stats) {
+func (e *Engine) discoverXRefs(ctx context.Context, from, to *Source) ([]metadata.Link, []XRefAttribute, Stats, error) {
 	var stats Stats
 	var links []metadata.Link
 	var xattrs []XRefAttribute
 	if to.Structure.Primary == "" || from.Structure.Primary == "" {
-		return nil, nil, stats
+		return nil, nil, stats, nil
 	}
 	targetAcc := accessionSet(to)
 	if len(targetAcc) == 0 {
-		return nil, nil, stats
+		return nil, nil, stats, nil
 	}
 	// Candidate generation and §4.4 pruning are cheap and stay serial; the
 	// value scans checking each surviving attribute run on the worker
@@ -364,7 +417,7 @@ func (e *Engine) discoverXRefs(from, to *Source) ([]metadata.Link, []XRefAttribu
 		taskLinks []metadata.Link
 	}
 	results := make([]taskResult, len(tasks))
-	parallel.For(e.opts.Workers, len(tasks), func(i int) {
+	if err := parallel.For(ctx, e.opts.Workers, len(tasks), func(i int) {
 		t := tasks[i]
 		matchFrac, matched, composite := xrefMatchFraction(t.r, t.col, targetAcc)
 		if matchFrac < e.opts.MinXRefMatchFrac || matched < e.opts.MinXRefMatchCount {
@@ -378,7 +431,9 @@ func (e *Engine) discoverXRefs(from, to *Source) ([]metadata.Link, []XRefAttribu
 			},
 			taskLinks: e.xrefObjectLinks(from, to, t.r, t.col, targetAcc, matchFrac),
 		}
-	})
+	}); err != nil {
+		return nil, nil, Stats{}, err
+	}
 	for _, res := range results {
 		if !res.hit {
 			continue
@@ -387,7 +442,7 @@ func (e *Engine) discoverXRefs(from, to *Source) ([]metadata.Link, []XRefAttribu
 		xattrs = append(xattrs, res.xattr)
 		links = append(links, res.taskLinks...)
 	}
-	return links, xattrs, stats
+	return links, xattrs, stats, nil
 }
 
 // xrefMatchFraction computes the fraction and count of distinct values of
@@ -478,11 +533,11 @@ func sequenceColumns(s *Source) [][2]string {
 
 // discoverSequenceLinks builds a k-mer index over the target source's
 // sequence fields and queries it with the new source's sequences.
-func (e *Engine) discoverSequenceLinks(from, to *Source) ([]metadata.Link, int) {
+func (e *Engine) discoverSequenceLinks(ctx context.Context, from, to *Source) ([]metadata.Link, int, error) {
 	fromCols := sequenceColumns(from)
 	toCols := sequenceColumns(to)
 	if len(fromCols) == 0 || len(toCols) == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	// Index all target sequences, labeled by owning primary accession.
 	ix := seq.NewIndex(e.opts.SeqKmer)
@@ -525,7 +580,7 @@ func (e *Engine) discoverSequenceLinks(from, to *Source) ([]metadata.Link, int) 
 		owners []string
 	}
 	results := make([]queryResult, len(queries))
-	parallel.For(e.opts.Workers, len(queries), func(i int) {
+	if err := parallel.For(ctx, e.opts.Workers, len(queries), func(i int) {
 		q := queries[i]
 		hits := ix.Search(q.val, seq.SearchOptions{
 			MinScore:    e.opts.SeqMinScore,
@@ -536,7 +591,9 @@ func (e *Engine) discoverSequenceLinks(from, to *Source) ([]metadata.Link, int) 
 			return
 		}
 		results[i] = queryResult{hits: hits, owners: from.resolver.owners(q.rel, q.ti)}
-	})
+	}); err != nil {
+		return nil, 0, err
+	}
 	comparisons := 0
 	var out []metadata.Link
 	seen := make(map[string]bool)
@@ -559,7 +616,7 @@ func (e *Engine) discoverSequenceLinks(from, to *Source) ([]metadata.Link, int) 
 			}
 		}
 	}
-	return out, comparisons
+	return out, comparisons, nil
 }
 
 // textDoc is one primary object's concatenated free-text annotation.
@@ -615,11 +672,11 @@ func textDocs(s *Source) []textDoc {
 // discoverTextLinks compares free-text annotation of primary objects
 // across the two sources with TF-IDF cosine, using a shared-term inverted
 // index for candidate generation instead of the full cross product.
-func (e *Engine) discoverTextLinks(from, to *Source) ([]metadata.Link, int) {
+func (e *Engine) discoverTextLinks(ctx context.Context, from, to *Source) ([]metadata.Link, int, error) {
 	fromDocs := textDocs(from)
 	toDocs := textDocs(to)
 	if len(fromDocs) == 0 || len(toDocs) == 0 {
-		return nil, 0
+		return nil, 0, nil
 	}
 	corpus := textmine.NewCorpus()
 	for _, d := range fromDocs {
@@ -652,7 +709,7 @@ func (e *Engine) discoverTextLinks(from, to *Source) ([]metadata.Link, int) {
 		links       []metadata.Link
 	}
 	results := make([]docResult, len(fromDocs))
-	parallel.For(e.opts.Workers, len(fromDocs), func(di int) {
+	if err := parallel.For(ctx, e.opts.Workers, len(fromDocs), func(di int) {
 		d := fromDocs[di]
 		v := corpus.Vector(d.text)
 		cands := make(map[int]bool)
@@ -683,14 +740,16 @@ func (e *Engine) discoverTextLinks(from, to *Source) ([]metadata.Link, int) {
 			})
 		}
 		results[di] = res
-	})
+	}); err != nil {
+		return nil, 0, err
+	}
 	comparisons := 0
 	var out []metadata.Link
 	for _, res := range results {
 		comparisons += res.comparisons
 		out = append(out, res.links...)
 	}
-	return out, comparisons
+	return out, comparisons, nil
 }
 
 // discoverEntityLinks extracts entity mentions from the new source's text
@@ -698,19 +757,19 @@ func (e *Engine) discoverTextLinks(from, to *Source) ([]metadata.Link, int) {
 // target's primary relation (§4.4: "methods for finding names of
 // biological entities in natural text ... matched with unique fields of
 // primary relations").
-func (e *Engine) discoverEntityLinks(from, to *Source) []metadata.Link {
+func (e *Engine) discoverEntityLinks(ctx context.Context, from, to *Source) ([]metadata.Link, error) {
 	if to.Structure.Primary == "" {
-		return nil
+		return nil, nil
 	}
 	toRel := to.DB.Relation(to.Structure.Primary)
 	if toRel == nil {
-		return nil
+		return nil, nil
 	}
 	// Dictionary: values of all unique columns of the target's primary
 	// relation, mapped back to the owning accession.
 	accIdx := toRel.Schema.Index(to.Structure.PrimaryAccession)
 	if accIdx < 0 {
-		return nil
+		return nil, nil
 	}
 	nameToAcc := make(map[string]string)
 	for _, colName := range to.Structure.UniqueColumns[strings.ToLower(toRel.Name)] {
@@ -737,7 +796,7 @@ func (e *Engine) discoverEntityLinks(from, to *Source) []metadata.Link {
 		}
 	}
 	if len(nameToAcc) == 0 {
-		return nil
+		return nil, nil
 	}
 	dict := make([]string, 0, len(nameToAcc))
 	for n := range nameToAcc {
@@ -749,7 +808,7 @@ func (e *Engine) discoverEntityLinks(from, to *Source) []metadata.Link {
 	// dedupe reduces serially in document order.
 	docs := textDocs(from)
 	results := make([][]metadata.Link, len(docs))
-	parallel.For(e.opts.Workers, len(docs), func(di int) {
+	if err := parallel.For(ctx, e.opts.Workers, len(docs), func(di int) {
 		d := docs[di]
 		var ls []metadata.Link
 		for _, m := range er.Extract(d.text) {
@@ -769,7 +828,9 @@ func (e *Engine) discoverEntityLinks(from, to *Source) []metadata.Link {
 			})
 		}
 		results[di] = ls
-	})
+	}); err != nil {
+		return nil, err
+	}
 	var out []metadata.Link
 	seen := make(map[string]bool)
 	for _, ls := range results {
@@ -782,7 +843,7 @@ func (e *Engine) discoverEntityLinks(from, to *Source) []metadata.Link {
 			out = append(out, l)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DeriveOntologyLinksHierarchical extends DeriveOntologyLinks with term

@@ -222,6 +222,14 @@ func (r *Repo) RevertUpgrades(prevs []Link) {
 	}
 }
 
+// Removed reports whether the link's pair was deleted by user feedback
+// (such links are refused by AddLink and must not seed derived links).
+func (r *Repo) Removed(l Link) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.removed[l.pairKey()]
+}
+
 // AddLinks stores a batch and returns how many were new.
 func (r *Repo) AddLinks(ls []Link) int {
 	n := 0

@@ -67,19 +67,29 @@ func New(repo *metadata.Repo) *Web {
 	return &Web{repo: repo, sources: make(map[string]*sourceData)}
 }
 
-// AddSource registers an analyzed source for browsing.
-func (w *Web) AddSource(db *rel.Database, s *discovery.Structure) error {
+// Prepared is browse data for one source, built by Prepare and not yet
+// visible to readers until Install.
+type Prepared struct {
+	key string
+	sd  *sourceData
+}
+
+// Prepare validates a source and builds its browse data without
+// registering it — the compute half of a snapshot-then-commit source
+// addition. Prepare only reads w, so it may run concurrently with
+// browsing; Install publishes the result under the caller's write lock.
+func (w *Web) Prepare(db *rel.Database, s *discovery.Structure) (*Prepared, error) {
 	if s == nil || s.Primary == "" {
-		return fmt.Errorf("objectweb: source %q has no primary relation", db.Name)
+		return nil, fmt.Errorf("objectweb: source %q has no primary relation", db.Name)
 	}
 	sd := &sourceData{db: db, structure: s, accPos: make(map[string]int)}
 	pr := db.Relation(s.Primary)
 	if pr == nil {
-		return fmt.Errorf("objectweb: source %q: missing primary relation %q", db.Name, s.Primary)
+		return nil, fmt.Errorf("objectweb: source %q: missing primary relation %q", db.Name, s.Primary)
 	}
 	ai := pr.Schema.Index(s.PrimaryAccession)
 	if ai < 0 {
-		return fmt.Errorf("objectweb: source %q: missing accession column %q", db.Name, s.PrimaryAccession)
+		return nil, fmt.Errorf("objectweb: source %q: missing accession column %q", db.Name, s.PrimaryAccession)
 	}
 	for _, t := range pr.Tuples {
 		if t[ai].IsNull() {
@@ -91,7 +101,21 @@ func (w *Web) AddSource(db *rel.Database, s *discovery.Structure) error {
 	for i, a := range sd.accOrder {
 		sd.accPos[a] = i
 	}
-	w.sources[strings.ToLower(db.Name)] = sd
+	return &Prepared{key: strings.ToLower(db.Name), sd: sd}, nil
+}
+
+// Install publishes a prepared source to the browse web.
+func (w *Web) Install(p *Prepared) {
+	w.sources[p.key] = p.sd
+}
+
+// AddSource registers an analyzed source for browsing.
+func (w *Web) AddSource(db *rel.Database, s *discovery.Structure) error {
+	p, err := w.Prepare(db, s)
+	if err != nil {
+		return err
+	}
+	w.Install(p)
 	return nil
 }
 

@@ -3,10 +3,20 @@
 // pipeline (§3: "there is high potential for parallelization and
 // combination of these steps"). Callers keep their output deterministic
 // by writing results into indexed slots and reducing in input order.
+//
+// Every loop is context-aware: when ctx is canceled, workers stop
+// picking up new iterations and For returns ctx.Err(), so a canceled
+// request aborts a long pipeline run promptly. Panics in worker
+// goroutines are recovered and re-raised on the calling goroutine as a
+// *WorkerPanic, so one bad record cannot take down a serving process
+// that has its own recovery in place.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -20,29 +30,75 @@ func Workers(n int) int {
 	return n
 }
 
+// WorkerPanic is the value re-panicked on the calling goroutine when a
+// worker goroutine panicked: it carries the original panic value and the
+// worker's stack trace. Without this translation a goroutine panic would
+// kill the whole process no matter what recovery the caller installed.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic for use as an error value after recover().
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
 // For runs fn(i) for every i in [0, n), distributing iterations over at
 // most workers goroutines. With workers <= 1 (or n <= 1) it runs inline
 // on the calling goroutine, so the zero Options value of every pipeline
 // package stays serial. Iterations are handed out atomically one at a
 // time, which balances skewed per-item costs (one huge relation next to
 // many tiny ones).
-func For(workers, n int, fn func(i int)) {
+//
+// For returns ctx.Err() when the context is canceled before every
+// iteration ran; iterations already started finish first, and fn is
+// never invoked after cancellation is observed. Callers must treat any
+// partially filled result slots as garbage when an error is returned.
+// If a worker panics, the panic is re-raised on the calling goroutine
+// as a *WorkerPanic once all workers have stopped.
+func For(ctx context.Context, workers, n int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		wp      *WorkerPanic
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if wp == nil {
+						wp = &WorkerPanic{Value: r, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+					stop.Store(true)
+				}
+			}()
 			for {
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -52,18 +108,22 @@ func For(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if wp != nil {
+		panic(wp)
+	}
+	return ctx.Err()
 }
 
 // ForChunked is For with iterations handed out in contiguous chunks of
 // the given size, amortizing the scheduling atomics when per-item work is
-// tiny (e.g. one record-pair similarity).
-func ForChunked(workers, n, chunk int, fn func(i int)) {
+// tiny (e.g. one record-pair similarity). Cancellation is observed at
+// chunk granularity.
+func ForChunked(ctx context.Context, workers, n, chunk int, fn func(i int)) error {
 	if chunk <= 1 {
-		For(workers, n, fn)
-		return
+		return For(ctx, workers, n, fn)
 	}
 	chunks := (n + chunk - 1) / chunk
-	For(workers, chunks, func(c int) {
+	return For(ctx, workers, chunks, func(c int) {
 		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {

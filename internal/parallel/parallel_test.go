@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -22,9 +24,11 @@ func TestForCoversEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 8, 100} {
 		for _, n := range []int{0, 1, 7, 1000} {
 			hits := make([]int32, n)
-			For(workers, n, func(i int) {
+			if err := For(context.Background(), workers, n, func(i int) {
 				atomic.AddInt32(&hits[i], 1)
-			})
+			}); err != nil {
+				t.Fatalf("workers=%d n=%d: unexpected error %v", workers, n, err)
+			}
 			for i, h := range hits {
 				if h != 1 {
 					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
@@ -37,7 +41,9 @@ func TestForCoversEveryIndexOnce(t *testing.T) {
 func TestForSerialRunsInline(t *testing.T) {
 	// workers<=1 must not spawn goroutines: iteration order is sequential.
 	var order []int
-	For(1, 5, func(i int) { order = append(order, i) })
+	if err := For(context.Background(), 1, 5, func(i int) { order = append(order, i) }); err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("serial order broken: %v", order)
@@ -49,13 +55,79 @@ func TestForChunkedCoversEveryIndexOnce(t *testing.T) {
 	for _, chunk := range []int{1, 3, 64, 1000} {
 		n := 257
 		hits := make([]int32, n)
-		ForChunked(4, n, chunk, func(i int) {
+		if err := ForChunked(context.Background(), 4, n, chunk, func(i int) {
 			atomic.AddInt32(&hits[i], 1)
-		})
+		}); err != nil {
+			t.Fatal(err)
+		}
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("chunk=%d: index %d hit %d times", chunk, i, h)
 			}
 		}
 	}
+}
+
+func TestForCanceledContextReturnsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := For(ctx, workers, 1000, func(i int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d iterations ran on a pre-canceled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestForCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := For(ctx, 4, 100000, func(i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100000 {
+		t.Fatalf("cancellation did not stop the loop: %d iterations ran", n)
+	}
+}
+
+func TestForWorkerPanicReraisedOnCaller(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a re-raised panic on the calling goroutine")
+		}
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *WorkerPanic", r)
+		}
+		if wp.Value != "boom" {
+			t.Fatalf("panic value = %v, want boom", wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Fatal("worker stack not captured")
+		}
+	}()
+	For(context.Background(), 4, 1000, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForSerialPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want plain boom (serial path must not wrap)", r)
+		}
+	}()
+	For(context.Background(), 1, 3, func(i int) { panic("boom") })
 }

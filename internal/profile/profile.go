@@ -10,6 +10,7 @@
 package profile
 
 import (
+	"context"
 	"hash/fnv"
 	"math"
 	"strings"
@@ -240,6 +241,13 @@ func ProfileRelation(r *rel.Relation, opts Options) ([]*ColumnProfile, error) {
 // concurrently when Options.Workers allows; each column is an independent
 // scan, so the result is identical to the serial order.
 func ProfileDatabase(db *rel.Database, opts Options) (map[string]*ColumnProfile, error) {
+	return ProfileDatabaseContext(context.Background(), db, opts)
+}
+
+// ProfileDatabaseContext is ProfileDatabase with cancellation: when ctx
+// is canceled mid-scan the partial result is discarded and ctx.Err() is
+// returned.
+func ProfileDatabaseContext(ctx context.Context, db *rel.Database, opts Options) (map[string]*ColumnProfile, error) {
 	type task struct {
 		r   *rel.Relation
 		col string
@@ -252,9 +260,11 @@ func ProfileDatabase(db *rel.Database, opts Options) (map[string]*ColumnProfile,
 	}
 	profs := make([]*ColumnProfile, len(tasks))
 	errs := make([]error, len(tasks))
-	parallel.For(opts.Workers, len(tasks), func(i int) {
+	if err := parallel.For(ctx, opts.Workers, len(tasks), func(i int) {
 		profs[i], errs[i] = ProfileColumn(tasks[i].r, tasks[i].col, opts)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	out := make(map[string]*ColumnProfile, len(tasks))
 	for i, t := range tasks {
 		if errs[i] != nil {

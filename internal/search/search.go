@@ -110,6 +110,28 @@ func (ix *Index) Add(d Document) {
 // Len returns the number of indexed documents.
 func (ix *Index) Len() int { return len(ix.docs) }
 
+// Merge folds another index's documents into ix, remapping document ids.
+// It lets callers tokenize and index a batch off to the side (outside any
+// lock protecting ix) and then splice it in cheaply: the merge is a
+// slice-append per term, with no re-tokenization. Ranking after a merge
+// is identical to having Added the documents directly in order.
+func (ix *Index) Merge(other *Index) {
+	if other == nil || len(other.docs) == 0 {
+		return
+	}
+	base := len(ix.docs)
+	ix.docs = append(ix.docs, other.docs...)
+	ix.lens = append(ix.lens, other.lens...)
+	ix.totalLen += other.totalLen
+	for term, posts := range other.postings {
+		dst := ix.postings[term]
+		for _, p := range posts {
+			dst = append(dst, posting{doc: p.doc + base, tf: p.tf})
+		}
+		ix.postings[term] = dst
+	}
+}
+
 // BM25 parameters (standard values).
 const (
 	bm25K1 = 1.2
