@@ -9,7 +9,8 @@
 //	db, err := aladin.Open(aladin.WithOntologySources("go"))
 //	if err != nil { ... }
 //	report, err := db.AddSource(ctx, source)       // *rel.Database, e.g. from package flatfile
-//	res, err := db.Query(ctx, "SELECT ... FROM swissprot_protein")
+//	rows, err := db.QueryRows(ctx, "SELECT ... FROM swissprot_protein")  // streaming cursor
+//	res, err := db.Query(ctx, "SELECT ... FROM swissprot_protein")       // materialized
 //	hits, err := db.Search(ctx, "hemoglobin", aladin.SearchFilter{}, 10)
 //	view, err := db.Browse(ctx, aladin.ObjectRef{Source: "swissprot", Relation: "protein", Accession: "P10000"})
 //
@@ -25,13 +26,16 @@
 //
 // # Concurrency
 //
-// A DB is safe for arbitrary concurrent use. Reads (Query, Search,
-// Browse, Objects, Related, Crawl, Stats, Sources, Conflicts, Snapshot)
-// run concurrently with each other and — by design — with the expensive
-// compute of an in-flight AddSource: the pipeline's steps 2–5 run
-// against a snapshot of the current state, and only the final commit,
-// a cheap splice of precomputed artifacts, takes the write lock.
-// Integrations themselves are serialized.
+// A DB is safe for arbitrary concurrent use. Reads (Query, QueryRows,
+// Search, Browse, Objects, Related, Crawl, Stats, Sources, Conflicts,
+// Snapshot) run concurrently with each other and — by design — with the
+// expensive compute of an in-flight AddSource: the pipeline's steps 2–5
+// run against a snapshot of the current state, and only the final
+// commit, a cheap splice of precomputed artifacts, takes the write lock.
+// Integrations themselves are serialized. A QueryRows cursor goes one
+// step further: it iterates an immutable warehouse snapshot without any
+// lock, so even a commit landing mid-iteration never blocks on — or is
+// blocked by — an open cursor; the cursor keeps seeing the pre-add state.
 package aladin
 
 import (
@@ -116,6 +120,9 @@ type DB struct {
 	addMu  sync.Mutex
 	sys    *core.System
 	closed bool
+	// plans caches prepared query plans by SQL text (nil = no cache);
+	// it has its own lock and is never touched under mu.
+	plans *planCache
 }
 
 // Open creates a database, configured by functional options. With
@@ -128,14 +135,18 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.err != nil {
 		return nil, cfg.err
 	}
+	var plans *planCache
+	if cfg.planCache > 0 {
+		plans = newPlanCache(cfg.planCache)
+	}
 	if cfg.snapshot != nil {
 		sys, err := core.Load(cfg.core, cfg.snapshot)
 		if err != nil {
 			return nil, fmt.Errorf("aladin: restoring snapshot: %w", err)
 		}
-		return &DB{sys: sys}, nil
+		return &DB{sys: sys, plans: plans}, nil
 	}
-	return &DB{sys: core.New(cfg.core)}, nil
+	return &DB{sys: core.New(cfg.core), plans: plans}, nil
 }
 
 // Close marks the database closed; subsequent calls return ErrClosed.
@@ -233,22 +244,24 @@ func (d *DB) prepare(ctx context.Context, src *Source) (p *core.PendingAdd, err 
 	return p, nil
 }
 
-// Query runs SQL over the integrated warehouse. Relations are
+// Query runs a SQL SELECT over the integrated warehouse and returns the
+// fully materialized result — a convenience wrapper collecting QueryRows;
+// prefer QueryRows for large or paginated results. Relations are
 // addressable as "<source>_<relation>", e.g. "swissprot_protein".
 // Errors: ErrBadQuery (wrapping the parse or execution error),
 // ErrCanceled, ErrClosed.
 func (d *DB) Query(ctx context.Context, sql string) (*QueryResult, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if err := d.checkOpenRLocked(); err != nil {
-		return nil, err
-	}
-	res, err := d.sys.Query(sql)
+	rows, err := d.QueryRows(ctx, sql)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
+		return nil, err
+	}
+	defer rows.Close()
+	res := &QueryResult{Columns: rows.Columns()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.row)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -9,9 +9,10 @@ import (
 
 // config is the resolved Open configuration.
 type config struct {
-	core     core.Options
-	snapshot *store.Snapshot
-	err      error
+	core      core.Options
+	snapshot  *store.Snapshot
+	planCache int
+	err       error
 }
 
 // Option configures Open.
@@ -55,6 +56,21 @@ func WithChangeThreshold(frac float64) Option {
 // Useful for pipeline benchmarks and pure-SQL workloads.
 func WithoutSearchIndex() Option {
 	return func(c *config) { c.core.DisableSearchIndex = true }
+}
+
+// WithPlanCache keeps the n most recently used prepared query plans,
+// keyed by SQL text, so repeated Query/QueryRows calls skip parsing and
+// validation. Plans bind to warehouse data only when opened, so a cached
+// plan stays correct across later AddSource commits. n must be positive;
+// without this option no plans are cached.
+func WithPlanCache(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.err = fmt.Errorf("aladin: plan cache size %d outside [1, ∞)", n)
+			return
+		}
+		c.planCache = n
+	}
 }
 
 // WithSnapshot restores a previously saved warehouse during Open.

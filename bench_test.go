@@ -9,11 +9,13 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"testing"
 
+	"repro/aladin"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/discovery"
@@ -501,6 +503,81 @@ func BenchmarkSQLJoin(b *testing.B) {
 			b.Fatal("empty join")
 		}
 	}
+}
+
+// queryBenchDB caches one public-API database over the 200-protein
+// corpus for the streaming-vs-materializing query benchmarks.
+var queryBenchDB *aladin.DB
+
+func queryDB(b *testing.B) *aladin.DB {
+	b.Helper()
+	if queryBenchDB == nil {
+		corpus := datagen.Generate(datagen.Config{Seed: 99, Proteins: 200})
+		db, err := aladin.Open(aladin.WithoutSearchIndex(), aladin.WithPlanCache(16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		for _, name := range []string{"swissprot", "pdb"} {
+			if _, err := db.AddSource(ctx, corpus.Source(name)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		queryBenchDB = db
+	}
+	return queryBenchDB
+}
+
+// BenchmarkQueryStream: a LIMIT 10 query through the streaming cursor —
+// the executor stops after pulling only the tuples the 10 rows need
+// (reported as scanned-tuples/op).
+func BenchmarkQueryStream(b *testing.B) {
+	db := queryDB(b)
+	ctx := context.Background()
+	var scanned int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := db.QueryRows(ctx, `SELECT accession, organism FROM swissprot_protein LIMIT 10`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		scanned = rows.Scanned()
+		rows.Close()
+		if n != 10 {
+			b.Fatalf("got %d rows", n)
+		}
+	}
+	b.ReportMetric(float64(scanned), "scanned-tuples/op")
+}
+
+// BenchmarkQueryMaterialize: the same 10 rows obtained the way the
+// pre-streaming API had to — materialize the full result, keep the
+// first 10. The gap versus BenchmarkQueryStream is the early-termination
+// win, and it grows linearly with corpus size.
+func BenchmarkQueryMaterialize(b *testing.B) {
+	db := queryDB(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	var materialized int
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(ctx, `SELECT accession, organism FROM swissprot_protein`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) < 10 {
+			b.Fatalf("got %d rows", len(res.Rows))
+		}
+		_ = res.Rows[:10]
+		materialized = len(res.Rows)
+	}
+	b.ReportMetric(float64(materialized), "scanned-tuples/op")
 }
 
 // BenchmarkSmithWaterman: the core alignment kernel.

@@ -202,19 +202,23 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := db.Query(ctx, args[0])
+	// Stream rows to stdout as they are produced; a LIMIT query prints
+	// its rows without materializing the full result first.
+	rows, err := db.QueryRows(ctx, args[0])
 	if err != nil {
 		return err
 	}
-	fmt.Println(strings.Join(res.Columns, "\t"))
-	for _, row := range res.Rows {
-		cells := make([]string, len(row))
-		for i, v := range row {
-			cells[i] = v.AsString()
-		}
-		fmt.Println(strings.Join(cells, "\t"))
+	defer rows.Close()
+	fmt.Println(strings.Join(rows.Columns(), "\t"))
+	n := 0
+	for rows.Next() {
+		fmt.Println(strings.Join(rows.RowStrings(), "\t"))
+		n++
 	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d rows)\n", n)
 	return nil
 }
 

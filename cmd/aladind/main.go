@@ -12,7 +12,7 @@
 //
 // Endpoints:
 //
-//	GET  /v1/query?q=SQL                                 SQL over the warehouse
+//	GET  /v1/query?q=SQL[&limit=n][&cursor=token]        SQL over the warehouse, paginated
 //	GET  /v1/search?q=terms[&source=s][&column=c][&primary=true][&limit=n]
 //	GET  /v1/stats                                       repository + web statistics
 //	GET  /v1/sources                                     integrated sources
@@ -97,7 +97,13 @@ func openDB(workers, proteins int, load string, empty bool) (*aladin.DB, error) 
 	if load != "" && empty {
 		return nil, errors.New("-load and -empty are mutually exclusive")
 	}
-	opts := []aladin.Option{aladin.WithWorkers(workers), aladin.WithOntologySources("go")}
+	opts := []aladin.Option{
+		aladin.WithWorkers(workers),
+		aladin.WithOntologySources("go"),
+		// Serving is read-heavy and repetitive (dashboards, paginated
+		// cursors re-issuing the same SQL); cache prepared plans.
+		aladin.WithPlanCache(128),
+	}
 	if load != "" {
 		snap, err := store.LoadFile(load)
 		if err != nil {

@@ -2,9 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -17,6 +20,15 @@ import (
 
 // maxUploadBytes caps POST /v1/sources bodies.
 const maxUploadBytes = 64 << 20
+
+// Query paging bounds: every /v1/query response carries at most
+// maxQueryLimit rows (defaultQueryLimit without an explicit limit), so a
+// broad query can no longer materialize an unbounded JSON body; callers
+// page through the rest with the cursor parameter.
+const (
+	defaultQueryLimit = 100
+	maxQueryLimit     = 1000
+)
 
 // server routes HTTP requests onto one aladin.DB.
 type server struct {
@@ -92,32 +104,38 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// fail maps the aladin package's typed errors onto HTTP statuses.
-func (s *server) fail(w http.ResponseWriter, err error) {
+// errorStatusCode maps the aladin package's typed errors onto an HTTP
+// status and a stable error code.
+func errorStatusCode(err error) (int, string) {
 	switch {
 	case errors.Is(err, aladin.ErrBadQuery):
-		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return http.StatusBadRequest, "bad_query"
 	case errors.Is(err, aladin.ErrUnknownSource):
-		writeError(w, http.StatusNotFound, "unknown_source", err.Error())
+		return http.StatusNotFound, "unknown_source"
 	case errors.Is(err, aladin.ErrUnknownObject):
-		writeError(w, http.StatusNotFound, "unknown_object", err.Error())
+		return http.StatusNotFound, "unknown_object"
 	case errors.Is(err, aladin.ErrSourceExists):
-		writeError(w, http.StatusConflict, "source_exists", err.Error())
+		return http.StatusConflict, "source_exists"
 	case errors.Is(err, aladin.ErrNoPrimary):
-		writeError(w, http.StatusUnprocessableEntity, "no_primary_relation", err.Error())
+		return http.StatusUnprocessableEntity, "no_primary_relation"
 	case errors.Is(err, aladin.ErrCanceled):
 		// DeadlineExceeded = the per-request timeout fired; plain Canceled
 		// = the client went away.
 		if errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusGatewayTimeout, "timeout", err.Error())
-		} else {
-			writeError(w, http.StatusBadRequest, "canceled", err.Error())
+			return http.StatusGatewayTimeout, "timeout"
 		}
+		return http.StatusBadRequest, "canceled"
 	case errors.Is(err, aladin.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+		return http.StatusServiceUnavailable, "shutting_down"
 	default:
-		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return http.StatusInternalServerError, "internal"
 	}
+}
+
+// fail writes the structured error response for err.
+func (s *server) fail(w http.ResponseWriter, err error) {
+	status, code := errorStatusCode(err)
+	writeError(w, status, code, err.Error())
 }
 
 // --- wire DTOs -------------------------------------------------------
@@ -149,30 +167,125 @@ func toLinkJSON(l aladin.Link) linkJSON {
 
 // --- handlers --------------------------------------------------------
 
+// handleQuery serves one page of a SQL result:
+//
+//	GET /v1/query?q=SQL[&limit=n][&cursor=token]
+//
+// Rows stream straight from the warehouse cursor into the JSON encoder —
+// at most `limit` of them (default defaultQueryLimit, capped at
+// maxQueryLimit), so the response body is bounded no matter how broad
+// the query is. When more rows remain, the envelope carries an opaque
+// next_cursor; passing it back (with the same q) returns the next page.
+// Pages are served from independent snapshots: a source integrated
+// between two page fetches shifts later pages, like any offset-based
+// pagination.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
+	params := r.URL.Query()
+	q := params.Get("q")
 	if q == "" {
 		writeError(w, http.StatusBadRequest, "missing_parameter", "missing query parameter q")
 		return
 	}
-	res, err := s.db.Query(r.Context(), q)
+	limit, err := intParam("limit", params.Get("limit"), defaultQueryLimit, 1, maxQueryLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
+		return
+	}
+	offset := 0
+	if token := params.Get("cursor"); token != "" {
+		offset, err = decodeCursor(q, token)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_cursor", err.Error())
+			return
+		}
+	}
+	rows, err := s.db.QueryRows(r.Context(), q)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	rows := make([][]string, len(res.Rows))
-	for i, row := range res.Rows {
-		cells := make([]string, len(row))
-		for j, v := range row {
-			cells[j] = v.AsString()
-		}
-		rows[i] = cells
+	defer rows.Close()
+
+	// Advance to the cursor position before the status line is written,
+	// so errors in the skipped range still map to proper statuses.
+	skipped := 0
+	for skipped < offset && rows.Next() {
+		skipped++
 	}
-	writeJSON(w, map[string]any{
-		"columns": res.Columns,
-		"rows":    rows,
-		"count":   len(rows),
-	})
+	if err := rows.Err(); err != nil {
+		s.fail(w, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	cols, _ := json.Marshal(rows.Columns())
+	fmt.Fprintf(w, `{"columns":%s,"limit":%d,"rows":[`, cols, limit)
+	count := 0
+	for count < limit && rows.Next() {
+		cells, _ := json.Marshal(rows.RowStrings())
+		if count > 0 {
+			w.Write([]byte(","))
+		}
+		w.Write(cells)
+		count++
+	}
+	// One extra pull decides whether a next page exists.
+	more := count == limit && rows.Next()
+	fmt.Fprintf(w, `],"count":%d`, count)
+	if more {
+		fmt.Fprintf(w, `,"next_cursor":%q`, encodeCursor(q, offset+count))
+	}
+	if err := rows.Err(); err != nil {
+		// The status line is long gone; surface a mid-stream execution
+		// error in the envelope instead of silently truncating, using the
+		// same {"status","code","message"} object shape as writeError.
+		s.logf("aladind: query %q failed mid-stream: %v", q, err)
+		status, code := errorStatusCode(err)
+		var body errorBody
+		body.Error.Status = status
+		body.Error.Code = code
+		body.Error.Message = err.Error()
+		msg, _ := json.Marshal(body.Error)
+		fmt.Fprintf(w, `,"error":%s`, msg)
+	}
+	fmt.Fprint(w, "}\n")
+}
+
+// queryCursor is the decoded form of the opaque pagination token: the
+// row offset of the next page, bound to a hash of the query text so a
+// cursor cannot be replayed against a different statement.
+type queryCursor struct {
+	Hash   string `json:"q"`
+	Offset int    `json:"o"`
+}
+
+func queryHash(q string) string {
+	h := fnv.New64a()
+	io.WriteString(h, q)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+func encodeCursor(q string, offset int) string {
+	b, _ := json.Marshal(queryCursor{Hash: queryHash(q), Offset: offset})
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+func decodeCursor(q, token string) (int, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return 0, errors.New("malformed cursor")
+	}
+	var c queryCursor
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return 0, errors.New("malformed cursor")
+	}
+	if c.Hash != queryHash(q) {
+		return 0, errors.New("cursor does not match query parameter q")
+	}
+	if c.Offset < 0 {
+		return 0, errors.New("malformed cursor")
+	}
+	return c.Offset, nil
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -187,7 +300,11 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Columns:     params["column"],
 		PrimaryOnly: params.Get("primary") == "true",
 	}
-	limit := intParam(params.Get("limit"), 10)
+	limit, err := intParam("limit", params.Get("limit"), 10, 1, maxQueryLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
+		return
+	}
 	results, err := s.db.Search(r.Context(), q, f, limit)
 	if err != nil {
 		s.fail(w, err)
@@ -365,8 +482,16 @@ func (s *server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	params := r.URL.Query()
-	maxLen := intParam(params.Get("maxlen"), 3)
-	limit := intParam(params.Get("limit"), 10)
+	maxLen, err := intParam("maxlen", params.Get("maxlen"), 3, 1, 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
+		return
+	}
+	limit, err := intParam("limit", params.Get("limit"), 10, 1, maxQueryLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
+		return
+	}
 	scored, err := s.db.Related(r.Context(), ref, maxLen, limit)
 	if err != nil {
 		s.fail(w, err)
@@ -390,7 +515,11 @@ func (s *server) handleCrawl(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	depth := intParam(r.URL.Query().Get("depth"), 2)
+	depth, err := intParam("depth", r.URL.Query().Get("depth"), 2, 0, 50)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
+		return
+	}
 	refs, err := s.db.Crawl(r.Context(), ref, depth)
 	if err != nil {
 		s.fail(w, err)
@@ -403,14 +532,24 @@ func (s *server) handleCrawl(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"start": toRefJSON(ref), "objects": out, "count": len(out)})
 }
 
-// intParam parses a positive integer query parameter with a default.
-func intParam(s string, def int) int {
+// intParam parses an integer query parameter with a default, clamping
+// the value into [min, max]. A non-numeric value is an error — callers
+// return 400 with a structured body — instead of silently falling back
+// to the default; negative and out-of-range values are clamped.
+func intParam(name, s string, def, min, max int) (int, error) {
+	s = strings.TrimSpace(s)
 	if s == "" {
-		return def
+		return def, nil
 	}
-	n, err := strconv.Atoi(strings.TrimSpace(s))
-	if err != nil || n < 0 {
-		return def
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %s: not an integer: %q", name, s)
 	}
-	return n
+	if n < min {
+		return min, nil
+	}
+	if n > max {
+		return max, nil
+	}
+	return n, nil
 }

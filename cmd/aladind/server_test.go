@@ -246,3 +246,128 @@ func escape(s string) string {
 	r := strings.NewReplacer(" ", "+", "*", "%2A", "(", "%28", ")", "%29")
 	return r.Replace(s)
 }
+
+// TestHTTPQueryPagination pages through a query with limit + cursor,
+// asserting bounded, disjoint pages and a terminating next_cursor.
+func TestHTTPQueryPagination(t *testing.T) {
+	ts, _ := newTestServer(t)
+	q := escape("SELECT accession FROM swissprot_protein ORDER BY accession")
+
+	seen := map[string]bool{}
+	var pages []int
+	cursor := ""
+	for page := 0; ; page++ {
+		if page > 5 {
+			t.Fatal("pagination did not terminate")
+		}
+		url := ts.URL + "/v1/query?q=" + q + "&limit=4"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		body := getJSON(t, url, 200)
+		if body["limit"].(float64) != 4 {
+			t.Errorf("page %d: limit echo = %v, want 4", page, body["limit"])
+		}
+		rows := body["rows"].([]any)
+		pages = append(pages, len(rows))
+		for _, r := range rows {
+			acc := r.([]any)[0].(string)
+			if seen[acc] {
+				t.Errorf("page %d: row %q repeated across pages", page, acc)
+			}
+			seen[acc] = true
+		}
+		next, more := body["next_cursor"].(string)
+		if !more {
+			break
+		}
+		if len(rows) != 4 {
+			t.Errorf("page %d: non-final page has %d rows, want 4", page, len(rows))
+		}
+		cursor = next
+	}
+	if len(seen) != 10 {
+		t.Errorf("pages covered %d distinct rows, want 10", len(seen))
+	}
+	if want := []int{4, 4, 2}; len(pages) != 3 || pages[0] != want[0] || pages[1] != want[1] || pages[2] != want[2] {
+		t.Errorf("page sizes = %v, want %v", pages, want)
+	}
+}
+
+// TestHTTPQueryCap: without an explicit limit the server enforces the
+// default cap and reports it in the envelope.
+func TestHTTPQueryCap(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := getJSON(t, ts.URL+"/v1/query?q="+escape("SELECT accession FROM swissprot_protein"), 200)
+	if body["limit"].(float64) != defaultQueryLimit {
+		t.Errorf("default limit echo = %v, want %d", body["limit"], defaultQueryLimit)
+	}
+	// An absurd limit is clamped to the hard cap, not honored.
+	body = getJSON(t, ts.URL+"/v1/query?q="+escape("SELECT accession FROM swissprot_protein")+"&limit=999999", 200)
+	if body["limit"].(float64) != maxQueryLimit {
+		t.Errorf("oversized limit echo = %v, want %d", body["limit"], maxQueryLimit)
+	}
+	// Negative limits clamp to 1 instead of silently using the default.
+	body = getJSON(t, ts.URL+"/v1/query?q="+escape("SELECT accession FROM swissprot_protein")+"&limit=-5", 200)
+	if body["count"].(float64) != 1 {
+		t.Errorf("limit=-5 returned count %v, want 1", body["count"])
+	}
+}
+
+// TestHTTPQueryBadCursor: malformed or replayed cursors are rejected
+// with a structured 400.
+func TestHTTPQueryBadCursor(t *testing.T) {
+	ts, _ := newTestServer(t)
+	q := escape("SELECT accession FROM swissprot_protein")
+
+	body := getJSON(t, ts.URL+"/v1/query?q="+q+"&cursor=%21%21not-base64", 400)
+	if code := body["error"].(map[string]any)["code"]; code != "bad_cursor" {
+		t.Errorf("garbage cursor code = %v, want bad_cursor", code)
+	}
+
+	// A valid cursor bound to a different query must not be replayable.
+	first := getJSON(t, ts.URL+"/v1/query?q="+q+"&limit=2", 200)
+	cursor, ok := first["next_cursor"].(string)
+	if !ok {
+		t.Fatal("no next_cursor on first page")
+	}
+	other := escape("SELECT accession FROM pdb_structure")
+	body = getJSON(t, ts.URL+"/v1/query?q="+other+"&cursor="+cursor, 400)
+	if code := body["error"].(map[string]any)["code"]; code != "bad_cursor" {
+		t.Errorf("replayed cursor code = %v, want bad_cursor", code)
+	}
+}
+
+// TestHTTPInvalidIntParams: non-numeric limit/depth/maxlen values return
+// 400 with a structured body instead of silently using the default.
+func TestHTTPInvalidIntParams(t *testing.T) {
+	ts, _ := newTestServer(t)
+	objs := getJSON(t, ts.URL+"/v1/objects/swissprot", 200)
+	acc := objs["objects"].([]any)[0].(map[string]any)["accession"].(string)
+
+	for _, url := range []string{
+		"/v1/query?q=" + escape("SELECT 1") + "&limit=abc",
+		"/v1/search?q=protein&limit=abc",
+		"/v1/objects/swissprot/" + acc + "/related?maxlen=abc",
+		"/v1/objects/swissprot/" + acc + "/related?limit=1e3",
+		"/v1/objects/swissprot/" + acc + "/crawl?depth=two",
+	} {
+		body := getJSON(t, ts.URL+url, 400)
+		if code := body["error"].(map[string]any)["code"]; code != "invalid_parameter" {
+			t.Errorf("%s: code = %v, want invalid_parameter", url, code)
+		}
+	}
+	// Negative values clamp instead of erroring.
+	if body := getJSON(t, ts.URL+"/v1/search?q=protein&limit=-3", 200); body["count"].(float64) > 1 {
+		t.Errorf("search limit=-3 returned %v results, want at most 1", body["count"])
+	}
+}
+
+// TestHTTPQueryRejectsDML: /v1/query is read-only.
+func TestHTTPQueryRejectsDML(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := getJSON(t, ts.URL+"/v1/query?q="+escape("DROP TABLE swissprot_protein"), 400)
+	if code := body["error"].(map[string]any)["code"]; code != "bad_query" {
+		t.Errorf("DML code = %v, want bad_query", code)
+	}
+}

@@ -114,9 +114,11 @@ func main() {
 		fmt.Printf("  [%.2f] %s:%s\n", r.Score, r.Document.Object.Source, r.Document.Object.Accession)
 	}
 
-	// Access mode 3: SQL over the imported schemata.
+	// Access mode 3: SQL over the imported schemata, streamed row by row
+	// through a database/sql-shaped cursor (db.Query returns the same
+	// result fully materialized).
 	fmt.Println("\nSQL join across both sources:")
-	res, err := db.Query(ctx, `
+	rows, err := db.QueryRows(ctx, `
 		SELECT e.accession, e.entry_name, d.ref_accession
 		FROM swissprot_entry e
 		JOIN swissprot_dbref d ON d.entry_id = e.entry_id
@@ -124,7 +126,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, row := range res.Rows {
-		fmt.Printf("  %s  %s  ->  PDB %s\n", row[0].AsString(), row[1].AsString(), row[2].AsString())
+	defer rows.Close()
+	for rows.Next() {
+		var acc, name, ref string
+		if err := rows.Scan(&acc, &name, &ref); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s  %s  ->  PDB %s\n", acc, name, ref)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

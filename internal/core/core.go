@@ -494,6 +494,14 @@ func (s *System) Query(sql string) (*sqlx.Result, error) {
 	return sqlx.Exec(s.warehouse, sql)
 }
 
+// WarehouseSnapshot returns a shallow clone of the warehouse: an
+// immutable view for streaming readers. CommitAdd only ever adds new
+// relations (existing ones are never mutated in place), so a cursor over
+// the snapshot stays consistent while later integrations commit.
+func (s *System) WarehouseSnapshot() *rel.Database {
+	return s.warehouse.ShallowClone()
+}
+
 // Search runs ranked full-text search (§4.6), grouped per object.
 func (s *System) Search(query string, f search.Filter, limit int) []search.Result {
 	grouped := search.GroupByObject(s.index.Search(query, f, 0))

@@ -269,6 +269,24 @@ func (db *Database) Relation(name string) *Relation {
 	return db.relations[strings.ToLower(name)]
 }
 
+// ShallowClone returns a new Database sharing the same *Relation values
+// but owning its own name map and order slice. Adding or dropping
+// relations on either copy is invisible to the other, while relation
+// contents stay shared — the cheap snapshot primitive for readers that
+// must stay consistent while new relations are being published, provided
+// the shared relations themselves are treated as immutable.
+func (db *Database) ShallowClone() *Database {
+	c := &Database{
+		Name:      db.Name,
+		relations: make(map[string]*Relation, len(db.relations)),
+		order:     append([]string(nil), db.order...),
+	}
+	for k, r := range db.relations {
+		c.relations[k] = r
+	}
+	return c
+}
+
 // Drop removes the named relation.
 func (db *Database) Drop(name string) {
 	key := strings.ToLower(name)

@@ -191,3 +191,31 @@ func TestRelationDistinctCountProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestShallowClone: the clone shares relation contents but owns its
+// name map — adding or dropping on one side is invisible to the other.
+func TestShallowClone(t *testing.T) {
+	db := NewDatabase("wh")
+	a := db.Create("a", TextSchema("x"))
+	a.AppendRaw("1")
+
+	snap := db.ShallowClone()
+	db.Create("b", TextSchema("y"))
+	db.Drop("a")
+
+	if snap.Relation("b") != nil {
+		t.Error("clone sees relation added after the snapshot")
+	}
+	if snap.Relation("a") == nil {
+		t.Fatal("clone lost relation dropped from the original")
+	}
+	if snap.Relation("a") != a {
+		t.Error("clone does not share the relation value")
+	}
+	if got := snap.Names(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("clone Names = %v, want [a]", got)
+	}
+	if db.Relation("b") == nil {
+		t.Error("original lost its new relation")
+	}
+}

@@ -1,9 +1,10 @@
 package sqlx
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math"
-	"sort"
 	"strings"
 
 	"repro/internal/rel"
@@ -17,7 +18,10 @@ type Result struct {
 	Affected int
 }
 
-// Exec parses and executes one SQL statement against db.
+// Exec parses and executes one SQL statement against db, materializing
+// the full result. SELECT statements run through the streaming iterator
+// pipeline (see plan.go/iter.go) and are collected here; callers that
+// want pull semantics use Prepare and Plan.Open instead.
 func Exec(db *rel.Database, sql string) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
@@ -28,9 +32,13 @@ func Exec(db *rel.Database, sql string) (*Result, error) {
 
 // ExecStmt executes a parsed statement against db.
 func ExecStmt(db *rel.Database, stmt Statement) (*Result, error) {
+	return execStmt(context.Background(), db, stmt)
+}
+
+func execStmt(ctx context.Context, db *rel.Database, stmt Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		return execSelect(db, s)
+		return collectSelect(ctx, db, s)
 	case *InsertStmt:
 		return execInsert(db, s)
 	case *CreateTableStmt:
@@ -38,11 +46,34 @@ func ExecStmt(db *rel.Database, stmt Statement) (*Result, error) {
 	case *DropTableStmt:
 		return execDropTable(db, s)
 	case *UpdateStmt:
-		return execUpdate(db, s)
+		return execUpdate(ctx, db, s)
 	case *DeleteStmt:
-		return execDelete(db, s)
+		return execDelete(ctx, db, s)
 	}
 	return nil, fmt.Errorf("sqlx: unsupported statement %T", stmt)
+}
+
+// collectSelect drains the iterator pipeline into a materialized Result —
+// the collect-all wrapper pinning Exec's historical semantics on top of
+// the streaming executor.
+func collectSelect(ctx context.Context, db *rel.Database, s *SelectStmt) (*Result, error) {
+	rt := newRun()
+	cols, it, err := openSelect(ctx, db, s, rt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cols}
+	for {
+		i, err := it.next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, i.row)
+	}
+	return res, nil
 }
 
 // binding associates a table binding name with a schema and current tuple.
@@ -54,6 +85,9 @@ type binding struct {
 
 type env struct {
 	bindings []binding
+	// rt is the per-execution run state (subquery results, scan probe);
+	// nil only in contexts that cannot contain IN subqueries.
+	rt *run
 }
 
 func (e *env) lookup(table, column string) (rel.Value, error) {
@@ -138,6 +172,24 @@ func eval(e Expr, env *env) (rel.Value, error) {
 			return rel.Null(), nil
 		}
 		match := false
+		if x.Sub != nil {
+			// Subquery results are materialized per run (never into the
+			// shared AST, which may belong to a cached plan).
+			if env.rt == nil {
+				return rel.Null(), fmt.Errorf("sqlx: internal: IN subquery not materialized")
+			}
+			vals, ok := env.rt.subs[x]
+			if !ok {
+				return rel.Null(), fmt.Errorf("sqlx: internal: IN subquery not materialized")
+			}
+			for _, lv := range vals {
+				if v.Equal(lv) {
+					match = true
+					break
+				}
+			}
+			return rel.Bool(match != x.Negate), nil
+		}
 		for _, le := range x.List {
 			lv, err := eval(le, env)
 			if err != nil {
@@ -473,288 +525,6 @@ func evalScalarFunc(x *FuncExpr, env *env) (rel.Value, error) {
 	return rel.Null(), fmt.Errorf("sqlx: unknown function %s", x.Name)
 }
 
-// execSelect runs the SELECT pipeline: scan+join, filter, group/aggregate,
-// having, project, distinct, order, limit — then folds in UNION branches.
-func execSelect(db *rel.Database, s *SelectStmt) (*Result, error) {
-	res, err := execSelectOne(db, s)
-	if err != nil {
-		return nil, err
-	}
-	if s.Union == nil {
-		return res, nil
-	}
-	// Evaluate the chain; branch ORDER/LIMIT fields are unused (the
-	// parser binds them to the head).
-	combined := res.Rows
-	allMode := true
-	for cur := s; cur.Union != nil; cur = cur.Union {
-		branch, err := execSelectOne(db, cur.Union)
-		if err != nil {
-			return nil, err
-		}
-		if len(branch.Columns) != len(res.Columns) {
-			return nil, fmt.Errorf("sqlx: UNION arity mismatch: %d vs %d columns",
-				len(res.Columns), len(branch.Columns))
-		}
-		combined = append(combined, branch.Rows...)
-		if !cur.UnionAll {
-			allMode = false
-		}
-	}
-	if !allMode {
-		combined = distinctRows(combined)
-	}
-	out := &Result{Columns: res.Columns, Rows: combined}
-	if len(s.OrderBy) > 0 {
-		if err := sortGroupedRows(&SelectStmt{OrderBy: s.OrderBy}, nil, out); err != nil {
-			return nil, err
-		}
-	}
-	applyLimitOffset(out, s)
-	return out, nil
-}
-
-// applyLimitOffset trims rows per the head's LIMIT/OFFSET.
-func applyLimitOffset(res *Result, s *SelectStmt) {
-	if s.Offset > 0 {
-		if s.Offset >= len(res.Rows) {
-			res.Rows = nil
-		} else {
-			res.Rows = res.Rows[s.Offset:]
-		}
-	}
-	if s.Limit >= 0 && s.Limit < len(res.Rows) {
-		res.Rows = res.Rows[:s.Limit]
-	}
-}
-
-// execSelectOne runs one SELECT without its UNION chain. When the select
-// heads a union, ORDER/LIMIT/OFFSET are applied by the caller instead.
-func execSelectOne(db *rel.Database, s *SelectStmt) (*Result, error) {
-	headOfUnion := s.Union != nil
-	// Materialize uncorrelated IN (SELECT ...) subqueries.
-	if err := materializeSubqueries(db, s.Where); err != nil {
-		return nil, err
-	}
-	if err := materializeSubqueries(db, s.Having); err != nil {
-		return nil, err
-	}
-	// 1. Produce the joined row stream as environments.
-	envs, err := scanJoin(db, s)
-	if err != nil {
-		return nil, err
-	}
-	// 2. WHERE filter.
-	if s.Where != nil {
-		var kept []*env
-		for _, e := range envs {
-			v, err := eval(s.Where, e)
-			if err != nil {
-				return nil, err
-			}
-			if b, ok := v.AsBool(); ok && b {
-				kept = append(kept, e)
-			}
-		}
-		envs = kept
-	}
-	// 3. Expand stars into concrete items.
-	items, colNames, err := expandItems(db, s, envs)
-	if err != nil {
-		return nil, err
-	}
-	grouped := len(s.GroupBy) > 0
-	if !grouped {
-		for _, it := range items {
-			if it.Expr != nil && isAggregate(it.Expr) {
-				grouped = true
-				break
-			}
-		}
-	}
-	res := &Result{Columns: colNames}
-	if grouped {
-		rows, err := execGrouped(s, items, envs)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = rows
-	} else {
-		for _, e := range envs {
-			row := make(rel.Tuple, len(items))
-			for i, it := range items {
-				v, err := eval(it.Expr, e)
-				if err != nil {
-					return nil, err
-				}
-				row[i] = v
-			}
-			res.Rows = append(res.Rows, row)
-		}
-		// ORDER BY for non-grouped queries can reference any column via the
-		// original envs; sort rows and envs in lockstep.
-		if !headOfUnion && len(s.OrderBy) > 0 {
-			if err := sortRows(s, items, res, envs); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if !headOfUnion && grouped && len(s.OrderBy) > 0 {
-		// For grouped queries, ORDER BY may reference output columns by
-		// alias or position expression.
-		if err := sortGroupedRows(s, items, res); err != nil {
-			return nil, err
-		}
-	}
-	if s.Distinct {
-		res.Rows = distinctRows(res.Rows)
-	}
-	if !headOfUnion {
-		applyLimitOffset(res, s)
-	}
-	return res, nil
-}
-
-// materializeSubqueries executes uncorrelated IN (SELECT ...) subqueries
-// in an expression tree and replaces them with literal lists. Correlated
-// subqueries (referencing outer bindings) are not supported and surface
-// as unknown-column errors from the inner select.
-func materializeSubqueries(db *rel.Database, e Expr) error {
-	switch x := e.(type) {
-	case nil:
-		return nil
-	case *InExpr:
-		if err := materializeSubqueries(db, x.Expr); err != nil {
-			return err
-		}
-		if x.Sub == nil {
-			for _, le := range x.List {
-				if err := materializeSubqueries(db, le); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		res, err := execSelect(db, x.Sub)
-		if err != nil {
-			return fmt.Errorf("sqlx: IN subquery: %w", err)
-		}
-		if len(res.Columns) != 1 {
-			return fmt.Errorf("sqlx: IN subquery must return one column, got %d", len(res.Columns))
-		}
-		x.List = x.List[:0]
-		for _, row := range res.Rows {
-			x.List = append(x.List, &Literal{Value: row[0]})
-		}
-		x.Sub = nil
-		return nil
-	case *BinaryExpr:
-		if err := materializeSubqueries(db, x.Left); err != nil {
-			return err
-		}
-		return materializeSubqueries(db, x.Right)
-	case *UnaryExpr:
-		return materializeSubqueries(db, x.Expr)
-	case *IsNullExpr:
-		return materializeSubqueries(db, x.Expr)
-	case *BetweenExpr:
-		if err := materializeSubqueries(db, x.Expr); err != nil {
-			return err
-		}
-		if err := materializeSubqueries(db, x.Lo); err != nil {
-			return err
-		}
-		return materializeSubqueries(db, x.Hi)
-	case *FuncExpr:
-		for _, a := range x.Args {
-			if err := materializeSubqueries(db, a); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// scanJoin produces the environments of the FROM/JOIN clause.
-func scanJoin(db *rel.Database, s *SelectStmt) ([]*env, error) {
-	if s.From == nil {
-		// SELECT without FROM: a single empty environment.
-		return []*env{{}}, nil
-	}
-	base := db.Relation(s.From.Name)
-	if base == nil {
-		return nil, fmt.Errorf("sqlx: no such table %q", s.From.Name)
-	}
-	var envs []*env
-	for _, t := range base.Tuples {
-		envs = append(envs, &env{bindings: []binding{{name: s.From.Binding(), schema: base.Schema, tuple: t}}})
-	}
-	for _, j := range s.Joins {
-		right := db.Relation(j.Table.Name)
-		if right == nil {
-			return nil, fmt.Errorf("sqlx: no such table %q", j.Table.Name)
-		}
-		bname := j.Table.Binding()
-		var out []*env
-		nullTuple := make(rel.Tuple, right.Schema.Len())
-		// Hash join when ON is a simple equality of two column refs;
-		// nested loops otherwise.
-		leftCol, rightCol, hashable := equiJoinCols(j.On, bname)
-		var index map[string][]rel.Tuple
-		var rightIdx int
-		if hashable {
-			rightIdx = right.Schema.Index(rightCol.Column)
-			if rightIdx < 0 {
-				hashable = false
-			} else {
-				index = make(map[string][]rel.Tuple, len(right.Tuples))
-				for _, t := range right.Tuples {
-					v := t[rightIdx]
-					if v.IsNull() {
-						continue
-					}
-					index[v.Key()] = append(index[v.Key()], t)
-				}
-			}
-		}
-		for _, le := range envs {
-			matched := false
-			if j.Kind == JoinCross {
-				for _, t := range right.Tuples {
-					out = append(out, extend(le, bname, right.Schema, t))
-				}
-				continue
-			}
-			if hashable {
-				lv, err := eval(leftCol, le)
-				if err == nil && !lv.IsNull() {
-					for _, t := range index[lv.Key()] {
-						out = append(out, extend(le, bname, right.Schema, t))
-						matched = true
-					}
-				}
-			} else {
-				for _, t := range right.Tuples {
-					ne := extend(le, bname, right.Schema, t)
-					v, err := eval(j.On, ne)
-					if err != nil {
-						return nil, err
-					}
-					if b, ok := v.AsBool(); ok && b {
-						out = append(out, ne)
-						matched = true
-					}
-				}
-			}
-			if !matched && j.Kind == JoinLeft {
-				out = append(out, extend(le, bname, right.Schema, nullTuple))
-			}
-		}
-		envs = out
-	}
-	return envs, nil
-}
-
 // equiJoinCols recognizes "a.x = b.y" ON clauses and returns the column
 // ref belonging to the left side and the one on the newly joined binding.
 func equiJoinCols(on Expr, rightBinding string) (left *ColumnRef, right *ColumnRef, ok bool) {
@@ -780,16 +550,16 @@ func extend(e *env, name string, schema *rel.Schema, t rel.Tuple) *env {
 	bs := make([]binding, len(e.bindings)+1)
 	copy(bs, e.bindings)
 	bs[len(e.bindings)] = binding{name: name, schema: schema, tuple: t}
-	return &env{bindings: bs}
+	return &env{bindings: bs, rt: e.rt}
 }
 
 // expandItems resolves stars into column references and computes output
 // column names.
-func expandItems(db *rel.Database, s *SelectStmt, envs []*env) ([]SelectItem, []string, error) {
+func expandItems(db *rel.Database, s *SelectStmt) ([]SelectItem, []string, error) {
 	var items []SelectItem
 	var names []string
-	// Determine bindings from the FROM clause (schema info is needed even
-	// when envs is empty).
+	// Determine bindings from the FROM clause (schema info only; no data
+	// is read, so expansion also serves plan-time validation).
 	type bind struct {
 		name   string
 		schema *rel.Schema
@@ -947,7 +717,7 @@ func collectAggs(e Expr, out *[]*FuncExpr) {
 	}
 }
 
-func execGrouped(s *SelectStmt, items []SelectItem, envs []*env) ([]rel.Tuple, error) {
+func execGrouped(s *SelectStmt, items []SelectItem, envs []*env, rt *run) ([]rel.Tuple, error) {
 	// Collect all aggregate expressions in items + HAVING.
 	var aggs []*FuncExpr
 	for _, it := range items {
@@ -994,7 +764,7 @@ func execGrouped(s *SelectStmt, items []SelectItem, envs []*env) ([]rel.Tuple, e
 	}
 	// Aggregates over empty input with no GROUP BY produce one row.
 	if len(groups) == 0 && len(s.GroupBy) == 0 {
-		g := &group{repr: &env{}, aggs: make(map[*FuncExpr]*aggState)}
+		g := &group{repr: &env{rt: rt}, aggs: make(map[*FuncExpr]*aggState)}
 		for _, a := range aggs {
 			g.aggs[a] = newAggState()
 		}
@@ -1066,47 +836,6 @@ type groupedProxy struct {
 
 func (groupedProxy) expr() {}
 
-func sortRows(s *SelectStmt, items []SelectItem, res *Result, envs []*env) error {
-	type pair struct {
-		row rel.Tuple
-		env *env
-	}
-	pairs := make([]pair, len(res.Rows))
-	for i := range res.Rows {
-		pairs[i] = pair{res.Rows[i], envs[i]}
-	}
-	var sortErr error
-	sort.SliceStable(pairs, func(a, b int) bool {
-		for _, oi := range s.OrderBy {
-			va, err := evalOrderKey(oi.Expr, items, pairs[a].row, pairs[a].env)
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			vb, err := evalOrderKey(oi.Expr, items, pairs[b].row, pairs[b].env)
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			c := va.Compare(vb)
-			if c != 0 {
-				if oi.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
-	})
-	if sortErr != nil {
-		return sortErr
-	}
-	for i := range pairs {
-		res.Rows[i] = pairs[i].row
-	}
-	return nil
-}
-
 // evalOrderKey evaluates an ORDER BY key: aliases and ordinal positions
 // refer to output columns, everything else evaluates in the row env.
 func evalOrderKey(e Expr, items []SelectItem, row rel.Tuple, en *env) (rel.Value, error) {
@@ -1124,56 +853,6 @@ func evalOrderKey(e Expr, items []SelectItem, row rel.Tuple, en *env) (rel.Value
 		}
 	}
 	return eval(e, en)
-}
-
-func sortGroupedRows(s *SelectStmt, items []SelectItem, res *Result) error {
-	var sortErr error
-	sort.SliceStable(res.Rows, func(a, b int) bool {
-		for _, oi := range s.OrderBy {
-			va, err := groupedOrderKey(oi.Expr, items, res, a)
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			vb, err := groupedOrderKey(oi.Expr, items, res, b)
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			c := va.Compare(vb)
-			if c != 0 {
-				if oi.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
-	})
-	return sortErr
-}
-
-func groupedOrderKey(e Expr, items []SelectItem, res *Result, row int) (rel.Value, error) {
-	if lit, ok := e.(*Literal); ok && lit.Value.Kind() == rel.KindInt {
-		pos, _ := lit.Value.AsInt()
-		if pos >= 1 && int(pos) <= len(res.Rows[row]) {
-			return res.Rows[row][pos-1], nil
-		}
-	}
-	if cr, ok := e.(*ColumnRef); ok && cr.Table == "" {
-		for i := range res.Columns {
-			if strings.EqualFold(res.Columns[i], cr.Column) {
-				return res.Rows[row][i], nil
-			}
-		}
-	}
-	// Match structurally equal expressions against projection items.
-	for i, it := range items {
-		if exprString(it.Expr) == exprString(e) {
-			return res.Rows[row][i], nil
-		}
-	}
-	return rel.Null(), fmt.Errorf("sqlx: ORDER BY expression must appear in grouped SELECT list")
 }
 
 // exprString renders an expression canonically for structural comparison.
@@ -1214,24 +893,6 @@ func exprString(e Expr) string {
 		return "between(" + exprString(x.Expr) + ";" + exprString(x.Lo) + ";" + exprString(x.Hi) + ")"
 	}
 	return fmt.Sprintf("%T", e)
-}
-
-func distinctRows(rows []rel.Tuple) []rel.Tuple {
-	seen := make(map[string]struct{}, len(rows))
-	var out []rel.Tuple
-	for _, r := range rows {
-		parts := make([]string, len(r))
-		for i, v := range r {
-			parts[i] = v.Key()
-		}
-		k := strings.Join(parts, "\x01")
-		if _, dup := seen[k]; dup {
-			continue
-		}
-		seen[k] = struct{}{}
-		out = append(out, r)
-	}
-	return out
 }
 
 func execInsert(db *rel.Database, s *InsertStmt) (*Result, error) {
@@ -1310,10 +971,14 @@ func execDropTable(db *rel.Database, s *DropTableStmt) (*Result, error) {
 	return &Result{}, nil
 }
 
-func execUpdate(db *rel.Database, s *UpdateStmt) (*Result, error) {
+func execUpdate(ctx context.Context, db *rel.Database, s *UpdateStmt) (*Result, error) {
 	r := db.Relation(s.Table)
 	if r == nil {
 		return nil, fmt.Errorf("sqlx: no such table %q", s.Table)
+	}
+	rt := newRun()
+	if err := rt.materializeSubqueries(ctx, db, s.Where); err != nil {
+		return nil, err
 	}
 	idx := make([]int, len(s.Set))
 	for i, a := range s.Set {
@@ -1325,7 +990,7 @@ func execUpdate(db *rel.Database, s *UpdateStmt) (*Result, error) {
 	}
 	n := 0
 	for ti, t := range r.Tuples {
-		e := &env{bindings: []binding{{name: s.Table, schema: r.Schema, tuple: t}}}
+		e := &env{rt: rt, bindings: []binding{{name: s.Table, schema: r.Schema, tuple: t}}}
 		if s.Where != nil {
 			v, err := eval(s.Where, e)
 			if err != nil {
@@ -1347,15 +1012,19 @@ func execUpdate(db *rel.Database, s *UpdateStmt) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func execDelete(db *rel.Database, s *DeleteStmt) (*Result, error) {
+func execDelete(ctx context.Context, db *rel.Database, s *DeleteStmt) (*Result, error) {
 	r := db.Relation(s.Table)
 	if r == nil {
 		return nil, fmt.Errorf("sqlx: no such table %q", s.Table)
 	}
+	rt := newRun()
+	if err := rt.materializeSubqueries(ctx, db, s.Where); err != nil {
+		return nil, err
+	}
 	var kept []rel.Tuple
 	n := 0
 	for _, t := range r.Tuples {
-		e := &env{bindings: []binding{{name: s.Table, schema: r.Schema, tuple: t}}}
+		e := &env{rt: rt, bindings: []binding{{name: s.Table, schema: r.Schema, tuple: t}}}
 		del := s.Where == nil
 		if s.Where != nil {
 			v, err := eval(s.Where, e)

@@ -1,0 +1,705 @@
+package sqlx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// This file is the pull-based half of the plan/execute split: a tree of
+// iterator operators (scan, join, filter, project, group, order,
+// distinct, limit/offset, union concat) with Next(ctx)-style semantics.
+// Rows are produced on demand, so a LIMIT query stops reading its inputs
+// as soon as the limit is satisfied, and cancellation is checked every
+// batch of stored-tuple reads. Exec remains a collect-all wrapper over
+// this pipeline (see exec.go), pinning the materialized semantics.
+
+// ctxBatch is how many stored-tuple reads happen between context checks.
+const ctxBatch = 64
+
+// run carries the per-execution state shared by every operator of one
+// open cursor: the scanned-tuple probe, the cancellation tick counter,
+// and the materialized results of uncorrelated IN subqueries (keyed by
+// AST node so a shared, cached Plan is never mutated).
+type run struct {
+	scanned int64
+	ticks   int
+	subs    map[*InExpr][]rel.Value
+}
+
+func newRun() *run {
+	return &run{subs: make(map[*InExpr][]rel.Value)}
+}
+
+// tick counts one stored-tuple read and checks ctx every ctxBatch reads.
+func (rt *run) tick(ctx context.Context) error {
+	rt.scanned++
+	rt.ticks++
+	if rt.ticks >= ctxBatch {
+		rt.ticks = 0
+		return ctx.Err()
+	}
+	return nil
+}
+
+// item is one element flowing between operators: an environment of table
+// bindings before projection, a projected output row after. The order
+// operator keeps both so ORDER BY can reference non-projected columns.
+type item struct {
+	env *env
+	row rel.Tuple
+}
+
+// opIter is the pull interface every operator implements. next returns
+// io.EOF when exhausted. Iterators are single-goroutine.
+type opIter interface {
+	next(ctx context.Context) (item, error)
+}
+
+// openSelect builds the iterator tree for a SELECT, folding in its UNION
+// chain: branch iterators are concatenated (and deduplicated unless every
+// step is UNION ALL), then the head's ORDER BY/LIMIT/OFFSET apply to the
+// combined stream.
+func openSelect(ctx context.Context, db *rel.Database, s *SelectStmt, rt *run) ([]string, opIter, error) {
+	cols, head, err := openSelectOne(ctx, db, s, rt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Union == nil {
+		return cols, head, nil
+	}
+	iters := []opIter{head}
+	allMode := true
+	for cur := s; cur.Union != nil; cur = cur.Union {
+		bcols, bit, err := openSelectOne(ctx, db, cur.Union, rt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(bcols) != len(cols) {
+			return nil, nil, fmt.Errorf("sqlx: UNION arity mismatch: %d vs %d columns",
+				len(cols), len(bcols))
+		}
+		iters = append(iters, bit)
+		if !cur.UnionAll {
+			allMode = false
+		}
+	}
+	var it opIter = &concatIter{children: iters}
+	if !allMode {
+		it = newDistinctIter(it)
+	}
+	if len(s.OrderBy) > 0 {
+		it = &rowOrderIter{child: it, order: s.OrderBy, columns: cols}
+	}
+	if s.Limit >= 0 || s.Offset > 0 {
+		it = &limitIter{child: it, limit: s.Limit, offset: s.Offset}
+	}
+	return cols, it, nil
+}
+
+// openSelectOne builds the iterator tree for one SELECT without its UNION
+// chain. When the select heads a union, ORDER/LIMIT/OFFSET are applied by
+// openSelect to the combined stream instead.
+func openSelectOne(ctx context.Context, db *rel.Database, s *SelectStmt, rt *run) ([]string, opIter, error) {
+	headOfUnion := s.Union != nil
+	// Materialize uncorrelated IN (SELECT ...) subqueries into the run.
+	if err := rt.materializeSubqueries(ctx, db, s.Where); err != nil {
+		return nil, nil, err
+	}
+	if err := rt.materializeSubqueries(ctx, db, s.Having); err != nil {
+		return nil, nil, err
+	}
+	// 1. The joined row stream as environments.
+	var it opIter
+	if s.From == nil {
+		// SELECT without FROM: a single empty environment.
+		it = &singletonIter{rt: rt}
+	} else {
+		base := db.Relation(s.From.Name)
+		if base == nil {
+			return nil, nil, fmt.Errorf("sqlx: no such table %q", s.From.Name)
+		}
+		it = &scanIter{rel: base, binding: s.From.Binding(), rt: rt}
+		for _, j := range s.Joins {
+			right := db.Relation(j.Table.Name)
+			if right == nil {
+				return nil, nil, fmt.Errorf("sqlx: no such table %q", j.Table.Name)
+			}
+			it = newJoinIter(it, j, right, rt)
+		}
+	}
+	// 2. WHERE filter.
+	if s.Where != nil {
+		it = &filterIter{child: it, pred: s.Where}
+	}
+	// 3. Expand stars into concrete items.
+	items, cols, err := expandItems(db, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	grouped := len(s.GroupBy) > 0
+	if !grouped {
+		for _, si := range items {
+			if si.Expr != nil && isAggregate(si.Expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+	// 4. Group/aggregate (a pipeline breaker) or streaming projection,
+	// then ORDER BY (a breaker), DISTINCT, LIMIT/OFFSET.
+	if grouped {
+		it = &groupIter{child: it, s: s, items: items, rt: rt}
+		if !headOfUnion && len(s.OrderBy) > 0 {
+			it = &rowOrderIter{child: it, order: s.OrderBy, items: items, columns: cols}
+		}
+	} else {
+		it = &projectIter{child: it, items: items}
+		if !headOfUnion && len(s.OrderBy) > 0 {
+			it = &orderIter{child: it, order: s.OrderBy, items: items}
+		}
+	}
+	if s.Distinct {
+		it = newDistinctIter(it)
+	}
+	if !headOfUnion && (s.Limit >= 0 || s.Offset > 0) {
+		it = &limitIter{child: it, limit: s.Limit, offset: s.Offset}
+	}
+	return cols, it, nil
+}
+
+// materializeSubqueries executes uncorrelated IN (SELECT ...) subqueries
+// in an expression tree and stores their value lists in the run, keyed by
+// node. Correlated subqueries (referencing outer bindings) are not
+// supported and surface as unknown-column errors from the inner select.
+func (rt *run) materializeSubqueries(ctx context.Context, db *rel.Database, e Expr) error {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *InExpr:
+		if err := rt.materializeSubqueries(ctx, db, x.Expr); err != nil {
+			return err
+		}
+		for _, le := range x.List {
+			if err := rt.materializeSubqueries(ctx, db, le); err != nil {
+				return err
+			}
+		}
+		if x.Sub == nil {
+			return nil
+		}
+		if _, done := rt.subs[x]; done {
+			return nil
+		}
+		cols, it, err := openSelect(ctx, db, x.Sub, rt)
+		if err != nil {
+			return fmt.Errorf("sqlx: IN subquery: %w", err)
+		}
+		if len(cols) != 1 {
+			return fmt.Errorf("sqlx: IN subquery must return one column, got %d", len(cols))
+		}
+		vals := make([]rel.Value, 0)
+		for {
+			i, err := it.next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("sqlx: IN subquery: %w", err)
+			}
+			vals = append(vals, i.row[0])
+		}
+		rt.subs[x] = vals
+		return nil
+	case *BinaryExpr:
+		if err := rt.materializeSubqueries(ctx, db, x.Left); err != nil {
+			return err
+		}
+		return rt.materializeSubqueries(ctx, db, x.Right)
+	case *UnaryExpr:
+		return rt.materializeSubqueries(ctx, db, x.Expr)
+	case *IsNullExpr:
+		return rt.materializeSubqueries(ctx, db, x.Expr)
+	case *BetweenExpr:
+		if err := rt.materializeSubqueries(ctx, db, x.Expr); err != nil {
+			return err
+		}
+		if err := rt.materializeSubqueries(ctx, db, x.Lo); err != nil {
+			return err
+		}
+		return rt.materializeSubqueries(ctx, db, x.Hi)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			if err := rt.materializeSubqueries(ctx, db, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// singletonIter yields one empty environment (SELECT without FROM).
+type singletonIter struct {
+	rt   *run
+	done bool
+}
+
+func (s *singletonIter) next(ctx context.Context) (item, error) {
+	if s.done {
+		return item{}, io.EOF
+	}
+	s.done = true
+	return item{env: &env{rt: s.rt}}, nil
+}
+
+// scanIter yields one environment per tuple of a base relation.
+type scanIter struct {
+	rel     *rel.Relation
+	binding string
+	rt      *run
+	pos     int
+}
+
+func (s *scanIter) next(ctx context.Context) (item, error) {
+	if s.pos >= len(s.rel.Tuples) {
+		return item{}, io.EOF
+	}
+	if err := s.rt.tick(ctx); err != nil {
+		return item{}, err
+	}
+	t := s.rel.Tuples[s.pos]
+	s.pos++
+	e := &env{rt: s.rt, bindings: []binding{{name: s.binding, schema: s.rel.Schema, tuple: t}}}
+	return item{env: e}, nil
+}
+
+// joinIter extends each child environment with matching tuples of the
+// right relation: a lazily built hash index when ON is a simple equality
+// of two column refs, nested loops otherwise, plus cross and left-outer
+// modes. Matches for one left row are emitted one at a time, so a LIMIT
+// downstream stops the scan of the left side early.
+type joinIter struct {
+	child opIter
+	j     Join
+	right *rel.Relation
+	bname string
+	rt    *run
+
+	hashable bool
+	leftCol  *ColumnRef
+	rightIdx int
+	index    map[string][]rel.Tuple
+	indexed  bool
+
+	nullTuple rel.Tuple
+
+	cur     *env        // current left environment, nil when exhausted
+	matches []rel.Tuple // pending right matches for cur (hash/cross mode)
+	mi      int
+	rpos    int // right scan position (nested-loop mode)
+	matched bool
+}
+
+func newJoinIter(child opIter, j Join, right *rel.Relation, rt *run) *joinIter {
+	ji := &joinIter{
+		child: child, j: j, right: right, bname: j.Table.Binding(), rt: rt,
+		nullTuple: make(rel.Tuple, right.Schema.Len()),
+	}
+	leftCol, rightCol, hashable := equiJoinCols(j.On, ji.bname)
+	if hashable {
+		ji.rightIdx = right.Schema.Index(rightCol.Column)
+		if ji.rightIdx >= 0 {
+			ji.hashable = true
+			ji.leftCol = leftCol
+		}
+	}
+	return ji
+}
+
+func (ji *joinIter) buildIndex(ctx context.Context) error {
+	ji.index = make(map[string][]rel.Tuple, len(ji.right.Tuples))
+	for _, t := range ji.right.Tuples {
+		if err := ji.rt.tick(ctx); err != nil {
+			return err
+		}
+		v := t[ji.rightIdx]
+		if v.IsNull() {
+			continue
+		}
+		ji.index[v.Key()] = append(ji.index[v.Key()], t)
+	}
+	ji.indexed = true
+	return nil
+}
+
+func (ji *joinIter) next(ctx context.Context) (item, error) {
+	for {
+		if ji.cur == nil {
+			it, err := ji.child.next(ctx)
+			if err != nil {
+				return item{}, err
+			}
+			ji.cur, ji.matched, ji.mi, ji.rpos = it.env, false, 0, 0
+			switch {
+			case ji.j.Kind == JoinCross:
+				ji.matches = ji.right.Tuples
+			case ji.hashable:
+				if !ji.indexed {
+					if err := ji.buildIndex(ctx); err != nil {
+						return item{}, err
+					}
+				}
+				// An eval error or NULL key means no match, mirroring the
+				// materializing executor.
+				ji.matches = nil
+				if lv, err := eval(ji.leftCol, ji.cur); err == nil && !lv.IsNull() {
+					ji.matches = ji.index[lv.Key()]
+				}
+			}
+		}
+		if ji.j.Kind == JoinCross || ji.hashable {
+			if ji.mi < len(ji.matches) {
+				t := ji.matches[ji.mi]
+				ji.mi++
+				ji.matched = true
+				return item{env: extend(ji.cur, ji.bname, ji.right.Schema, t)}, nil
+			}
+		} else {
+			for ji.rpos < len(ji.right.Tuples) {
+				if err := ji.rt.tick(ctx); err != nil {
+					return item{}, err
+				}
+				t := ji.right.Tuples[ji.rpos]
+				ji.rpos++
+				ne := extend(ji.cur, ji.bname, ji.right.Schema, t)
+				v, err := eval(ji.j.On, ne)
+				if err != nil {
+					return item{}, err
+				}
+				if b, ok := v.AsBool(); ok && b {
+					ji.matched = true
+					return item{env: ne}, nil
+				}
+			}
+		}
+		left := ji.cur
+		ji.cur = nil
+		if !ji.matched && ji.j.Kind == JoinLeft {
+			return item{env: extend(left, ji.bname, ji.right.Schema, ji.nullTuple)}, nil
+		}
+	}
+}
+
+// filterIter keeps environments whose predicate evaluates to true.
+type filterIter struct {
+	child opIter
+	pred  Expr
+}
+
+func (f *filterIter) next(ctx context.Context) (item, error) {
+	for {
+		it, err := f.child.next(ctx)
+		if err != nil {
+			return item{}, err
+		}
+		v, err := eval(f.pred, it.env)
+		if err != nil {
+			return item{}, err
+		}
+		if b, ok := v.AsBool(); ok && b {
+			return it, nil
+		}
+	}
+}
+
+// projectIter evaluates the select items against each environment,
+// attaching the output row while keeping the environment for ORDER BY.
+type projectIter struct {
+	child opIter
+	items []SelectItem
+}
+
+func (p *projectIter) next(ctx context.Context) (item, error) {
+	it, err := p.child.next(ctx)
+	if err != nil {
+		return item{}, err
+	}
+	row := make(rel.Tuple, len(p.items))
+	for i, si := range p.items {
+		v, err := eval(si.Expr, it.env)
+		if err != nil {
+			return item{}, err
+		}
+		row[i] = v
+	}
+	it.row = row
+	return it, nil
+}
+
+// groupIter is the aggregation pipeline breaker: on first pull it drains
+// the child, groups and aggregates (including HAVING and projection), and
+// then streams the result rows.
+type groupIter struct {
+	child opIter
+	s     *SelectStmt
+	items []SelectItem
+	rt    *run
+	rows  []rel.Tuple
+	pos   int
+	done  bool
+}
+
+func (g *groupIter) next(ctx context.Context) (item, error) {
+	if !g.done {
+		var envs []*env
+		for {
+			it, err := g.child.next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return item{}, err
+			}
+			envs = append(envs, it.env)
+		}
+		rows, err := execGrouped(g.s, g.items, envs, g.rt)
+		if err != nil {
+			return item{}, err
+		}
+		g.rows, g.done = rows, true
+	}
+	if g.pos >= len(g.rows) {
+		return item{}, io.EOF
+	}
+	row := g.rows[g.pos]
+	g.pos++
+	return item{row: row}, nil
+}
+
+// orderIter is the ORDER BY pipeline breaker for non-grouped selects: it
+// materializes (row, environment) pairs so keys can reference any column
+// of the row environment, not just projected ones.
+type orderIter struct {
+	child opIter
+	order []OrderItem
+	items []SelectItem
+	buf   []item
+	pos   int
+	done  bool
+}
+
+func (o *orderIter) next(ctx context.Context) (item, error) {
+	if !o.done {
+		for {
+			it, err := o.child.next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return item{}, err
+			}
+			o.buf = append(o.buf, it)
+		}
+		var sortErr error
+		sort.SliceStable(o.buf, func(a, b int) bool {
+			for _, oi := range o.order {
+				va, err := evalOrderKey(oi.Expr, o.items, o.buf[a].row, o.buf[a].env)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				vb, err := evalOrderKey(oi.Expr, o.items, o.buf[b].row, o.buf[b].env)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c := va.Compare(vb); c != 0 {
+					if oi.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return item{}, sortErr
+		}
+		o.done = true
+	}
+	if o.pos >= len(o.buf) {
+		return item{}, io.EOF
+	}
+	it := o.buf[o.pos]
+	o.pos++
+	return it, nil
+}
+
+// rowOrderIter is the ORDER BY breaker for grouped selects and union
+// heads, where keys resolve against output columns only: ordinal
+// positions, aliases/column names, or projection expressions.
+type rowOrderIter struct {
+	child   opIter
+	order   []OrderItem
+	items   []SelectItem // nil for union ordering
+	columns []string
+	buf     []item
+	pos     int
+	done    bool
+}
+
+func (o *rowOrderIter) next(ctx context.Context) (item, error) {
+	if !o.done {
+		for {
+			it, err := o.child.next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return item{}, err
+			}
+			o.buf = append(o.buf, it)
+		}
+		var sortErr error
+		sort.SliceStable(o.buf, func(a, b int) bool {
+			for _, oi := range o.order {
+				va, err := rowOrderKey(oi.Expr, o.items, o.columns, o.buf[a].row)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				vb, err := rowOrderKey(oi.Expr, o.items, o.columns, o.buf[b].row)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c := va.Compare(vb); c != 0 {
+					if oi.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return item{}, sortErr
+		}
+		o.done = true
+	}
+	if o.pos >= len(o.buf) {
+		return item{}, io.EOF
+	}
+	it := o.buf[o.pos]
+	o.pos++
+	return it, nil
+}
+
+// rowOrderKey resolves an ORDER BY key against output rows.
+func rowOrderKey(e Expr, items []SelectItem, columns []string, row rel.Tuple) (rel.Value, error) {
+	if lit, ok := e.(*Literal); ok && lit.Value.Kind() == rel.KindInt {
+		pos, _ := lit.Value.AsInt()
+		if pos >= 1 && int(pos) <= len(row) {
+			return row[pos-1], nil
+		}
+	}
+	if cr, ok := e.(*ColumnRef); ok && cr.Table == "" {
+		for i := range columns {
+			if strings.EqualFold(columns[i], cr.Column) {
+				return row[i], nil
+			}
+		}
+	}
+	// Match structurally equal expressions against projection items.
+	for i, it := range items {
+		if exprString(it.Expr) == exprString(e) {
+			return row[i], nil
+		}
+	}
+	return rel.Null(), fmt.Errorf("sqlx: ORDER BY expression must appear in grouped SELECT list")
+}
+
+// distinctIter streams rows, dropping ones whose full-row key was seen.
+type distinctIter struct {
+	child opIter
+	seen  map[string]struct{}
+}
+
+func newDistinctIter(child opIter) *distinctIter {
+	return &distinctIter{child: child, seen: make(map[string]struct{})}
+}
+
+func (d *distinctIter) next(ctx context.Context) (item, error) {
+	for {
+		it, err := d.child.next(ctx)
+		if err != nil {
+			return item{}, err
+		}
+		k := rowKey(it.row)
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return it, nil
+	}
+}
+
+// rowKey renders a row canonically for duplicate elimination.
+func rowKey(row rel.Tuple) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = v.Key()
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// limitIter applies OFFSET then LIMIT, returning io.EOF as soon as the
+// limit is satisfied so upstream operators stop pulling stored tuples.
+type limitIter struct {
+	child   opIter
+	limit   int // -1 = no limit
+	offset  int
+	skipped int
+	emitted int
+}
+
+func (l *limitIter) next(ctx context.Context) (item, error) {
+	for l.skipped < l.offset {
+		if _, err := l.child.next(ctx); err != nil {
+			return item{}, err
+		}
+		l.skipped++
+	}
+	if l.limit >= 0 && l.emitted >= l.limit {
+		return item{}, io.EOF
+	}
+	it, err := l.child.next(ctx)
+	if err != nil {
+		return item{}, err
+	}
+	l.emitted++
+	return it, nil
+}
+
+// concatIter chains child iterators in order (UNION ALL shape); later
+// children are not pulled until earlier ones are exhausted.
+type concatIter struct {
+	children []opIter
+	pos      int
+}
+
+func (c *concatIter) next(ctx context.Context) (item, error) {
+	for c.pos < len(c.children) {
+		it, err := c.children[c.pos].next(ctx)
+		if err == io.EOF {
+			c.pos++
+			continue
+		}
+		return it, err
+	}
+	return item{}, io.EOF
+}

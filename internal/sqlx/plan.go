@@ -1,0 +1,116 @@
+package sqlx
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/rel"
+)
+
+// Plan is a prepared SELECT statement: the parse tree validated against a
+// database, ready to be opened as a streaming cursor any number of times.
+// A Plan is immutable after Prepare — concurrent Open calls (each with
+// its own database snapshot) are safe, which is what makes plans
+// cacheable by SQL text.
+type Plan struct {
+	sql  string
+	stmt *SelectStmt
+}
+
+// Prepare parses sql into an executable plan. Only SELECT statements can
+// be planned — DML and DDL have no streaming shape and go through Exec.
+// When db is non-nil, table references and star expansions are validated
+// against it so errors surface at prepare time; binding to actual data
+// happens at Open, so one plan can serve successive database snapshots.
+func Prepare(db *rel.Database, sql string) (*Plan, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqlx: cannot prepare %T: only SELECT statements have a streaming plan", stmt)
+	}
+	p := &Plan{sql: sql, stmt: sel}
+	if db != nil {
+		for cur := sel; cur != nil; cur = cur.Union {
+			if _, _, err := expandItems(db, cur); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// SQL returns the statement text the plan was prepared from.
+func (p *Plan) SQL() string { return p.sql }
+
+// Open starts one pull-based execution of the plan against db. The
+// returned cursor owns no locks and holds no reference to the plan's
+// caller; it stays valid as long as db's relations are not mutated (an
+// immutable snapshot makes that unconditional).
+func (p *Plan) Open(ctx context.Context, db *rel.Database) (*Cursor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rt := newRun()
+	cols, it, err := openSelect(ctx, db, p.stmt, rt)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{cols: cols, it: it, rt: rt}, nil
+}
+
+// Cursor is one open streaming execution of a Plan. Rows are computed on
+// demand: a cursor abandoned after k rows has evaluated only the input
+// needed for those k rows (modulo pipeline breakers like ORDER BY and
+// aggregation, which drain their input on the first pull). A Cursor is
+// not safe for concurrent use; open one per goroutine.
+type Cursor struct {
+	cols  []string
+	it    opIter
+	rt    *run
+	pulls int
+	done  bool
+}
+
+// Columns returns the output column names.
+func (c *Cursor) Columns() []string { return c.cols }
+
+// Next returns the next row, or io.EOF after the last one. Cancellation
+// of ctx is checked about every 64 stored-tuple reads (so a canceled
+// query aborts even mid-scan) and every 64 emitted rows (so it also
+// aborts while draining buffered operators like ORDER BY). After any
+// non-EOF error the cursor is closed and stays exhausted.
+func (c *Cursor) Next(ctx context.Context) (rel.Tuple, error) {
+	if c.done {
+		return nil, io.EOF
+	}
+	c.pulls++
+	if c.pulls%ctxBatch == 0 {
+		if err := ctx.Err(); err != nil {
+			c.done = true
+			return nil, err
+		}
+	}
+	it, err := c.it.next(ctx)
+	if err != nil {
+		c.done = true
+		return nil, err
+	}
+	return it.row, nil
+}
+
+// Scanned reports how many stored tuples the execution has read so far —
+// the operator pull-count probe: a LIMIT query that stopped early reports
+// fewer scanned tuples than its inputs hold.
+func (c *Cursor) Scanned() int64 { return c.rt.scanned }
+
+// Close releases the cursor; subsequent Next calls return io.EOF. Close
+// is idempotent and always returns nil (it exists so callers can follow
+// the usual rows-must-be-closed discipline).
+func (c *Cursor) Close() error {
+	c.done = true
+	return nil
+}
