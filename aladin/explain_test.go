@@ -1,0 +1,161 @@
+package aladin
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// TestExplain: the public Explain renders the plan with the chosen
+// access paths against the current snapshot.
+func TestExplain(t *testing.T) {
+	db := openWith(t, testCorpus(), "swissprot")
+	ctx := context.Background()
+
+	text, err := db.Explain(ctx, `SELECT entry_name FROM swissprot_protein WHERE accession = 'P10001'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "IndexScan(swissprot_protein") {
+		t.Errorf("Explain did not choose the accession index:\n%s", text)
+	}
+	if _, err := db.Explain(ctx, `DELETE FROM swissprot_protein`); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("Explain(DELETE) err = %v, want ErrBadQuery", err)
+	}
+	if _, err := db.Explain(ctx, `SELECT * FROM nope`); !errors.Is(err, ErrBadQuery) {
+		t.Errorf("Explain(bad table) err = %v, want ErrBadQuery", err)
+	}
+
+	// QueryRowsExplain binds plan and cursor to one snapshot: the plan
+	// names the index path and the cursor's pull count confirms it.
+	rows, plan, err := db.QueryRowsExplain(ctx, `SELECT entry_name FROM swissprot_protein WHERE accession = 'P10001'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !strings.Contains(plan, "IndexScan") {
+		t.Errorf("QueryRowsExplain plan:\n%s", plan)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || rows.Scanned() != 1 {
+		t.Errorf("rows=%d scanned=%d, want 1/1 (plan must describe these rows)", n, rows.Scanned())
+	}
+}
+
+// TestPlanCacheRebindsToNewSnapshotIndexes is the plan-cache correctness
+// hammer: a plan prepared (and cached) before AddSource commits must, on
+// re-Open, bind to the new snapshot — including the indexes of relations
+// published by the commit — while concurrent readers keep using it under
+// -race. The point query must keep reporting Scanned() == 1 throughout.
+func TestPlanCacheRebindsToNewSnapshotIndexes(t *testing.T) {
+	corpus := datagen.Generate(datagen.Config{Seed: 7, Proteins: 16})
+	db, err := Open(WithOntologySources("go"), WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := db.AddSource(ctx, corpus.Source("swissprot")); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT entry_name FROM swissprot_protein WHERE accession = 'P10003'`
+	probe := func() error {
+		rows, err := db.QueryRows(ctx, q)
+		if err != nil {
+			return err
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			return err
+		}
+		if n != 1 {
+			return errors.New("point query did not return exactly one row")
+		}
+		if rows.Scanned() != 1 {
+			return errors.New("cached plan stopped probing the index")
+		}
+		return nil
+	}
+	// Seed the cache before any further commit.
+	if err := probe(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.plans.len(); got != 1 {
+		t.Fatalf("plan cache holds %d plans, want 1", got)
+	}
+
+	// Hammer the cached plan while three more sources commit.
+	const readers = 6
+	done := make(chan struct{})
+	errCh := make(chan error, readers)
+	var iterations atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := probe(); err != nil {
+					errCh <- err
+					return
+				}
+				iterations.Add(1)
+			}
+		}()
+	}
+	for _, name := range []string{"pdb", "pir", "go"} {
+		if _, err := db.AddSource(ctx, corpus.Source(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if iterations.Load() == 0 {
+		t.Fatal("hammer performed no complete iterations")
+	}
+
+	// After the commits the same cached plan binds to the new snapshot:
+	// it can join against a relation that did not exist at prepare time,
+	// and a fresh plan over the new source's indexes probes them.
+	if err := probe(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryRows(ctx, `SELECT pdb_code FROM pdb_structure WHERE pdb_code = '1AA0'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Scanned() > 1 {
+		t.Errorf("new source's point query scanned %d tuples, want <= 1", rows.Scanned())
+	}
+}

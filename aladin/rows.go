@@ -174,29 +174,79 @@ func (r *Rows) Scanned() int64 { return r.cur.Scanned() }
 // With WithPlanCache, prepared plans are reused across calls by SQL text.
 // Errors: ErrBadQuery, ErrCanceled, ErrClosed.
 func (d *DB) QueryRows(ctx context.Context, sql string) (*Rows, error) {
+	rows, _, err := d.queryRows(ctx, sql, false)
+	return rows, err
+}
+
+// QueryRowsExplain is QueryRows plus the access plan, bound to the SAME
+// warehouse snapshot the returned cursor iterates — unlike separate
+// Explain and QueryRows calls, which each take their own snapshot and
+// can straddle an AddSource commit, so the plan would not describe the
+// rows. Errors: ErrBadQuery, ErrCanceled, ErrClosed.
+func (d *DB) QueryRowsExplain(ctx context.Context, sql string) (*Rows, string, error) {
+	return d.queryRows(ctx, sql, true)
+}
+
+// snapshotPlan is the shared read prologue: take a warehouse snapshot
+// under a brief RLock and resolve sql to a plan (via the cache when
+// configured).
+func (d *DB) snapshotPlan(ctx context.Context, sql string) (*rel.Database, *sqlx.Plan, error) {
 	if err := ctxErr(ctx); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d.mu.RLock()
 	if err := d.checkOpenRLocked(); err != nil {
 		d.mu.RUnlock()
-		return nil, err
+		return nil, nil, err
 	}
 	snap := d.sys.WarehouseSnapshot()
 	d.mu.RUnlock()
 
 	plan, err := d.plan(snap, sql)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
+		return nil, nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
+	}
+	return snap, plan, nil
+}
+
+func (d *DB) queryRows(ctx context.Context, sql string, explain bool) (*Rows, string, error) {
+	snap, plan, err := d.snapshotPlan(ctx, sql)
+	if err != nil {
+		return nil, "", err
+	}
+	planText := ""
+	if explain {
+		if planText, err = plan.Explain(snap); err != nil {
+			return nil, "", fmt.Errorf("%w: %w", ErrBadQuery, err)
+		}
 	}
 	cur, err := plan.Open(ctx, snap)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, fmt.Errorf("%w: %w", ErrCanceled, err)
+			return nil, "", fmt.Errorf("%w: %w", ErrCanceled, err)
 		}
-		return nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
+		return nil, "", fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
-	return &Rows{ctx: ctx, cur: cur}, nil
+	return &Rows{ctx: ctx, cur: cur}, planText, nil
+}
+
+// Explain renders the access plan a query would execute right now,
+// without running it: the operator tree with the chosen access path
+// (IndexScan, Scan, IndexJoin, HashJoin with build side, ...) and
+// estimated cardinality of every scan and join node. Access paths bind
+// to the current warehouse snapshot, so the same SQL may explain
+// differently after an AddSource commit publishes new indexes.
+// Errors: ErrBadQuery, ErrCanceled, ErrClosed.
+func (d *DB) Explain(ctx context.Context, sql string) (string, error) {
+	snap, plan, err := d.snapshotPlan(ctx, sql)
+	if err != nil {
+		return "", err
+	}
+	text, err := plan.Explain(snap)
+	if err != nil {
+		return "", fmt.Errorf("%w: %w", ErrBadQuery, err)
+	}
+	return text, nil
 }
 
 // plan resolves sql to a Plan, via the LRU cache when configured. Plans

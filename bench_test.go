@@ -11,6 +11,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"testing"
@@ -578,6 +579,87 @@ func BenchmarkQueryMaterialize(b *testing.B) {
 		materialized = len(res.Rows)
 	}
 	b.ReportMetric(float64(materialized), "scanned-tuples/op")
+}
+
+// Indexed-vs-scan benchmark fixtures: one integrated 200-protein
+// warehouse snapshot (with the persistent hash indexes built by the
+// pipeline) and a deep copy stripped of every index (Relation.Clone
+// drops them) — the scan baseline for the same data and queries.
+var (
+	warehouse200        *rel.Database
+	warehouse200NoIndex *rel.Database
+)
+
+func indexedAndScanWarehouses(b *testing.B) (*rel.Database, *rel.Database) {
+	b.Helper()
+	if warehouse200 == nil {
+		sys := integrate(b, 200, core.Options{DisableSearchIndex: true})
+		warehouse200 = sys.WarehouseSnapshot()
+		stripped := rel.NewDatabase(warehouse200.Name)
+		for _, r := range warehouse200.Relations() {
+			stripped.Put(r.Clone())
+		}
+		warehouse200NoIndex = stripped
+	}
+	return warehouse200, warehouse200NoIndex
+}
+
+// benchCursorQuery opens and drains one prepared plan per iteration,
+// reporting the stored tuples the execution read.
+func benchCursorQuery(b *testing.B, db *rel.Database, q string, wantRows int) {
+	b.Helper()
+	ctx := context.Background()
+	plan, err := sqlx.Prepare(db, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scanned int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := plan.Open(ctx, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for {
+			_, err := cur.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows++
+		}
+		if rows != wantRows {
+			b.Fatalf("got %d rows, want %d", rows, wantRows)
+		}
+		scanned = cur.Scanned()
+	}
+	b.ReportMetric(float64(scanned), "scanned-tuples/op")
+}
+
+// BenchmarkPointQuery: a primary-object equality lookup over the
+// 200-protein corpus — the index access path probes one tuple where the
+// scan baseline reads the whole relation.
+func BenchmarkPointQuery(b *testing.B) {
+	indexed, scan := indexedAndScanWarehouses(b)
+	q := `SELECT entry_name, organism FROM swissprot_protein WHERE accession = 'P10042'`
+	b.Run("index", func(b *testing.B) { benchCursorQuery(b, indexed, q, 1) })
+	b.Run("scan", func(b *testing.B) { benchCursorQuery(b, scan, q, 1) })
+}
+
+// BenchmarkIndexedJoin: an FK join probe (swissprot protein to its PDB
+// structure) — the index path touches tuples proportional to the result,
+// the scan baseline reads both relations.
+func BenchmarkIndexedJoin(b *testing.B) {
+	indexed, scan := indexedAndScanWarehouses(b)
+	q := `SELECT p.accession, s.pdb_code
+	      FROM swissprot_protein p
+	      JOIN pdb_structure s ON s.structure_id = p.protein_id
+	      WHERE p.accession = 'P10042'`
+	b.Run("index", func(b *testing.B) { benchCursorQuery(b, indexed, q, 1) })
+	b.Run("scan", func(b *testing.B) { benchCursorQuery(b, scan, q, 1) })
 }
 
 // BenchmarkSmithWaterman: the core alignment kernel.

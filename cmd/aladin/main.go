@@ -9,6 +9,7 @@
 //	aladin import <format> <file> <name> parse a source file and show its structure
 //	                                     (formats: embl, genbank, fasta, obo, csv, tsv, xml)
 //	aladin query "<sql>"                 run SQL over the integrated demo corpus
+//	aladin explain "<sql>"               show the access plan the query would use
 //	aladin search "<terms>"              ranked full-text search over the demo corpus
 //	aladin browse <source> <accession>   show one object's web view
 //	aladin stats                         repository statistics for the demo corpus
@@ -73,14 +74,15 @@ func newFlagSet(name string) *flag.FlagSet {
 
 func commands() map[string]func([]string) error {
 	return map[string]func([]string) error{
-		"demo":   func(args []string) error { return cmdDemo() },
-		"import": cmdImport,
-		"query":  cmdQuery,
-		"search": cmdSearch,
-		"browse": cmdBrowse,
-		"stats":  func(args []string) error { return cmdStats() },
-		"save":   cmdSave,
-		"load":   cmdLoad,
+		"demo":    func(args []string) error { return cmdDemo() },
+		"import":  cmdImport,
+		"query":   cmdQuery,
+		"explain": cmdExplain,
+		"search":  cmdSearch,
+		"browse":  cmdBrowse,
+		"stats":   func(args []string) error { return cmdStats() },
+		"save":    cmdSave,
+		"load":    cmdLoad,
 	}
 }
 
@@ -91,6 +93,7 @@ commands:
   demo                            integrate the synthetic corpus and report
   import <format> <file> <name>   parse and analyze one source file
   query "<sql>"                   SQL over the integrated demo corpus
+  explain "<sql>"                 show the access plan the query would use
   search "<terms>"                ranked full-text search (demo corpus)
   browse <source> <accession>     object web view (demo corpus)
   stats                           repository statistics (demo corpus)
@@ -219,6 +222,23 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	fmt.Printf("(%d rows)\n", n)
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: aladin explain \"<sql>\"")
+	}
+	ctx := context.Background()
+	db, err := demoDB(ctx)
+	if err != nil {
+		return err
+	}
+	text, err := db.Explain(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
 	return nil
 }
 

@@ -12,7 +12,7 @@
 //
 // Endpoints:
 //
-//	GET  /v1/query?q=SQL[&limit=n][&cursor=token]        SQL over the warehouse, paginated
+//	GET  /v1/query?q=SQL[&limit=n][&cursor=token][&explain=1]  SQL over the warehouse, paginated
 //	GET  /v1/search?q=terms[&source=s][&column=c][&primary=true][&limit=n]
 //	GET  /v1/stats                                       repository + web statistics
 //	GET  /v1/sources                                     integrated sources

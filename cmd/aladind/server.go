@@ -169,7 +169,7 @@ func toLinkJSON(l aladin.Link) linkJSON {
 
 // handleQuery serves one page of a SQL result:
 //
-//	GET /v1/query?q=SQL[&limit=n][&cursor=token]
+//	GET /v1/query?q=SQL[&limit=n][&cursor=token][&explain=1]
 //
 // Rows stream straight from the warehouse cursor into the JSON encoder —
 // at most `limit` of them (default defaultQueryLimit, capped at
@@ -178,15 +178,32 @@ func toLinkJSON(l aladin.Link) linkJSON {
 // next_cursor; passing it back (with the same q) returns the next page.
 // Pages are served from independent snapshots: a source integrated
 // between two page fetches shifts later pages, like any offset-based
-// pagination.
+// pagination. With explain=1 the envelope also carries the access plan
+// (operator tree with chosen index/scan paths) under "plan". Unknown
+// query parameters are rejected with a structured 400 — a typo like
+// limt=10 must not silently fall back to the defaults.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
+	for name := range params {
+		switch name {
+		case "q", "limit", "cursor", "explain":
+		default:
+			writeError(w, http.StatusBadRequest, "unknown_parameter",
+				fmt.Sprintf("unknown query parameter %q (expected q, limit, cursor, explain)", name))
+			return
+		}
+	}
 	q := params.Get("q")
 	if q == "" {
 		writeError(w, http.StatusBadRequest, "missing_parameter", "missing query parameter q")
 		return
 	}
 	limit, err := intParam("limit", params.Get("limit"), defaultQueryLimit, 1, maxQueryLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
+		return
+	}
+	explain, err := boolParam("explain", params.Get("explain"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
 		return
@@ -199,7 +216,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rows, err := s.db.QueryRows(r.Context(), q)
+	// QueryRowsExplain binds plan and cursor to one warehouse snapshot,
+	// so the plan in the envelope describes exactly the rows beside it
+	// even when an AddSource commit lands mid-request.
+	var rows *aladin.Rows
+	planText := ""
+	if explain {
+		rows, planText, err = s.db.QueryRowsExplain(r.Context(), q)
+	} else {
+		rows, err = s.db.QueryRows(r.Context(), q)
+	}
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -219,7 +245,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	cols, _ := json.Marshal(rows.Columns())
-	fmt.Fprintf(w, `{"columns":%s,"limit":%d,"rows":[`, cols, limit)
+	fmt.Fprintf(w, `{"columns":%s,"limit":%d`, cols, limit)
+	if explain {
+		plan, _ := json.Marshal(planText)
+		fmt.Fprintf(w, `,"plan":%s`, plan)
+	}
+	fmt.Fprint(w, `,"rows":[`)
 	count := 0
 	for count < limit && rows.Next() {
 		cells, _ := json.Marshal(rows.RowStrings())
@@ -530,6 +561,17 @@ func (s *server) handleCrawl(w http.ResponseWriter, r *http.Request) {
 		out = append(out, toRefJSON(c))
 	}
 	writeJSON(w, map[string]any{"start": toRefJSON(ref), "objects": out, "count": len(out)})
+}
+
+// boolParam parses a flag-style query parameter; empty means false.
+func boolParam(name, s string) (bool, error) {
+	switch strings.TrimSpace(s) {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	}
+	return false, fmt.Errorf("parameter %s: not a boolean: %q", name, s)
 }
 
 // intParam parses an integer query parameter with a default, clamping

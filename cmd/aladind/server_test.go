@@ -371,3 +371,52 @@ func TestHTTPQueryRejectsDML(t *testing.T) {
 		t.Errorf("DML code = %v, want bad_query", code)
 	}
 }
+
+// TestHTTPQueryExplain: explain=1 adds the access plan to the envelope,
+// naming the chosen access paths.
+func TestHTTPQueryExplain(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	q := escape("SELECT entry_name FROM swissprot_protein WHERE accession = 'P10001'")
+	res := getJSON(t, ts.URL+"/v1/query?q="+q+"&explain=1", 200)
+	plan, ok := res["plan"].(string)
+	if !ok || plan == "" {
+		t.Fatalf("explain=1 returned no plan: %v", res)
+	}
+	if !strings.Contains(plan, "IndexScan(swissprot_protein") {
+		t.Errorf("plan does not name the index access path:\n%s", plan)
+	}
+	if res["count"].(float64) != 1 {
+		t.Errorf("explain=1 suppressed rows: %v", res)
+	}
+
+	// Without the flag no plan is attached.
+	res = getJSON(t, ts.URL+"/v1/query?q="+q, 200)
+	if _, present := res["plan"]; present {
+		t.Error("plan attached without explain=1")
+	}
+
+	// Bad boolean is a structured 400.
+	res = getJSON(t, ts.URL+"/v1/query?q="+q+"&explain=yes", 400)
+	if code := res["error"].(map[string]any)["code"]; code != "invalid_parameter" {
+		t.Errorf("error code = %v", code)
+	}
+}
+
+// TestHTTPQueryUnknownParameter: typos like limt=10 are rejected with a
+// structured 400 instead of silently applying defaults.
+func TestHTTPQueryUnknownParameter(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	q := escape("SELECT COUNT(*) FROM swissprot_protein")
+	res := getJSON(t, ts.URL+"/v1/query?q="+q+"&limt=10", 400)
+	errObj := res["error"].(map[string]any)
+	if errObj["code"] != "unknown_parameter" {
+		t.Errorf("error code = %v", errObj["code"])
+	}
+	if msg := errObj["message"].(string); !strings.Contains(msg, "limt") {
+		t.Errorf("message does not name the bad parameter: %q", msg)
+	}
+	// The known parameters still pass.
+	getJSON(t, ts.URL+"/v1/query?q="+q+"&limit=10&explain=0", 200)
+}

@@ -292,17 +292,22 @@ func (s *System) PrepareAdd(ctx context.Context, db *rel.Database) (*PendingAdd,
 	}
 
 	// Precompute everything CommitAdd publishes: browse data, qualified
-	// warehouse relations, and the per-source search index (tokenization
-	// is the expensive part; the commit-time merge is a cheap splice).
+	// warehouse relations, hash indexes, and the per-source search index
+	// (tokenization is the expensive part; the commit-time merge is a
+	// cheap splice). Index maintenance cost is paid here, off-lock, on
+	// relations no reader can see yet; CommitAdd publishes them as-is and
+	// they stay immutable and structurally shared by snapshots after.
+	idxCols := indexColumns(structure)
+	for _, r := range db.Relations() {
+		buildRelationIndexes(r, idxCols[strings.ToLower(r.Name)])
+	}
 	p.web, err = s.web.Prepare(db, structure)
 	if err != nil {
 		s.unwindPrepare(p)
 		return nil, err
 	}
 	for _, r := range db.Relations() {
-		qualified := r.Clone()
-		qualified.Name = name + "_" + r.Name
-		p.warehouse = append(p.warehouse, qualified)
+		p.warehouse = append(p.warehouse, qualifiedClone(r, name, idxCols[strings.ToLower(r.Name)]))
 	}
 	if !s.opts.DisableSearchIndex {
 		p.searchIdx = buildSearchIndex(db, structure, profs)
@@ -422,6 +427,51 @@ func (s *System) CommitAdd(p *PendingAdd) (*AddReport, error) {
 	}
 	report.Timings = append(report.Timings, StepTiming{"register-and-index", time.Since(t0)})
 	return report, nil
+}
+
+// indexColumns maps each relation name (lower-cased) to the discovered
+// columns worth indexing: the primary relation's accession attribute and
+// both endpoints of every guessed foreign key (§4.2/§4.3) — the columns
+// the object web navigates and the SQL optimizer probes.
+func indexColumns(st *discovery.Structure) map[string][]string {
+	out := make(map[string][]string)
+	add := func(relName, col string) {
+		if relName == "" || col == "" {
+			return
+		}
+		out[strings.ToLower(relName)] = append(out[strings.ToLower(relName)], col)
+	}
+	if st != nil {
+		add(st.Primary, st.PrimaryAccession)
+		for _, fk := range st.ForeignKeys {
+			add(fk.From.FromRelation, fk.From.FromColumn)
+			add(fk.From.ToRelation, fk.From.ToColumn)
+		}
+	}
+	return out
+}
+
+// buildRelationIndexes builds the declared-constraint indexes plus the
+// given discovered columns; unknown columns are skipped.
+func buildRelationIndexes(r *rel.Relation, discovered []string) {
+	r.EnsureIndexes()
+	for _, c := range discovered {
+		_, _ = r.EnsureIndex(c)
+	}
+}
+
+// qualifiedClone copies a source relation for the warehouse under its
+// "<source>_<relation>" name. The source's freshly built indexes are
+// copied (positions are identical on a clone) rather than rebuilt, and
+// any gap is filled before the rename: EnsureIndexes matches declared
+// FK endpoints by relation name, which the qualified name would no
+// longer satisfy.
+func qualifiedClone(r *rel.Relation, source string, discovered []string) *rel.Relation {
+	q := r.Clone()
+	q.CopyIndexesFrom(r)
+	buildRelationIndexes(q, discovered)
+	q.Name = source + "_" + r.Name
+	return q
 }
 
 // failAt triggers the test failpoint for one pipeline stage.
@@ -608,6 +658,16 @@ func (s *System) ReanalyzeContext(ctx context.Context, source string) (*AddRepor
 	}
 	report.Structure = structure
 	report.Timings = append(report.Timings, StepTiming{"reanalyze-structure", time.Since(t0)})
+	// Refresh hash indexes for any newly discovered key columns (the
+	// caller holds its write lock for the whole re-analysis). The
+	// warehouse side must not be mutated in place — snapshots share its
+	// relations lock-free — so fresh indexed clones are published
+	// instead; open cursors keep the relations of their snapshot.
+	idxCols := indexColumns(structure)
+	for _, r := range db.Relations() {
+		buildRelationIndexes(r, idxCols[strings.ToLower(r.Name)])
+		s.warehouse.Put(qualifiedClone(r, name, idxCols[strings.ToLower(r.Name)]))
+	}
 
 	t0 = time.Now()
 	if src := s.engine.Source(source); src != nil {

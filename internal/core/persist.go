@@ -42,6 +42,13 @@ func Load(opts Options, snap *store.Snapshot) (*System, error) {
 		if err := sys.engine.AddSource(&linkdisc.Source{DB: db, Structure: structure, Profiles: profs}); err != nil {
 			return nil, err
 		}
+		// Rebuild hash indexes from the restored tuples (they are never
+		// part of the snapshot encoding), for both the source relations
+		// and the qualified warehouse clones.
+		idxCols := indexColumns(structure)
+		for _, r := range db.Relations() {
+			buildRelationIndexes(r, idxCols[strings.ToLower(r.Name)])
+		}
 		if err := sys.web.AddSource(db, structure); err != nil {
 			return nil, err
 		}
@@ -52,9 +59,7 @@ func Load(opts Options, snap *store.Snapshot) (*System, error) {
 		// and later AddSource calls compare against these records.
 		sys.dupIndex.Add(sys.records[name])
 		for _, r := range db.Relations() {
-			qualified := r.Clone()
-			qualified.Name = name + "_" + r.Name
-			sys.warehouse.Put(qualified)
+			sys.warehouse.Put(qualifiedClone(r, name, idxCols[strings.ToLower(r.Name)]))
 		}
 		if !sys.opts.DisableSearchIndex {
 			sys.indexSource(db, structure, profs)

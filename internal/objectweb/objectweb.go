@@ -142,13 +142,7 @@ func (w *Web) Object(ref metadata.ObjectRef) (*ObjectView, error) {
 	}
 	pr := sd.db.Relation(sd.structure.Primary)
 	ai := pr.Schema.Index(sd.structure.PrimaryAccession)
-	tIdx := -1
-	for i, t := range pr.Tuples {
-		if !t[ai].IsNull() && t[ai].AsString() == ref.Accession {
-			tIdx = i
-			break
-		}
-	}
+	tIdx := lookupAccession(pr, ai, sd.structure.PrimaryAccession, ref.Accession)
 	if tIdx < 0 {
 		return nil, fmt.Errorf("objectweb: no object %q in %s", ref.Accession, ref.Source)
 	}
@@ -184,6 +178,32 @@ func (w *Web) Object(ref metadata.ObjectRef) (*ObjectView, error) {
 	metadata.SortLinks(view.Duplicates)
 	metadata.SortLinks(view.Linked)
 	return view, nil
+}
+
+// lookupAccession finds the position of the primary tuple whose
+// accession column renders as acc: an O(1) probe of the column's hash
+// index when the integration pipeline built one, a scan otherwise. The
+// stored value may be typed (numeric accessions parse as integers), so
+// the probe tries the parsed value and falls back to the raw string.
+func lookupAccession(pr *rel.Relation, ai int, column, acc string) int {
+	candidates := []rel.Value{rel.Parse(acc)}
+	if s := rel.Str(acc); s.Key() != candidates[0].Key() {
+		candidates = append(candidates, s)
+	}
+	if ix := pr.HashIndex(column); ix != nil {
+		for _, v := range candidates {
+			if positions := ix.Lookup(v); len(positions) > 0 {
+				return positions[0]
+			}
+		}
+		return -1
+	}
+	for i, t := range pr.Tuples {
+		if !t[ai].IsNull() && t[ai].AsString() == acc {
+			return i
+		}
+	}
+	return -1
 }
 
 // maxAnnotationRows caps dependent rows per relation in a view.
@@ -253,7 +273,10 @@ func (w *Web) walkForward(sd *sourceData, path discovery.Path, primaryTupleIdx i
 		if ni < 0 {
 			return nil
 		}
-		// Join frontier tuples to the next relation.
+		// Join frontier tuples to the next relation, probing its hash
+		// index when the pipeline built one (the FK endpoints of every
+		// discovered path are indexed during PrepareAdd) instead of
+		// scanning every tuple.
 		want := make(map[string]bool)
 		for _, ti := range frontier {
 			v := curRel.Tuples[ti][ci]
@@ -262,14 +285,26 @@ func (w *Web) walkForward(sd *sourceData, path discovery.Path, primaryTupleIdx i
 			}
 		}
 		var next []int
-		for ti, t := range nextRel.Tuples {
-			if t[ni].IsNull() {
-				continue
+		if idx := nextRel.HashIndex(nextCol); idx != nil {
+			for k := range want {
+				next = append(next, idx.Positions(k)...)
 			}
-			if want[t[ni].Key()] {
-				next = append(next, ti)
-				if len(next) >= maxAnnotationRows {
-					break
+			// Restore tuple order (map iteration is unordered) so views
+			// match the scan path, then apply the same cap.
+			sort.Ints(next)
+			if len(next) > maxAnnotationRows {
+				next = next[:maxAnnotationRows]
+			}
+		} else {
+			for ti, t := range nextRel.Tuples {
+				if t[ni].IsNull() {
+					continue
+				}
+				if want[t[ni].Key()] {
+					next = append(next, ti)
+					if len(next) >= maxAnnotationRows {
+						break
+					}
 				}
 			}
 		}

@@ -1,0 +1,166 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Index is a persistent hash index over one column of a relation: a map
+// from canonical value keys (Value.Key) to the positions of the tuples
+// holding that value. NULLs are never indexed — they compare equal to
+// nothing, so no equality probe can return them.
+//
+// Indexes are built explicitly (EnsureIndex / EnsureIndexes) and
+// maintained incrementally by the Append family. Building is NOT safe
+// concurrently with readers of the same relation; the integration
+// pipeline builds indexes off-lock on private relations before they are
+// published, after which both relation and index are treated as
+// immutable and shared structurally across snapshots via
+// Database.ShallowClone.
+type Index struct {
+	// Column is the indexed column's display name.
+	Column  string
+	col     int
+	buckets map[string][]int
+}
+
+// Len returns the number of distinct indexed keys.
+func (ix *Index) Len() int { return len(ix.buckets) }
+
+// Positions returns the tuple positions whose indexed value has the
+// given canonical key (Value.Key), in insertion order. The slice is
+// owned by the index; callers must not mutate it.
+func (ix *Index) Positions(key string) []int { return ix.buckets[key] }
+
+// Lookup returns the tuple positions whose indexed column equals v
+// (Value.Equal semantics: NULL matches nothing, cross-kind numerics
+// match numerically).
+func (ix *Index) Lookup(v Value) []int {
+	if v.IsNull() {
+		return nil
+	}
+	return ix.buckets[v.Key()]
+}
+
+// add buckets one tuple at the given position.
+func (ix *Index) add(t Tuple, pos int) {
+	v := t[ix.col]
+	if v.IsNull() {
+		return
+	}
+	k := v.Key()
+	ix.buckets[k] = append(ix.buckets[k], pos)
+}
+
+// buildIndex scans the relation once and buckets every tuple position.
+func buildIndex(r *Relation, column string, col int) *Index {
+	ix := &Index{Column: column, col: col, buckets: make(map[string][]int)}
+	for pos, t := range r.Tuples {
+		ix.add(t, pos)
+	}
+	return ix
+}
+
+// HashIndex returns the hash index on the named column, or nil when the
+// column is not indexed.
+func (r *Relation) HashIndex(column string) *Index {
+	return r.indexes[strings.ToLower(column)]
+}
+
+// EnsureIndex builds the hash index on the named column if it does not
+// exist yet, and returns it. Building scans the relation once; later
+// Append calls maintain the index incrementally.
+func (r *Relation) EnsureIndex(column string) (*Index, error) {
+	col := r.Schema.Index(column)
+	if col < 0 {
+		return nil, fmt.Errorf("rel: relation %q has no column %q", r.Name, column)
+	}
+	key := strings.ToLower(column)
+	if ix, ok := r.indexes[key]; ok {
+		return ix, nil
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[string]*Index)
+	}
+	ix := buildIndex(r, r.Schema.Columns[col].Name, col)
+	r.indexes[key] = ix
+	return ix, nil
+}
+
+// EnsureIndexes builds the automatic indexes derived from declared
+// constraint metadata: the primary key, every declared unique column,
+// and both endpoints of every declared foreign key touching this
+// relation. Columns missing from the schema (stale metadata) are
+// skipped.
+func (r *Relation) EnsureIndexes() {
+	if r.PrimaryKey != "" {
+		_, _ = r.EnsureIndex(r.PrimaryKey)
+	}
+	for c, u := range r.UniqueCols {
+		if u {
+			_, _ = r.EnsureIndex(c)
+		}
+	}
+	for _, fk := range r.ForeignKeys {
+		if strings.EqualFold(fk.FromRelation, r.Name) {
+			_, _ = r.EnsureIndex(fk.FromColumn)
+		}
+		if strings.EqualFold(fk.ToRelation, r.Name) {
+			_, _ = r.EnsureIndex(fk.ToColumn)
+		}
+	}
+}
+
+// RebuildIndexes re-derives every existing index from the current
+// tuples. Callers that mutate or remove tuples in place (UPDATE, DELETE)
+// use this to keep the relation's indexes fresh; append-only writers
+// never need it.
+func (r *Relation) RebuildIndexes() {
+	for key, ix := range r.indexes {
+		r.indexes[key] = buildIndex(r, ix.Column, ix.col)
+	}
+}
+
+// IndexedColumns returns the display names of the indexed columns,
+// sorted alphabetically.
+func (r *Relation) IndexedColumns() []string {
+	out := make([]string, 0, len(r.indexes))
+	for _, ix := range r.indexes {
+		out = append(out, ix.Column)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CopyIndexesFrom copies src's hash indexes onto r, which must hold the
+// same tuples in the same order (e.g. a fresh Clone of src): bucket
+// positions are identical, so copying skips the re-scan and re-hashing
+// a rebuild would pay. Buckets are copied, not shared — later appends
+// on either relation stay independent. Columns r already indexes are
+// left untouched; a cardinality mismatch copies nothing.
+func (r *Relation) CopyIndexesFrom(src *Relation) {
+	if len(src.indexes) == 0 || len(r.Tuples) != len(src.Tuples) {
+		return
+	}
+	if r.indexes == nil {
+		r.indexes = make(map[string]*Index, len(src.indexes))
+	}
+	for key, ix := range src.indexes {
+		if _, exists := r.indexes[key]; exists {
+			continue
+		}
+		c := &Index{Column: ix.Column, col: ix.col, buckets: make(map[string][]int, len(ix.buckets))}
+		for k, positions := range ix.buckets {
+			c.buckets[k] = append([]int(nil), positions...)
+		}
+		r.indexes[key] = c
+	}
+}
+
+// maintainIndexes buckets a freshly appended tuple into every index.
+func (r *Relation) maintainIndexes(t Tuple, pos int) {
+	for _, ix := range r.indexes {
+		ix.add(t, pos)
+	}
+}

@@ -1,0 +1,171 @@
+package rel
+
+import (
+	"reflect"
+	"testing"
+)
+
+func indexedRelation() *Relation {
+	r := NewRelation("protein", NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "acc", Kind: KindString},
+		Column{Name: "org_id", Kind: KindInt},
+	))
+	r.PrimaryKey = "id"
+	r.UniqueCols["acc"] = true
+	r.ForeignKeys = append(r.ForeignKeys, ForeignKey{
+		FromRelation: "protein", FromColumn: "org_id",
+		ToRelation: "organism", ToColumn: "id",
+	})
+	r.Append(Tuple{Int(1), Str("P1"), Int(10)})
+	r.Append(Tuple{Int(2), Str("P2"), Int(10)})
+	r.Append(Tuple{Int(3), Str("P3"), Int(20)})
+	return r
+}
+
+func TestEnsureIndexes(t *testing.T) {
+	r := indexedRelation()
+	r.EnsureIndexes()
+	want := []string{"acc", "id", "org_id"}
+	if got := r.IndexedColumns(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("IndexedColumns = %v, want %v", got, want)
+	}
+	if ix := r.HashIndex("ID"); ix == nil || ix.Len() != 3 {
+		t.Fatalf("case-insensitive HashIndex(ID) = %v", ix)
+	}
+	if ps := r.HashIndex("org_id").Lookup(Int(10)); !reflect.DeepEqual(ps, []int{0, 1}) {
+		t.Errorf("Lookup(org_id=10) = %v, want [0 1]", ps)
+	}
+}
+
+func TestIndexMaintainedOnAppend(t *testing.T) {
+	r := indexedRelation()
+	r.EnsureIndexes()
+	r.Append(Tuple{Int(4), Str("P4"), Int(20)})
+	r.AppendStrings("5", "P5", "20")
+	if ps := r.HashIndex("org_id").Lookup(Int(20)); !reflect.DeepEqual(ps, []int{2, 3, 4}) {
+		t.Errorf("Lookup(org_id=20) after appends = %v, want [2 3 4]", ps)
+	}
+	if ps := r.HashIndex("id").Lookup(Int(5)); !reflect.DeepEqual(ps, []int{4}) {
+		t.Errorf("Lookup(id=5) = %v (AppendStrings must maintain indexes)", ps)
+	}
+}
+
+func TestIndexSkipsNulls(t *testing.T) {
+	r := indexedRelation()
+	r.Append(Tuple{Int(4), Null(), Null()})
+	r.EnsureIndexes()
+	if ps := r.HashIndex("acc").Lookup(Null()); ps != nil {
+		t.Errorf("Lookup(NULL) = %v, want nil", ps)
+	}
+	if n := r.HashIndex("acc").Len(); n != 3 {
+		t.Errorf("acc index has %d keys, want 3 (NULL unindexed)", n)
+	}
+}
+
+func TestLookupRoutesThroughIndex(t *testing.T) {
+	r := indexedRelation()
+	// Without an index Lookup scans; with one it probes. Results agree.
+	scan, err := r.Lookup("acc", Str("P2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.EnsureIndexes()
+	probe, err := r.Lookup("acc", Str("P2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scan, probe) || len(probe) != 1 {
+		t.Fatalf("scan %v vs probe %v", scan, probe)
+	}
+	// Cross-kind numeric probe: Key unifies Int and integral Float.
+	ps, err := r.LookupPositions("id", Float(2))
+	if err != nil || !reflect.DeepEqual(ps, []int{1}) {
+		t.Errorf("LookupPositions(id, 2.0) = %v, %v", ps, err)
+	}
+	if _, err := r.Lookup("missing", Int(1)); err == nil {
+		t.Error("Lookup on unknown column succeeded")
+	}
+}
+
+func TestRebuildIndexes(t *testing.T) {
+	r := indexedRelation()
+	r.EnsureIndexes()
+	// Mutate in place (what UPDATE does), then rebuild.
+	r.Tuples[0][2] = Int(20)
+	r.Tuples = r.Tuples[:2]
+	r.RebuildIndexes()
+	if ps := r.HashIndex("org_id").Lookup(Int(20)); !reflect.DeepEqual(ps, []int{0}) {
+		t.Errorf("after rebuild Lookup(org_id=20) = %v, want [0]", ps)
+	}
+	if ps := r.HashIndex("id").Lookup(Int(3)); ps != nil {
+		t.Errorf("deleted tuple still indexed: %v", ps)
+	}
+}
+
+func TestCloneDropsSharedNothing(t *testing.T) {
+	r := indexedRelation()
+	r.EnsureIndexes()
+	c := r.Clone()
+	if cols := c.IndexedColumns(); len(cols) != 0 {
+		t.Fatalf("Clone carried indexes %v; they must be rebuilt explicitly", cols)
+	}
+	c.EnsureIndexes()
+	c.Append(Tuple{Int(9), Str("P9"), Int(30)})
+	if ps := r.HashIndex("id").Lookup(Int(9)); ps != nil {
+		t.Errorf("append on clone leaked into original index: %v", ps)
+	}
+}
+
+func TestCopyIndexesFrom(t *testing.T) {
+	r := indexedRelation()
+	r.EnsureIndexes()
+	c := r.Clone()
+	c.CopyIndexesFrom(r)
+	if got := c.IndexedColumns(); !reflect.DeepEqual(got, r.IndexedColumns()) {
+		t.Fatalf("copied columns = %v, want %v", got, r.IndexedColumns())
+	}
+	if ps := c.HashIndex("org_id").Lookup(Int(10)); !reflect.DeepEqual(ps, []int{0, 1}) {
+		t.Fatalf("copied Lookup(org_id=10) = %v", ps)
+	}
+	// Buckets are copied, not shared: appends stay independent.
+	c.Append(Tuple{Int(4), Str("P4"), Int(10)})
+	if ps := r.HashIndex("org_id").Lookup(Int(10)); len(ps) != 2 {
+		t.Errorf("append on copy leaked into source buckets: %v", ps)
+	}
+	// Cardinality mismatch copies nothing.
+	short := NewRelation(r.Name, r.Schema.Clone())
+	short.CopyIndexesFrom(r)
+	if cols := short.IndexedColumns(); len(cols) != 0 {
+		t.Errorf("mismatched-cardinality copy built %v", cols)
+	}
+}
+
+func TestShallowCloneSharesIndexes(t *testing.T) {
+	db := NewDatabase("w")
+	r := indexedRelation()
+	r.EnsureIndexes()
+	db.Put(r)
+	snap := db.ShallowClone()
+	if snap.Relation("protein").HashIndex("id") != r.HashIndex("id") {
+		t.Error("ShallowClone must share relation indexes structurally")
+	}
+}
+
+func TestKeyJoinCollisionFree(t *testing.T) {
+	a := KeyJoin("a\x01", "b")
+	b := KeyJoin("a", "\x01b")
+	if a == b {
+		t.Fatalf("KeyJoin collided: %q", a)
+	}
+	// The historical separator-join encoding collides on exactly this
+	// pair of tuples; TupleKey must keep them distinct.
+	t1 := Tuple{Str("x"), Str("y\x01sz")}
+	t2 := Tuple{Str("x\x01sy"), Str("z")}
+	if TupleKey(t1) == TupleKey(t2) {
+		t.Fatalf("TupleKey collided: %q", TupleKey(t1))
+	}
+	if TupleKey(t1) != TupleKey(Tuple{Str("x"), Str("y\x01sz")}) {
+		t.Error("TupleKey not deterministic")
+	}
+}

@@ -1,0 +1,43 @@
+package rel
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file holds the canonical composite-key encoding shared by the
+// index layer and the SQL executor's grouping/distinct operators. A
+// Value.Key may contain any byte, so composite keys cannot be built by
+// joining with a separator — "a\x01" + sep + "b" would collide with
+// "a" + sep + "\x01b". Length-prefixing each part makes the encoding
+// injective.
+
+// appendKeyPart appends one length-prefixed key part to b.
+func appendKeyPart(b *strings.Builder, part string) {
+	b.WriteString(strconv.Itoa(len(part)))
+	b.WriteByte(':')
+	b.WriteString(part)
+}
+
+// KeyJoin concatenates canonical value keys (Value.Key results) into one
+// collision-free composite key via length-prefixed encoding:
+// KeyJoin("a\x01", "b") and KeyJoin("a", "\x01b") stay distinct.
+func KeyJoin(keys ...string) string {
+	var b strings.Builder
+	for _, k := range keys {
+		appendKeyPart(&b, k)
+	}
+	return b.String()
+}
+
+// TupleKey renders a whole tuple as one canonical collision-free key:
+// TupleKey(a) == TupleKey(b) iff the tuples have equal arity and
+// pairwise-equal values (NULLs comparing as identical). It is the
+// row-identity key used for DISTINCT, grouping, and UNION deduplication.
+func TupleKey(t Tuple) string {
+	var b strings.Builder
+	for _, v := range t {
+		appendKeyPart(&b, v.Key())
+	}
+	return b.String()
+}

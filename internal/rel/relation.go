@@ -102,6 +102,11 @@ type Relation struct {
 	PrimaryKey  string
 	UniqueCols  map[string]bool
 	ForeignKeys []ForeignKey
+
+	// indexes holds the persistent hash indexes by lower-cased column
+	// name (see index.go). Never gob-encoded: snapshots rebuild indexes
+	// from restored tuples.
+	indexes map[string]*Index
 }
 
 // NewRelation creates an empty relation with the given schema.
@@ -109,7 +114,8 @@ func NewRelation(name string, schema *Schema) *Relation {
 	return &Relation{Name: name, Schema: schema, UniqueCols: make(map[string]bool)}
 }
 
-// Append adds a tuple, padding or truncating to the schema arity.
+// Append adds a tuple, padding or truncating to the schema arity. Any
+// existing hash indexes are maintained incrementally.
 func (r *Relation) Append(t Tuple) {
 	n := r.Schema.Len()
 	if len(t) < n {
@@ -120,6 +126,7 @@ func (r *Relation) Append(t Tuple) {
 		t = t[:n]
 	}
 	r.Tuples = append(r.Tuples, t)
+	r.maintainIndexes(t, len(r.Tuples)-1)
 }
 
 // AppendStrings adds a tuple of parsed text values.
@@ -204,22 +211,42 @@ func (r *Relation) IsUnique(name string) (bool, error) {
 	return true, nil
 }
 
-// Lookup returns the tuples whose named column equals v.
-func (r *Relation) Lookup(name string, v Value) ([]Tuple, error) {
+// LookupPositions returns the positions of the tuples whose named column
+// equals v — an O(1) probe of the column's hash index when one exists, a
+// full scan otherwise.
+func (r *Relation) LookupPositions(name string, v Value) ([]int, error) {
 	i := r.Schema.Index(name)
 	if i < 0 {
 		return nil, fmt.Errorf("rel: relation %q has no column %q", r.Name, name)
 	}
-	var out []Tuple
-	for _, t := range r.Tuples {
+	if ix := r.indexes[strings.ToLower(name)]; ix != nil {
+		return ix.Lookup(v), nil
+	}
+	var out []int
+	for pos, t := range r.Tuples {
 		if t[i].Equal(v) {
-			out = append(out, t)
+			out = append(out, pos)
 		}
 	}
 	return out, nil
 }
 
-// Clone returns a deep copy of the relation.
+// Lookup returns the tuples whose named column equals v, routed through
+// the column's hash index when one exists.
+func (r *Relation) Lookup(name string, v Value) ([]Tuple, error) {
+	positions, err := r.LookupPositions(name, v)
+	if err != nil || len(positions) == 0 {
+		return nil, err
+	}
+	out := make([]Tuple, len(positions))
+	for j, pos := range positions {
+		out[j] = r.Tuples[pos]
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the relation. Hash indexes are not
+// copied; callers needing them on the copy call EnsureIndex(es) again.
 func (r *Relation) Clone() *Relation {
 	c := NewRelation(r.Name, r.Schema.Clone())
 	c.PrimaryKey = r.PrimaryKey

@@ -1,0 +1,239 @@
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// This file is the bind half of the optimizer: Open (and Explain) take
+// the logical plan from logical.go and a concrete database snapshot and
+// choose the physical access path of every scan and join node. Binding
+// happens per Open, never at Prepare, so a cached Plan stays valid
+// across warehouse commits — each Open sees the snapshot's relations and
+// their persistent hash indexes as they are now.
+
+// Default selectivity guesses where no index gives exact counts: an
+// equality predicate keeps 1/eqSelectivityDiv of the rows, any other
+// predicate 1/filterSelectivityDiv.
+const (
+	eqSelectivityDiv     = 10
+	filterSelectivityDiv = 3
+)
+
+// scanAccess is the bound access path of one table scan.
+type scanAccess struct {
+	tl      *tableLogical
+	r       *rel.Relation
+	binding string
+	// idx/eq are set for an index access path: the scan probes idx with
+	// eq.val instead of reading every tuple.
+	idx *rel.Index
+	eq  *eqPred
+	// filters are the pushed-down conjuncts still to evaluate per tuple
+	// (the conjunct served by the index probe is excluded).
+	filters []Expr
+	// est is the estimated output cardinality. Index probes report the
+	// exact bucket size; everything else applies selectivity guesses.
+	est float64
+}
+
+// bindScan chooses the access path for one table: the most selective
+// usable index probe (exact bucket sizes are known at bind time), or a
+// sequential scan.
+func bindScan(db *rel.Database, tl *tableLogical) (*scanAccess, error) {
+	r := db.Relation(tl.ref.Name)
+	if r == nil {
+		return nil, fmt.Errorf("sqlx: no such table %q", tl.ref.Name)
+	}
+	sa := &scanAccess{tl: tl, r: r, binding: tl.ref.Binding()}
+	best := -1
+	bestCount := 0
+	for i := range tl.eq {
+		ix := r.HashIndex(tl.eq[i].col)
+		if ix == nil {
+			continue
+		}
+		n := len(ix.Lookup(tl.eq[i].val))
+		if best < 0 || n < bestCount {
+			best, bestCount = i, n
+			sa.idx = ix
+		}
+	}
+	if best >= 0 {
+		sa.eq = &tl.eq[best]
+		sa.est = float64(bestCount)
+		for _, f := range tl.filters {
+			if f == sa.eq.expr {
+				continue
+			}
+			sa.filters = append(sa.filters, f)
+			sa.est /= filterSelectivityDiv
+		}
+		return sa, nil
+	}
+	sa.filters = tl.filters
+	sa.est = estimateFiltered(r, tl)
+	return sa, nil
+}
+
+// estimateFiltered guesses the rows of r surviving tl's pushed filters.
+func estimateFiltered(r *rel.Relation, tl *tableLogical) float64 {
+	est := float64(r.Cardinality())
+	for _, f := range tl.filters {
+		if _, _, ok := eqConst(f); ok {
+			est /= eqSelectivityDiv
+		} else {
+			est /= filterSelectivityDiv
+		}
+	}
+	if est < 1 && r.Cardinality() > 0 {
+		est = 1
+	}
+	return est
+}
+
+// joinStrategy enumerates the physical join operators.
+type joinStrategy int
+
+const (
+	// joinCrossSeq pairs every left row with the (filtered) right tuples.
+	joinCrossSeq joinStrategy = iota
+	// joinIndexProbe probes the right relation's persistent hash index
+	// per left row — no per-query build cost, no per-query memory.
+	joinIndexProbe
+	// joinHashBuildRight lazily hashes the (filtered) right relation on
+	// first use and probes it per left row.
+	joinHashBuildRight
+	// joinHashBuildLeft drains the smaller left input into the hash table
+	// and streams the right relation through it (inner joins only).
+	joinHashBuildLeft
+	// joinNestedLoop evaluates the ON predicate per pair.
+	joinNestedLoop
+)
+
+func (k joinStrategy) String() string {
+	switch k {
+	case joinCrossSeq:
+		return "CrossJoin"
+	case joinIndexProbe:
+		return "IndexJoin"
+	case joinHashBuildRight:
+		return "HashJoin(build=right)"
+	case joinHashBuildLeft:
+		return "HashJoin(build=left)"
+	case joinNestedLoop:
+		return "NestedLoopJoin"
+	}
+	return "Join"
+}
+
+// joinAccess is the bound access path of one join step.
+type joinAccess struct {
+	tl       *tableLogical
+	right    *rel.Relation
+	binding  string
+	strategy joinStrategy
+	// leftCol/rightIdx describe the equi-join columns (probe modes).
+	leftCol  *ColumnRef
+	rightCol string
+	rightIdx int
+	// idx is the right relation's persistent index (joinIndexProbe).
+	idx *rel.Index
+	// filters are pushed-down conjuncts on the joined table, applied to
+	// right tuples before matching.
+	filters []Expr
+	// est is the estimated output cardinality of the join.
+	est float64
+}
+
+// bindJoin chooses the join strategy for one JOIN step given the
+// estimated cardinality of the left input: an index-backed probe when
+// the right join column has a persistent hash index, otherwise a hash
+// join built on the estimated smaller side (inner joins only — outer
+// joins keep the right build so null extension follows left order), and
+// a nested loop for non-equi predicates.
+func bindJoin(db *rel.Database, tl *tableLogical, leftEst float64) (*joinAccess, error) {
+	right := db.Relation(tl.ref.Name)
+	if right == nil {
+		return nil, fmt.Errorf("sqlx: no such table %q", tl.ref.Name)
+	}
+	ja := &joinAccess{tl: tl, right: right, binding: tl.ref.Binding(), filters: tl.filters}
+	rightEst := estimateFiltered(right, tl)
+	if tl.join.Kind == JoinCross {
+		ja.strategy = joinCrossSeq
+		ja.est = leftEst * rightEst
+		return ja, nil
+	}
+	leftCol, rightCol, hashable := equiJoinCols(tl.join.On, ja.binding)
+	if hashable {
+		if ri := right.Schema.Index(rightCol.Column); ri >= 0 {
+			ja.leftCol, ja.rightIdx = leftCol, ri
+			ja.rightCol = right.Schema.Columns[ri].Name
+			matches := avgMatches(right, ja.rightCol)
+			switch {
+			case right.HashIndex(ja.rightCol) != nil:
+				ja.strategy = joinIndexProbe
+				ja.idx = right.HashIndex(ja.rightCol)
+			case tl.join.Kind == JoinInner && leftEst < float64(right.Cardinality()):
+				ja.strategy = joinHashBuildLeft
+			default:
+				ja.strategy = joinHashBuildRight
+			}
+			ja.est = leftEst * matches * selectivity(len(tl.filters))
+			if ja.est < 1 {
+				ja.est = 1
+			}
+			return ja, nil
+		}
+	}
+	ja.strategy = joinNestedLoop
+	ja.est = leftEst * rightEst / filterSelectivityDiv
+	if ja.est < 1 {
+		ja.est = 1
+	}
+	return ja, nil
+}
+
+// avgMatches estimates how many right tuples one left row matches on the
+// join column: exact n/distinct from the index when present, 1 for
+// unique/primary-key columns, a selectivity guess otherwise.
+func avgMatches(r *rel.Relation, col string) float64 {
+	n := float64(r.Cardinality())
+	if n == 0 {
+		return 0
+	}
+	if ix := r.HashIndex(col); ix != nil && ix.Len() > 0 {
+		return n / float64(ix.Len())
+	}
+	if isDeclaredUnique(r, col) {
+		return 1
+	}
+	m := n / eqSelectivityDiv
+	if m < 1 {
+		return 1
+	}
+	return m
+}
+
+func isDeclaredUnique(r *rel.Relation, col string) bool {
+	if r.PrimaryKey != "" && strings.EqualFold(r.PrimaryKey, col) {
+		return true
+	}
+	for c, u := range r.UniqueCols {
+		if u && strings.EqualFold(c, col) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectivity is the combined guess for n pushed non-index filters.
+func selectivity(n int) float64 {
+	s := 1.0
+	for i := 0; i < n; i++ {
+		s /= filterSelectivityDiv
+	}
+	return s
+}

@@ -58,7 +58,7 @@ func execStmt(ctx context.Context, db *rel.Database, stmt Statement) (*Result, e
 // the streaming executor.
 func collectSelect(ctx context.Context, db *rel.Database, s *SelectStmt) (*Result, error) {
 	rt := newRun()
-	cols, it, err := openSelect(ctx, db, s, rt)
+	cols, it, err := openSelect(ctx, db, s, nil, rt)
 	if err != nil {
 		return nil, err
 	}
@@ -737,7 +737,7 @@ func execGrouped(s *SelectStmt, items []SelectItem, envs []*env, rt *run) ([]rel
 			}
 			keyParts = append(keyParts, v.Key())
 		}
-		key := strings.Join(keyParts, "\x01")
+		key := rel.KeyJoin(keyParts...)
 		g, ok := groups[key]
 		if !ok {
 			g = &group{repr: e, aggs: make(map[*FuncExpr]*aggState)}
@@ -957,6 +957,8 @@ func execCreateTable(db *rel.Database, s *CreateTableStmt) (*Result, error) {
 			r.ForeignKeys = append(r.ForeignKeys, *cd.References)
 		}
 	}
+	// Auto-index the declared keys; Append maintains them on INSERT.
+	r.EnsureIndexes()
 	return &Result{}, nil
 }
 
@@ -1009,6 +1011,9 @@ func execUpdate(ctx context.Context, db *rel.Database, s *UpdateStmt) (*Result, 
 		}
 		n++
 	}
+	if n > 0 {
+		r.RebuildIndexes()
+	}
 	return &Result{Affected: n}, nil
 }
 
@@ -1042,5 +1047,8 @@ func execDelete(ctx context.Context, db *rel.Database, s *DeleteStmt) (*Result, 
 		}
 	}
 	r.Tuples = kept
+	if n > 0 {
+		r.RebuildIndexes()
+	}
 	return &Result{Affected: n}, nil
 }

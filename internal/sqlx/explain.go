@@ -1,0 +1,226 @@
+package sqlx
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// Explain renders the operator tree the plan would execute against db —
+// the same bind step as Open, minus execution. Every scan and join node
+// names its chosen access path (IndexScan, Scan, IndexJoin, HashJoin
+// with build side, NestedLoopJoin, CrossJoin) and carries its estimated
+// cardinality; index probes report exact bucket sizes from the
+// snapshot's persistent hash indexes. Because access paths bind per
+// snapshot, explaining a cached plan against a newer snapshot shows the
+// paths that snapshot would use.
+func (p *Plan) Explain(db *rel.Database) (string, error) {
+	lg := p.lg
+	if lg == nil {
+		lg = buildLogical(db, p.stmt)
+	}
+	root, err := explainTree(db, p.stmt, lg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	renderExplain(&b, root, "", "")
+	return b.String(), nil
+}
+
+// explainNode is one rendered operator.
+type explainNode struct {
+	label    string
+	children []*explainNode
+}
+
+func wrapNode(label string, child *explainNode) *explainNode {
+	return &explainNode{label: label, children: []*explainNode{child}}
+}
+
+// explainTree builds the operator tree for a statement including its
+// UNION chain, mirroring openSelect.
+func explainTree(db *rel.Database, s *SelectStmt, lg *logicalSelect) (*explainNode, error) {
+	head, err := explainSelect(db, s, lg)
+	if err != nil {
+		return nil, err
+	}
+	if s.Union == nil {
+		return head, nil
+	}
+	union := &explainNode{children: []*explainNode{head}}
+	allMode := true
+	for cur, curLg := s, lg; cur.Union != nil; cur, curLg = cur.Union, curLg.union {
+		branch, err := explainSelect(db, cur.Union, curLg.union)
+		if err != nil {
+			return nil, err
+		}
+		union.children = append(union.children, branch)
+		if !cur.UnionAll {
+			allMode = false
+		}
+	}
+	union.label = "UnionAll"
+	root := union
+	if !allMode {
+		union.label = "Union"
+		root = wrapNode("Distinct", root)
+	}
+	if len(s.OrderBy) > 0 {
+		root = wrapNode(sortLabel(s.OrderBy), root)
+	}
+	if s.Limit >= 0 || s.Offset > 0 {
+		root = wrapNode(limitLabel(s), root)
+	}
+	return root, nil
+}
+
+// explainSelect builds the operator chain of one SELECT, mirroring the
+// iterator construction of openSelectOne.
+func explainSelect(db *rel.Database, s *SelectStmt, lg *logicalSelect) (*explainNode, error) {
+	headOfUnion := s.Union != nil
+	var cur *explainNode
+	if s.From == nil {
+		cur = &explainNode{label: "Result(1 row)"}
+	} else {
+		sa, err := bindScan(db, lg.tables[0])
+		if err != nil {
+			return nil, err
+		}
+		cur = &explainNode{label: scanLabel(sa)}
+		est := sa.est
+		for i := range s.Joins {
+			ja, err := bindJoin(db, lg.tables[i+1], est)
+			if err != nil {
+				return nil, err
+			}
+			cur = wrapNode(joinLabel(ja), cur)
+			est = ja.est
+		}
+	}
+	if len(lg.residual) > 0 {
+		cur = wrapNode("Filter("+exprList(lg.residual)+")", cur)
+	}
+	items, cols, err := expandItems(db, s)
+	if err != nil {
+		return nil, err
+	}
+	grouped := len(s.GroupBy) > 0
+	if !grouped {
+		for _, si := range items {
+			if si.Expr != nil && isAggregate(si.Expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+	if grouped {
+		label := "Aggregate(" + strings.Join(cols, ", ") + ")"
+		if len(s.GroupBy) > 0 {
+			label = "Aggregate(group by " + exprList(s.GroupBy) + ": " + strings.Join(cols, ", ") + ")"
+		}
+		cur = wrapNode(label, cur)
+	} else {
+		cur = wrapNode("Project("+strings.Join(cols, ", ")+")", cur)
+	}
+	if !headOfUnion && len(s.OrderBy) > 0 {
+		cur = wrapNode(sortLabel(s.OrderBy), cur)
+	}
+	if s.Distinct {
+		cur = wrapNode("Distinct", cur)
+	}
+	if !headOfUnion && (s.Limit >= 0 || s.Offset > 0) {
+		cur = wrapNode(limitLabel(s), cur)
+	}
+	return cur, nil
+}
+
+// scanLabel names a table access path: the index probe with its bound
+// constant, or the sequential scan, plus any remaining pushed filters.
+func scanLabel(sa *scanAccess) string {
+	var b strings.Builder
+	if sa.idx != nil {
+		fmt.Fprintf(&b, "IndexScan(%s", tableName(sa.tl.ref))
+		fmt.Fprintf(&b, ": %s = %s", strings.ToLower(sa.eq.col), sa.eq.val.String())
+	} else {
+		fmt.Fprintf(&b, "Scan(%s", tableName(sa.tl.ref))
+	}
+	if len(sa.filters) > 0 {
+		fmt.Fprintf(&b, ", filter %s", exprList(sa.filters))
+	}
+	fmt.Fprintf(&b, ") [rows≈%.0f]", sa.est)
+	return b.String()
+}
+
+// joinLabel names a join access path.
+func joinLabel(ja *joinAccess) string {
+	var b strings.Builder
+	b.WriteString(ja.strategy.String())
+	b.WriteString("(")
+	if ja.tl.join.Kind == JoinLeft {
+		b.WriteString("left outer, ")
+	}
+	b.WriteString(tableName(ja.tl.ref))
+	if ja.tl.join.On != nil {
+		b.WriteString(" ON ")
+		b.WriteString(exprString(ja.tl.join.On))
+	}
+	if len(ja.filters) > 0 {
+		fmt.Fprintf(&b, ", filter %s", exprList(ja.filters))
+	}
+	fmt.Fprintf(&b, ") [rows≈%.0f]", ja.est)
+	return b.String()
+}
+
+func tableName(ref *TableRef) string {
+	if ref.Alias != "" {
+		return strings.ToLower(ref.Name) + " AS " + strings.ToLower(ref.Alias)
+	}
+	return strings.ToLower(ref.Name)
+}
+
+func sortLabel(order []OrderItem) string {
+	parts := make([]string, len(order))
+	for i, oi := range order {
+		parts[i] = exprString(oi.Expr)
+		if oi.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "Sort(" + strings.Join(parts, ", ") + ")"
+}
+
+func limitLabel(s *SelectStmt) string {
+	switch {
+	case s.Limit >= 0 && s.Offset > 0:
+		return fmt.Sprintf("Limit(%d offset %d)", s.Limit, s.Offset)
+	case s.Limit >= 0:
+		return fmt.Sprintf("Limit(%d)", s.Limit)
+	default:
+		return fmt.Sprintf("Offset(%d)", s.Offset)
+	}
+}
+
+func exprList(list []Expr) string {
+	parts := make([]string, len(list))
+	for i, e := range list {
+		parts[i] = exprString(e)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// renderExplain prints the tree with box-drawing connectors.
+func renderExplain(b *strings.Builder, n *explainNode, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(n.label)
+	b.WriteByte('\n')
+	for i, c := range n.children {
+		last := i == len(n.children)-1
+		connector, extend := "├─ ", "│  "
+		if last {
+			connector, extend = "└─ ", "   "
+		}
+		renderExplain(b, c, childPrefix+connector, childPrefix+extend)
+	}
+}

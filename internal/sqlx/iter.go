@@ -63,9 +63,13 @@ type opIter interface {
 // openSelect builds the iterator tree for a SELECT, folding in its UNION
 // chain: branch iterators are concatenated (and deduplicated unless every
 // step is UNION ALL), then the head's ORDER BY/LIMIT/OFFSET apply to the
-// combined stream.
-func openSelect(ctx context.Context, db *rel.Database, s *SelectStmt, rt *run) ([]string, opIter, error) {
-	cols, head, err := openSelectOne(ctx, db, s, rt)
+// combined stream. lg is the prepared logical plan; nil (ad-hoc Exec,
+// subqueries) lowers the statement on the fly.
+func openSelect(ctx context.Context, db *rel.Database, s *SelectStmt, lg *logicalSelect, rt *run) ([]string, opIter, error) {
+	if lg == nil {
+		lg = buildLogical(db, s)
+	}
+	cols, head, err := openSelectOne(ctx, db, s, lg, rt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -74,8 +78,8 @@ func openSelect(ctx context.Context, db *rel.Database, s *SelectStmt, rt *run) (
 	}
 	iters := []opIter{head}
 	allMode := true
-	for cur := s; cur.Union != nil; cur = cur.Union {
-		bcols, bit, err := openSelectOne(ctx, db, cur.Union, rt)
+	for cur, curLg := s, lg; cur.Union != nil; cur, curLg = cur.Union, curLg.union {
+		bcols, bit, err := openSelectOne(ctx, db, cur.Union, curLg.union, rt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -102,39 +106,56 @@ func openSelect(ctx context.Context, db *rel.Database, s *SelectStmt, rt *run) (
 }
 
 // openSelectOne builds the iterator tree for one SELECT without its UNION
-// chain. When the select heads a union, ORDER/LIMIT/OFFSET are applied by
-// openSelect to the combined stream instead.
-func openSelectOne(ctx context.Context, db *rel.Database, s *SelectStmt, rt *run) ([]string, opIter, error) {
+// chain, binding the logical plan's access paths against db. When the
+// select heads a union, ORDER/LIMIT/OFFSET are applied by openSelect to
+// the combined stream instead.
+func openSelectOne(ctx context.Context, db *rel.Database, s *SelectStmt, lg *logicalSelect, rt *run) ([]string, opIter, error) {
 	headOfUnion := s.Union != nil
 	// Materialize uncorrelated IN (SELECT ...) subqueries into the run.
-	if err := rt.materializeSubqueries(ctx, db, s.Where); err != nil {
-		return nil, nil, err
+	// The logical plan partitions the WHERE conjuncts, so every pushed
+	// filter and residual conjunct is walked (IN nodes keep their
+	// identity through the rewrite, which keys the materialized results).
+	for _, tl := range lg.tables {
+		for _, f := range tl.filters {
+			if err := rt.materializeSubqueries(ctx, db, f); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, c := range lg.residual {
+		if err := rt.materializeSubqueries(ctx, db, c); err != nil {
+			return nil, nil, err
+		}
 	}
 	if err := rt.materializeSubqueries(ctx, db, s.Having); err != nil {
 		return nil, nil, err
 	}
-	// 1. The joined row stream as environments.
+	// 1. The joined row stream as environments, on the access paths
+	// chosen at bind time (see access.go).
 	var it opIter
 	if s.From == nil {
 		// SELECT without FROM: a single empty environment.
 		it = &singletonIter{rt: rt}
 	} else {
-		base := db.Relation(s.From.Name)
-		if base == nil {
-			return nil, nil, fmt.Errorf("sqlx: no such table %q", s.From.Name)
+		sa, err := bindScan(db, lg.tables[0])
+		if err != nil {
+			return nil, nil, err
 		}
-		it = &scanIter{rel: base, binding: s.From.Binding(), rt: rt}
-		for _, j := range s.Joins {
-			right := db.Relation(j.Table.Name)
-			if right == nil {
-				return nil, nil, fmt.Errorf("sqlx: no such table %q", j.Table.Name)
+		it = openScan(sa, rt)
+		leftEst := sa.est
+		for i := range s.Joins {
+			ja, err := bindJoin(db, lg.tables[i+1], leftEst)
+			if err != nil {
+				return nil, nil, err
 			}
-			it = newJoinIter(it, j, right, rt)
+			it = openJoin(it, s.Joins[i], ja, rt)
+			leftEst = ja.est
 		}
 	}
-	// 2. WHERE filter.
-	if s.Where != nil {
-		it = &filterIter{child: it, pred: s.Where}
+	// 2. Residual WHERE conjuncts (join predicates, multi-table and
+	// outer-join-side expressions) filter above the joins.
+	if residual := andJoin(lg.residual); residual != nil {
+		it = &filterIter{child: it, pred: residual}
 	}
 	// 3. Expand stars into concrete items.
 	items, cols, err := expandItems(db, s)
@@ -195,7 +216,7 @@ func (rt *run) materializeSubqueries(ctx context.Context, db *rel.Database, e Ex
 		if _, done := rt.subs[x]; done {
 			return nil
 		}
-		cols, it, err := openSelect(ctx, db, x.Sub, rt)
+		cols, it, err := openSelect(ctx, db, x.Sub, nil, rt)
 		if err != nil {
 			return fmt.Errorf("sqlx: IN subquery: %w", err)
 		}
@@ -277,66 +298,191 @@ func (s *scanIter) next(ctx context.Context) (item, error) {
 	return item{env: e}, nil
 }
 
+// indexScanIter yields only the tuples whose indexed column equals the
+// bound constant — the index access path: stored-tuple reads (and thus
+// Scanned) are proportional to the result size, not the relation size.
+type indexScanIter struct {
+	rel       *rel.Relation
+	binding   string
+	rt        *run
+	positions []int
+	pos       int
+}
+
+func (s *indexScanIter) next(ctx context.Context) (item, error) {
+	if s.pos >= len(s.positions) {
+		return item{}, io.EOF
+	}
+	if err := s.rt.tick(ctx); err != nil {
+		return item{}, err
+	}
+	t := s.rel.Tuples[s.positions[s.pos]]
+	s.pos++
+	e := &env{rt: s.rt, bindings: []binding{{name: s.binding, schema: s.rel.Schema, tuple: t}}}
+	return item{env: e}, nil
+}
+
+// openScan builds the iterator for a bound table access path: an index
+// probe or a sequential scan, with the remaining pushed-down filters
+// applied above it.
+func openScan(sa *scanAccess, rt *run) opIter {
+	var it opIter
+	if sa.idx != nil {
+		it = &indexScanIter{rel: sa.r, binding: sa.binding, rt: rt, positions: sa.idx.Lookup(sa.eq.val)}
+	} else {
+		it = &scanIter{rel: sa.r, binding: sa.binding, rt: rt}
+	}
+	if pred := andJoin(sa.filters); pred != nil {
+		it = &filterIter{child: it, pred: pred}
+	}
+	return it
+}
+
+// openJoin builds the iterator for a bound join access path.
+func openJoin(child opIter, j Join, ja *joinAccess, rt *run) opIter {
+	if ja.strategy == joinHashBuildLeft {
+		return &hashLeftJoinIter{child: child, ja: ja, rt: rt}
+	}
+	return newJoinIter(child, j, ja, rt)
+}
+
 // joinIter extends each child environment with matching tuples of the
-// right relation: a lazily built hash index when ON is a simple equality
-// of two column refs, nested loops otherwise, plus cross and left-outer
-// modes. Matches for one left row are emitted one at a time, so a LIMIT
-// downstream stops the scan of the left side early.
+// right relation, on the access path chosen at bind time: a probe of the
+// relation's persistent hash index, a lazily built per-query hash over
+// the (pre-filtered) right side, a nested loop, or a cross product.
+// Matches for one left row are emitted one at a time, so a LIMIT
+// downstream stops the scan of the left side early. The build-left hash
+// strategy lives in hashLeftJoinIter.
 type joinIter struct {
 	child opIter
 	j     Join
-	right *rel.Relation
-	bname string
+	ja    *joinAccess
 	rt    *run
 
-	hashable bool
-	leftCol  *ColumnRef
-	rightIdx int
-	index    map[string][]rel.Tuple
-	indexed  bool
+	// pred is the nested-loop predicate: the pushed-down right-table
+	// filters folded into the ON clause (inner/nested mode only).
+	pred Expr
+
+	lazy    map[string][]rel.Tuple // joinHashBuildRight table
+	built   bool
+	cross   []rel.Tuple // joinCrossSeq filtered right tuples
+	crossed bool
 
 	nullTuple rel.Tuple
 
 	cur     *env        // current left environment, nil when exhausted
-	matches []rel.Tuple // pending right matches for cur (hash/cross mode)
+	matches []rel.Tuple // pending right matches for cur (probe/cross modes)
 	mi      int
 	rpos    int // right scan position (nested-loop mode)
 	matched bool
 }
 
-func newJoinIter(child opIter, j Join, right *rel.Relation, rt *run) *joinIter {
+func newJoinIter(child opIter, j Join, ja *joinAccess, rt *run) *joinIter {
 	ji := &joinIter{
-		child: child, j: j, right: right, bname: j.Table.Binding(), rt: rt,
-		nullTuple: make(rel.Tuple, right.Schema.Len()),
+		child: child, j: j, ja: ja, rt: rt,
+		nullTuple: make(rel.Tuple, ja.right.Schema.Len()),
 	}
-	leftCol, rightCol, hashable := equiJoinCols(j.On, ji.bname)
-	if hashable {
-		ji.rightIdx = right.Schema.Index(rightCol.Column)
-		if ji.rightIdx >= 0 {
-			ji.hashable = true
-			ji.leftCol = leftCol
-		}
+	if ja.strategy == joinNestedLoop {
+		ji.pred = andJoin(append(append([]Expr{}, ja.filters...), j.On))
 	}
 	return ji
 }
 
-func (ji *joinIter) buildIndex(ctx context.Context) error {
-	ji.index = make(map[string][]rel.Tuple, len(ji.right.Tuples))
-	for _, t := range ji.right.Tuples {
+// rightFilterOK evaluates the pushed-down filters against one right
+// tuple in isolation.
+func rightFilterOK(filters []Expr, bname string, schema *rel.Schema, t rel.Tuple, rt *run) (bool, error) {
+	if len(filters) == 0 {
+		return true, nil
+	}
+	e := &env{rt: rt, bindings: []binding{{name: bname, schema: schema, tuple: t}}}
+	for _, f := range filters {
+		v, err := eval(f, e)
+		if err != nil {
+			return false, err
+		}
+		if b, ok := v.AsBool(); !ok || !b {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// buildLazy hashes the (pre-filtered) right relation for probe mode.
+func (ji *joinIter) buildLazy(ctx context.Context) error {
+	ji.lazy = make(map[string][]rel.Tuple, len(ji.ja.right.Tuples))
+	for _, t := range ji.ja.right.Tuples {
 		if err := ji.rt.tick(ctx); err != nil {
 			return err
 		}
-		v := t[ji.rightIdx]
+		ok, err := rightFilterOK(ji.ja.filters, ji.ja.binding, ji.ja.right.Schema, t, ji.rt)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		v := t[ji.ja.rightIdx]
 		if v.IsNull() {
 			continue
 		}
-		ji.index[v.Key()] = append(ji.index[v.Key()], t)
+		ji.lazy[v.Key()] = append(ji.lazy[v.Key()], t)
 	}
-	ji.indexed = true
+	ji.built = true
+	return nil
+}
+
+// buildCross materializes the cross-product right side once. Without
+// pushed filters the relation's tuples are shared directly.
+func (ji *joinIter) buildCross(ctx context.Context) error {
+	if len(ji.ja.filters) == 0 {
+		ji.cross = ji.ja.right.Tuples
+	} else {
+		for _, t := range ji.ja.right.Tuples {
+			if err := ji.rt.tick(ctx); err != nil {
+				return err
+			}
+			ok, err := rightFilterOK(ji.ja.filters, ji.ja.binding, ji.ja.right.Schema, t, ji.rt)
+			if err != nil {
+				return err
+			}
+			if ok {
+				ji.cross = append(ji.cross, t)
+			}
+		}
+	}
+	ji.crossed = true
+	return nil
+}
+
+// probeIndex collects the right matches for the current left row from
+// the persistent index; only matching tuples are read (and ticked), so
+// Scanned stays proportional to the result size.
+func (ji *joinIter) probeIndex(ctx context.Context) error {
+	ji.matches = nil
+	lv, err := eval(ji.ja.leftCol, ji.cur)
+	if err != nil || lv.IsNull() {
+		// An eval error or NULL key means no match, mirroring the lazy
+		// hash path.
+		return nil
+	}
+	for _, pos := range ji.ja.idx.Lookup(lv) {
+		if err := ji.rt.tick(ctx); err != nil {
+			return err
+		}
+		t := ji.ja.right.Tuples[pos]
+		ok, err := rightFilterOK(ji.ja.filters, ji.ja.binding, ji.ja.right.Schema, t, ji.rt)
+		if err != nil {
+			return err
+		}
+		if ok {
+			ji.matches = append(ji.matches, t)
+		}
+	}
 	return nil
 }
 
 func (ji *joinIter) next(ctx context.Context) (item, error) {
+	right := ji.ja.right
 	for {
 		if ji.cur == nil {
 			it, err := ji.child.next(ctx)
@@ -344,39 +490,39 @@ func (ji *joinIter) next(ctx context.Context) (item, error) {
 				return item{}, err
 			}
 			ji.cur, ji.matched, ji.mi, ji.rpos = it.env, false, 0, 0
-			switch {
-			case ji.j.Kind == JoinCross:
-				ji.matches = ji.right.Tuples
-			case ji.hashable:
-				if !ji.indexed {
-					if err := ji.buildIndex(ctx); err != nil {
+			switch ji.ja.strategy {
+			case joinCrossSeq:
+				if !ji.crossed {
+					if err := ji.buildCross(ctx); err != nil {
 						return item{}, err
 					}
 				}
-				// An eval error or NULL key means no match, mirroring the
-				// materializing executor.
+				ji.matches = ji.cross
+			case joinIndexProbe:
+				if err := ji.probeIndex(ctx); err != nil {
+					return item{}, err
+				}
+			case joinHashBuildRight:
+				if !ji.built {
+					if err := ji.buildLazy(ctx); err != nil {
+						return item{}, err
+					}
+				}
 				ji.matches = nil
-				if lv, err := eval(ji.leftCol, ji.cur); err == nil && !lv.IsNull() {
-					ji.matches = ji.index[lv.Key()]
+				if lv, err := eval(ji.ja.leftCol, ji.cur); err == nil && !lv.IsNull() {
+					ji.matches = ji.lazy[lv.Key()]
 				}
 			}
 		}
-		if ji.j.Kind == JoinCross || ji.hashable {
-			if ji.mi < len(ji.matches) {
-				t := ji.matches[ji.mi]
-				ji.mi++
-				ji.matched = true
-				return item{env: extend(ji.cur, ji.bname, ji.right.Schema, t)}, nil
-			}
-		} else {
-			for ji.rpos < len(ji.right.Tuples) {
+		if ji.ja.strategy == joinNestedLoop {
+			for ji.rpos < len(right.Tuples) {
 				if err := ji.rt.tick(ctx); err != nil {
 					return item{}, err
 				}
-				t := ji.right.Tuples[ji.rpos]
+				t := right.Tuples[ji.rpos]
 				ji.rpos++
-				ne := extend(ji.cur, ji.bname, ji.right.Schema, t)
-				v, err := eval(ji.j.On, ne)
+				ne := extend(ji.cur, ji.ja.binding, right.Schema, t)
+				v, err := eval(ji.pred, ne)
 				if err != nil {
 					return item{}, err
 				}
@@ -385,12 +531,88 @@ func (ji *joinIter) next(ctx context.Context) (item, error) {
 					return item{env: ne}, nil
 				}
 			}
+		} else if ji.mi < len(ji.matches) {
+			t := ji.matches[ji.mi]
+			ji.mi++
+			ji.matched = true
+			return item{env: extend(ji.cur, ji.ja.binding, right.Schema, t)}, nil
 		}
 		left := ji.cur
 		ji.cur = nil
 		if !ji.matched && ji.j.Kind == JoinLeft {
-			return item{env: extend(left, ji.bname, ji.right.Schema, ji.nullTuple)}, nil
+			return item{env: extend(left, ji.ja.binding, right.Schema, ji.nullTuple)}, nil
 		}
+	}
+}
+
+// hashLeftJoinIter is the build-side-swapped hash join: when neither
+// join column has a persistent index and the left input is estimated
+// smaller than the right relation, the left environments are drained
+// into the hash table and the right relation is streamed through it —
+// the classic smaller-side build. Output order is right-major (SQL
+// leaves join order unspecified). Inner joins only: outer joins keep the
+// right build so null extension follows left order.
+type hashLeftJoinIter struct {
+	child opIter
+	ja    *joinAccess
+	rt    *run
+
+	built bool
+	table map[string][]*env
+
+	rpos     int
+	curTuple rel.Tuple
+	pending  []*env
+	pi       int
+}
+
+func (ji *hashLeftJoinIter) next(ctx context.Context) (item, error) {
+	if !ji.built {
+		ji.table = make(map[string][]*env)
+		for {
+			it, err := ji.child.next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return item{}, err
+			}
+			// Eval errors and NULL keys mean no match, as in probe mode.
+			lv, err := eval(ji.ja.leftCol, it.env)
+			if err != nil || lv.IsNull() {
+				continue
+			}
+			ji.table[lv.Key()] = append(ji.table[lv.Key()], it.env)
+		}
+		ji.built = true
+	}
+	right := ji.ja.right
+	for {
+		if ji.pi < len(ji.pending) {
+			e := ji.pending[ji.pi]
+			ji.pi++
+			return item{env: extend(e, ji.ja.binding, right.Schema, ji.curTuple)}, nil
+		}
+		if ji.rpos >= len(right.Tuples) {
+			return item{}, io.EOF
+		}
+		if err := ji.rt.tick(ctx); err != nil {
+			return item{}, err
+		}
+		t := right.Tuples[ji.rpos]
+		ji.rpos++
+		ok, err := rightFilterOK(ji.ja.filters, ji.ja.binding, right.Schema, t, ji.rt)
+		if err != nil {
+			return item{}, err
+		}
+		if !ok {
+			continue
+		}
+		v := t[ji.ja.rightIdx]
+		if v.IsNull() {
+			continue
+		}
+		ji.pending, ji.pi, ji.curTuple = ji.table[v.Key()], 0, t
 	}
 }
 
@@ -648,13 +870,11 @@ func (d *distinctIter) next(ctx context.Context) (item, error) {
 	}
 }
 
-// rowKey renders a row canonically for duplicate elimination.
+// rowKey renders a row canonically for duplicate elimination, via the
+// collision-free length-prefixed encoding shared with the index layer
+// (a value's Key may contain any byte, so separator joining collides).
 func rowKey(row rel.Tuple) string {
-	parts := make([]string, len(row))
-	for i, v := range row {
-		parts[i] = v.Key()
-	}
-	return strings.Join(parts, "\x01")
+	return rel.TupleKey(row)
 }
 
 // limitIter applies OFFSET then LIMIT, returning io.EOF as soon as the

@@ -16,6 +16,10 @@ import (
 type Plan struct {
 	sql  string
 	stmt *SelectStmt
+	// lg is the rewritten logical plan (conjuncts normalized, constants
+	// folded, predicates pushed below joins, equality conjuncts
+	// extracted); physical access paths bind per Open. See logical.go.
+	lg *logicalSelect
 }
 
 // Prepare parses sql into an executable plan. Only SELECT statements can
@@ -40,6 +44,7 @@ func Prepare(db *rel.Database, sql string) (*Plan, error) {
 			}
 		}
 	}
+	p.lg = buildLogical(db, sel)
 	return p, nil
 }
 
@@ -55,7 +60,7 @@ func (p *Plan) Open(ctx context.Context, db *rel.Database) (*Cursor, error) {
 		return nil, err
 	}
 	rt := newRun()
-	cols, it, err := openSelect(ctx, db, p.stmt, rt)
+	cols, it, err := openSelect(ctx, db, p.stmt, p.lg, rt)
 	if err != nil {
 		return nil, err
 	}

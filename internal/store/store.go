@@ -128,7 +128,10 @@ func SnapshotRelation(r *rel.Relation) RelationSnapshot {
 	return rs
 }
 
-// RestoreRelation converts a snapshot back into a relation.
+// RestoreRelation converts a snapshot back into a relation. Hash
+// indexes are never part of the encoding; the declared-key indexes are
+// rebuilt here from the restored tuples (discovered-column indexes are
+// rebuilt by the warehouse loader, which knows the structure).
 func RestoreRelation(rs RelationSnapshot) *rel.Relation {
 	r := rel.NewRelation(rs.Name, rel.NewSchema(rs.Columns...))
 	r.PrimaryKey = rs.PrimaryKey
@@ -143,6 +146,7 @@ func RestoreRelation(rs RelationSnapshot) *rel.Relation {
 		}
 		r.Append(t)
 	}
+	r.EnsureIndexes()
 	return r
 }
 
