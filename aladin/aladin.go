@@ -94,6 +94,9 @@ type Stats struct {
 	Web WebStats
 	// IndexedDocuments is the number of values in the search index.
 	IndexedDocuments int
+	// Durability reports WAL and checkpoint state (Enabled=false without
+	// WithDataDir).
+	Durability DurabilityStats
 }
 
 // SourceInfo describes one integrated source.
@@ -123,6 +126,16 @@ type DB struct {
 	// plans caches prepared query plans by SQL text (nil = no cache);
 	// it has its own lock and is never touched under mu.
 	plans *planCache
+
+	// dir is the durable data directory (nil without WithDataDir).
+	// chkMu serializes checkpoints, which otherwise run outside mu;
+	// chkErrMu guards only lastChkErr so Stats never waits on a
+	// checkpoint in flight.
+	dir             *store.Dir
+	checkpointEvery int
+	chkMu           sync.Mutex
+	chkErrMu        sync.Mutex
+	lastChkErr      error
 }
 
 // Open creates a database, configured by functional options. With
@@ -139,6 +152,9 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.planCache > 0 {
 		plans = newPlanCache(cfg.planCache)
 	}
+	if cfg.dataDir != "" {
+		return openDurable(&cfg, plans)
+	}
 	if cfg.snapshot != nil {
 		sys, err := core.Load(cfg.core, cfg.snapshot)
 		if err != nil {
@@ -149,12 +165,19 @@ func Open(opts ...Option) (*DB, error) {
 	return &DB{sys: core.New(cfg.core), plans: plans}, nil
 }
 
-// Close marks the database closed; subsequent calls return ErrClosed.
+// Close marks the database closed and, on a durable database, flushes
+// and closes the write-ahead log; subsequent calls return ErrClosed.
 // Close never interrupts an in-flight call — it waits for the write lock.
 func (d *DB) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
 	d.closed = true
+	if d.dir != nil {
+		return d.dir.Close()
+	}
 	return nil
 }
 
@@ -202,12 +225,18 @@ func (d *DB) AddSource(ctx context.Context, src *Source) (*Report, error) {
 	}
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
 		d.sys.Abort(p)
+		d.mu.Unlock()
 		return nil, ErrClosed
 	}
-	return d.commit(p)
+	rep, err := d.commit(p)
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	d.maybeCheckpoint()
+	return rep, nil
 }
 
 // commit publishes a prepared addition under the held write lock. A
@@ -389,6 +418,7 @@ func (d *DB) Stats(ctx context.Context) (Stats, error) {
 		Repo:             d.sys.Repo.Stats(),
 		Web:              d.sys.WebStats(),
 		IndexedDocuments: d.sys.IndexedDocuments(),
+		Durability:       d.durabilityStats(),
 	}, nil
 }
 
@@ -463,17 +493,25 @@ func (d *DB) Reanalyze(ctx context.Context, source string) (*Report, error) {
 }
 
 // RemoveLinkFeedback deletes a link the user flagged as wrong (§6.2) and
-// prevents its rediscovery. It reports whether the link existed.
+// prevents its rediscovery. It reports whether the link existed. On a
+// durable database the feedback is journaled before it is acknowledged;
+// an error means it was NOT recorded.
 func (d *DB) RemoveLinkFeedback(ctx context.Context, l Link) (bool, error) {
 	if err := ctxErr(ctx); err != nil {
 		return false, err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return false, ErrClosed
 	}
-	return d.sys.RemoveLinkFeedback(l), nil
+	ok, err := d.sys.RemoveLinkFeedback(l)
+	d.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	d.maybeCheckpoint()
+	return ok, nil
 }
 
 // RecordChanges notes n changed tuples in a source and reports whether

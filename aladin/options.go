@@ -9,10 +9,12 @@ import (
 
 // config is the resolved Open configuration.
 type config struct {
-	core      core.Options
-	snapshot  *store.Snapshot
-	planCache int
-	err       error
+	core            core.Options
+	snapshot        *store.Snapshot
+	planCache       int
+	dataDir         string
+	checkpointEvery int
+	err             error
 }
 
 // Option configures Open.
@@ -73,9 +75,42 @@ func WithPlanCache(n int) Option {
 	}
 }
 
-// WithSnapshot restores a previously saved warehouse during Open.
+// WithSnapshot restores a previously saved warehouse during Open. It is
+// the import/export format: combined with WithDataDir, the snapshot
+// seeds a FRESH data directory (Open fails if the directory already
+// holds data) and is checkpointed into it before Open returns.
 func WithSnapshot(snap *Snapshot) Option {
 	return func(c *config) { c.snapshot = snap }
+}
+
+// WithDataDir makes the database durable: every acknowledged mutation —
+// AddSource, Exec, RemoveLinkFeedback — is journaled to a write-ahead
+// log under path before it is acknowledged, and checkpoints fold the
+// log into per-source segments. Open recovers whatever state the
+// directory holds: the last checkpoint plus the journaled tail, exactly
+// the acknowledged mutations, even after a crash.
+func WithDataDir(path string) Option {
+	return func(c *config) {
+		if path == "" {
+			c.err = fmt.Errorf("aladin: empty data directory path")
+			return
+		}
+		c.dataDir = path
+	}
+}
+
+// WithCheckpointEvery checkpoints automatically once n mutations have
+// accumulated in the write-ahead log (checked after each mutating call).
+// Without this option — or without WithDataDir — checkpoints run only
+// when Checkpoint is called. n must be positive.
+func WithCheckpointEvery(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.err = fmt.Errorf("aladin: checkpoint threshold %d outside [1, ∞)", n)
+			return
+		}
+		c.checkpointEvery = n
+	}
 }
 
 // WithCoreOptions replaces the full pipeline configuration — the escape

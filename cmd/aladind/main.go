@@ -9,6 +9,16 @@
 //
 //	aladind [-addr :8317] [-workers n] [-timeout 30s]
 //	        [-proteins 40 | -load snapshot.gob | -empty]
+//	        [-data dir] [-checkpoint-every n] [-checkpoint-interval d]
+//
+// With -data the warehouse is durable: every acknowledged mutation is
+// journaled to a write-ahead log under the directory before the HTTP
+// response is sent, a background loop (and graceful shutdown) folds the
+// log into per-source checkpoint segments, and a restart — clean or
+// after a crash — recovers exactly the acknowledged state. Combined
+// with -load, the snapshot seeds a fresh data directory; combined with
+// -proteins, the demo corpus is only generated when the directory is
+// empty.
 //
 // Endpoints:
 //
@@ -50,16 +60,21 @@ func main() {
 		proteins = flag.Int("proteins", 40, "demo corpus size (proteins per source)")
 		load     = flag.String("load", "", "restore a snapshot file instead of the demo corpus")
 		empty    = flag.Bool("empty", false, "start with no sources (integrate via POST /v1/sources)")
+		dataDir  = flag.String("data", "", "durable data directory (WAL + checkpoints); empty = in-memory only")
+		chkEvery = flag.Int("checkpoint-every", 16, "checkpoint after this many journaled mutations (with -data)")
+		chkEach  = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period (with -data; 0 = disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *timeout, *proteins, *load, *empty); err != nil {
+	if err := run(*addr, *workers, *timeout, *proteins, *load, *empty, *dataDir, *chkEvery, *chkEach); err != nil {
 		fmt.Fprintln(os.Stderr, "aladind:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, timeout time.Duration, proteins int, load string, empty bool) error {
-	db, err := openDB(workers, proteins, load, empty)
+func run(addr string, workers int, timeout time.Duration, proteins int, load string, empty bool,
+	dataDir string, chkEvery int, chkEach time.Duration) error {
+
+	db, err := openDB(workers, proteins, load, empty, dataDir, chkEvery)
 	if err != nil {
 		return err
 	}
@@ -71,6 +86,9 @@ func run(addr string, workers int, timeout time.Duration, proteins int, load str
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if dataDir != "" && chkEach > 0 {
+		go checkpointLoop(ctx, db, chkEach)
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("aladind: serving on %s", addr)
@@ -88,12 +106,41 @@ func run(addr string, workers int, timeout time.Duration, proteins int, load str
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	if dataDir != "" {
+		// Fold the WAL tail into segments so the next start replays
+		// nothing; the WAL itself is already durable, so a failure here
+		// costs recovery time, not data.
+		if err := db.Checkpoint(shutdownCtx); err != nil {
+			log.Printf("aladind: shutdown checkpoint: %v", err)
+		}
+	}
 	return db.Close()
 }
 
-// openDB builds the served database: a restored snapshot, an empty
-// warehouse, or the integrated synthetic demo corpus.
-func openDB(workers, proteins int, load string, empty bool) (*aladin.DB, error) {
+// checkpointLoop periodically folds the write-ahead log into checkpoint
+// segments, off the request path. Mutations between ticks are already
+// durable (journaled before acknowledged); the loop only bounds replay
+// time after a crash. Checkpoints with nothing to do are cheap: clean
+// sources' segments are never rewritten.
+func checkpointLoop(ctx context.Context, db *aladin.DB, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := db.Checkpoint(ctx); err != nil && !errors.Is(err, aladin.ErrClosed) && ctx.Err() == nil {
+				log.Printf("aladind: checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// openDB builds the served database: a restored snapshot, a recovered
+// data directory, an empty warehouse, or the integrated synthetic demo
+// corpus.
+func openDB(workers, proteins int, load string, empty bool, dataDir string, chkEvery int) (*aladin.DB, error) {
 	if load != "" && empty {
 		return nil, errors.New("-load and -empty are mutually exclusive")
 	}
@@ -103,6 +150,12 @@ func openDB(workers, proteins int, load string, empty bool) (*aladin.DB, error) 
 		// Serving is read-heavy and repetitive (dashboards, paginated
 		// cursors re-issuing the same SQL); cache prepared plans.
 		aladin.WithPlanCache(128),
+	}
+	if dataDir != "" {
+		opts = append(opts, aladin.WithDataDir(dataDir))
+		if chkEvery > 0 {
+			opts = append(opts, aladin.WithCheckpointEvery(chkEvery))
+		}
 	}
 	if load != "" {
 		snap, err := store.LoadFile(load)
@@ -120,11 +173,23 @@ func openDB(workers, proteins int, load string, empty bool) (*aladin.DB, error) 
 	if err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	if empty {
 		return db, nil
 	}
+	if dataDir != "" {
+		// A recovered directory already holds its sources; the demo
+		// corpus only seeds a brand-new one.
+		infos, err := db.Sources(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(infos) > 0 {
+			log.Printf("aladind: recovered %d sources from %s", len(infos), dataDir)
+			return db, nil
+		}
+	}
 	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: proteins})
-	ctx := context.Background()
 	for _, src := range corpus.Sources {
 		t0 := time.Now()
 		if _, err := db.AddSource(ctx, src); err != nil {

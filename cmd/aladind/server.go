@@ -367,7 +367,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"sources":       st.Repo.Sources,
 		"links":         st.Repo.Links,
 		"links_by_type": st.Repo.LinksByType,
@@ -380,7 +380,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"mean_degree":       st.Web.MeanDegree,
 		},
 		"indexed_documents": st.IndexedDocuments,
-	})
+	}
+	if st.Durability.Enabled {
+		dur := map[string]any{
+			"dir":             st.Durability.Dir,
+			"checkpoints":     st.Durability.Gen,
+			"wal_records":     st.Durability.WALRecords,
+			"wal_bytes":       st.Durability.WALBytes,
+			"dirty_sources":   st.Durability.DirtySources,
+			"checkpointed":    st.Durability.Sources,
+			"last_checkpoint": st.Durability.LastCheckpoint,
+		}
+		if !st.Durability.LastCheckpoint.IsZero() {
+			dur["last_checkpoint_age_seconds"] = time.Since(st.Durability.LastCheckpoint).Seconds()
+		}
+		if st.Durability.LastCheckpointError != "" {
+			dur["last_checkpoint_error"] = st.Durability.LastCheckpointError
+		}
+		out["durability"] = dur
+	}
+	writeJSON(w, out)
 }
 
 func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {

@@ -47,7 +47,7 @@ func main() {
 		victim = view.Linked[0]
 	}
 	fmt.Printf("user removes link: %s -> %s (%s)\n", victim.From, victim.To, victim.Method)
-	if !sys.RemoveLinkFeedback(victim) {
+	if ok, err := sys.RemoveLinkFeedback(victim); err != nil || !ok {
 		log.Fatal("link removal failed")
 	}
 	fmt.Printf("links after feedback: %d\n", sys.Repo.LinkCount(-1))

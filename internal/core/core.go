@@ -36,6 +36,7 @@ import (
 	"repro/internal/rel"
 	"repro/internal/search"
 	"repro/internal/sqlx"
+	"repro/internal/store"
 )
 
 // Options configures a System.
@@ -141,6 +142,11 @@ type System struct {
 	// windows instead of re-running detection over the whole union.
 	dupIndex *dup.Index
 
+	// durable, when non-nil, journals every acknowledged mutation to a
+	// data directory's WAL and tracks the dirty set for incremental
+	// checkpoints (durable.go).
+	durable *durable
+
 	// failpoint, when non-nil, is invoked at named pipeline stages and
 	// aborts AddSource on error — a test hook exercising the
 	// partial-state unwind.
@@ -200,7 +206,11 @@ type PendingAdd struct {
 	searchIdx *search.Index
 	warehouse []*rel.Relation
 	timings   []StepTiming
-	done      bool
+	// walFrame is the pre-encoded WAL record of this addition (durable
+	// systems only): encoding runs here, off-lock, so the write-locked
+	// commit pays one write+fsync.
+	walFrame []byte
+	done     bool
 }
 
 // Source returns the name of the source being added.
@@ -312,6 +322,14 @@ func (s *System) PrepareAdd(ctx context.Context, db *rel.Database) (*PendingAdd,
 	if !s.opts.DisableSearchIndex {
 		p.searchIdx = buildSearchIndex(db, structure, profs)
 	}
+	if s.durable != nil {
+		frame, err := store.EncodeRecord(s.addSourceRecord(p))
+		if err != nil {
+			s.unwindPrepare(p)
+			return nil, err
+		}
+		p.walFrame = frame
+	}
 	if err := ctx.Err(); err != nil {
 		s.unwindPrepare(p)
 		return nil, err
@@ -395,6 +413,25 @@ func (s *System) CommitAdd(p *PendingAdd) (*AddReport, error) {
 	if err := s.engine.AddSource(p.src); err != nil {
 		s.dupIndex.RemoveSource(p.db.Name)
 		return nil, err
+	}
+	if s.durable != nil {
+		frame := p.walFrame
+		if frame == nil {
+			// Prepared before the directory was attached; encode now.
+			var err error
+			if frame, err = store.EncodeRecord(s.addSourceRecord(p)); err != nil {
+				s.engine.RemoveSource(p.db.Name)
+				s.dupIndex.RemoveSource(p.db.Name)
+				return nil, err
+			}
+		}
+		// Journal before publishing: the addition is acknowledged only
+		// once it would survive a crash. On failure nothing is visible.
+		if err := s.logFrame(frame, p.db.Name); err != nil {
+			s.engine.RemoveSource(p.db.Name)
+			s.dupIndex.RemoveSource(p.db.Name)
+			return nil, err
+		}
 	}
 	addLink := func(l metadata.Link) {
 		if stored, _, _ := s.Repo.AddLinkTracked(l); stored {
@@ -617,9 +654,14 @@ func (s *System) record(ref metadata.ObjectRef) (dup.Record, error) {
 }
 
 // RemoveLinkFeedback deletes a link the user flagged as wrong (§6.2) and
-// prevents rediscovery.
-func (s *System) RemoveLinkFeedback(l metadata.Link) bool {
-	return s.Repo.RemoveLink(l)
+// prevents rediscovery. The feedback is journaled before it is applied,
+// so restored systems keep honoring it; a logging error means the
+// feedback was NOT recorded.
+func (s *System) RemoveLinkFeedback(l metadata.Link) (bool, error) {
+	if err := s.logRecord(&store.WALRecord{Type: store.RecRemoveLink, Link: &l}); err != nil {
+		return false, err
+	}
+	return s.Repo.RemoveLink(l), nil
 }
 
 // RecordChanges notes n changed tuples in a source and reports whether

@@ -189,8 +189,8 @@ func TestUserFeedbackRemovesLink(t *testing.T) {
 		t.Fatal("no links")
 	}
 	target := links[0]
-	if !sys.RemoveLinkFeedback(target) {
-		t.Fatal("remove failed")
+	if ok, err := sys.RemoveLinkFeedback(target); err != nil || !ok {
+		t.Fatalf("remove failed (ok=%v, err=%v)", ok, err)
 	}
 	if sys.Repo.LinkCount(metadata.LinkXRef) != len(links)-1 {
 		t.Error("link count unchanged")

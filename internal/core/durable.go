@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metadata"
+	"repro/internal/rel"
+	"repro/internal/store"
+)
+
+// This file glues a System to a durable data directory (store.Dir):
+// mutations are journaled to the write-ahead log before they are
+// acknowledged, and checkpoints persist only the sources dirtied since
+// the previous one. The locking discipline mirrors PR 2's prepare/commit
+// split: everything expensive (gob encoding of segments) runs off-lock
+// against immutable snapshots; only the WAL append and the dirty-set
+// swap happen under the caller's mutation lock.
+
+// durable is the per-System durability state. The System's own mutators
+// run serialized by the caller (package aladin's write lock); the inner
+// mutex exists because BeginCheckpoint swaps the dirty set under a READ
+// lock (it excludes mutators, not other readers) and stats readers look
+// at the counters concurrently.
+type durable struct {
+	dir *store.Dir
+
+	mu      sync.Mutex
+	dirty   map[string]bool
+	records int
+	// logging is false while recovery replays the WAL through the normal
+	// mutators: the records being re-applied are already on disk.
+	logging bool
+}
+
+// ErrDurability marks failures of the durability layer itself — WAL
+// append or checkpoint IO — as opposed to invalid input; callers must
+// not acknowledge the mutation (test with errors.Is).
+var ErrDurability = errors.New("core: durability failure")
+
+func (d *durable) remerge(dirty map[string]bool, records int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k := range dirty {
+		d.dirty[k] = true
+	}
+	d.records += records
+}
+
+// AttachDurable connects the system to an open data directory: from now
+// on every acknowledged mutation is journaled in its WAL. Call before
+// any mutation (package aladin attaches at Open).
+func (s *System) AttachDurable(dir *store.Dir) {
+	s.durable = &durable{dir: dir, dirty: make(map[string]bool), logging: true}
+}
+
+// Durable reports whether a data directory is attached.
+func (s *System) Durable() bool { return s.durable != nil }
+
+// MarkAllDirty flags every registered source for the next checkpoint —
+// used when seeding a fresh data directory from an imported snapshot.
+func (s *System) MarkAllDirty() {
+	d := s.durable
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range s.Repo.Sources() {
+		d.dirty[strings.ToLower(m.Name)] = true
+	}
+}
+
+// logFrame journals one pre-encoded WAL frame and marks the given
+// sources dirty for the next checkpoint. No-op without an attached
+// directory; during recovery replay only the dirty marking applies.
+// An error means the mutation was NOT made durable and must not be
+// acknowledged.
+func (s *System) logFrame(frame []byte, dirty ...string) error {
+	d := s.durable
+	if d == nil {
+		return nil
+	}
+	if d.logging {
+		if err := d.dir.Append(frame); err != nil {
+			return fmt.Errorf("%w: write-ahead log: %w", ErrDurability, err)
+		}
+	}
+	d.mu.Lock()
+	if d.logging {
+		d.records++
+	}
+	for _, n := range dirty {
+		d.dirty[strings.ToLower(n)] = true
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// logRecord encodes and journals one WAL record (see logFrame).
+func (s *System) logRecord(rec *store.WALRecord, dirty ...string) error {
+	d := s.durable
+	if d == nil {
+		return nil
+	}
+	var frame []byte
+	if d.logging {
+		var err error
+		if frame, err = store.EncodeRecord(rec); err != nil {
+			return err
+		}
+	}
+	return s.logFrame(frame, dirty...)
+}
+
+// addSourceRecord builds the WAL record describing a prepared source
+// addition: the full snapshot plus every candidate link its commit will
+// store. Replaying the candidates through the repository's dedup and
+// feedback filters reproduces exactly the stored set.
+func (s *System) addSourceRecord(p *PendingAdd) *store.WALRecord {
+	links := make([]metadata.Link, 0, len(p.links)+len(p.ontLinks)+len(p.dupLinks))
+	links = append(links, p.links...)
+	links = append(links, p.ontLinks...)
+	links = append(links, p.dupLinks...)
+	return &store.WALRecord{
+		Type: store.RecAddSource,
+		Source: &store.SourceSnapshot{
+			Name:       p.db.Name,
+			Relations:  store.SnapshotDatabase(p.db),
+			Structure:  p.structure,
+			Profiles:   p.profs,
+			TupleCount: p.db.TotalTuples(),
+		},
+		Links: links,
+	}
+}
+
+// WALRecordsSinceCheckpoint returns the number of mutations journaled
+// (or replayed at recovery) since the last completed checkpoint — the
+// replay work a crash right now would incur.
+func (s *System) WALRecordsSinceCheckpoint() int {
+	d := s.durable
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.records
+}
+
+// PendingCheckpoint is a captured-but-unwritten checkpoint: immutable
+// references taken under the mutation lock by BeginCheckpoint, encoded
+// and written off-lock by WriteCheckpoint.
+type PendingCheckpoint struct {
+	data     *store.CheckpointData
+	dirtySet map[string]bool
+	dirtyDBs map[string]*rel.Database
+	metas    map[string]*metadata.SourceMeta
+	records  int
+}
+
+// Dirty returns the number of sources this checkpoint will rewrite.
+func (cp *PendingCheckpoint) Dirty() int { return len(cp.dirtyDBs) }
+
+// BeginCheckpoint captures everything the checkpoint persists and
+// rotates the WAL. It must run excluding mutators (package aladin holds
+// its read lock, which mutators take exclusively) but does no encoding
+// or IO beyond creating the next WAL file: relations are immutable once
+// published, so shallow-cloned references stay consistent off-lock.
+func (s *System) BeginCheckpoint() (*PendingCheckpoint, error) {
+	d := s.durable
+	if d == nil {
+		return nil, errors.New("core: no data directory attached")
+	}
+	d.mu.Lock()
+	dirty := d.dirty
+	records := d.records
+	d.dirty = make(map[string]bool)
+	d.records = 0
+	d.mu.Unlock()
+
+	seq, err := d.dir.Rotate()
+	if err != nil {
+		d.remerge(dirty, records)
+		return nil, fmt.Errorf("core: rotating WAL: %w", err)
+	}
+	cp := &PendingCheckpoint{
+		data:     &store.CheckpointData{WALSeq: seq},
+		dirtySet: dirty,
+		dirtyDBs: make(map[string]*rel.Database),
+		metas:    make(map[string]*metadata.SourceMeta),
+		records:  records,
+	}
+	for _, m := range s.Repo.Sources() {
+		name := strings.ToLower(m.Name)
+		cp.data.Order = append(cp.data.Order, m.Name)
+		if dirty[name] && s.sources[name] != nil {
+			// ShallowClone pins the relation set: later DML replaces
+			// relations in the live database but never mutates published
+			// ones, so the clone encodes consistently off-lock.
+			cp.dirtyDBs[name] = s.sources[name].ShallowClone()
+			cp.metas[name] = m
+		}
+	}
+	cp.data.Links = s.Repo.AllLinks()
+	cp.data.Removed = s.Repo.RemovedLinks()
+	return cp, nil
+}
+
+// WriteCheckpoint encodes the dirty sources' segments and completes the
+// checkpoint (segments, links, manifest swap, WAL trim). Runs entirely
+// off-lock. On failure the captured dirty set is merged back so the
+// next checkpoint retries those sources.
+func (s *System) WriteCheckpoint(cp *PendingCheckpoint) error {
+	d := s.durable
+	if d == nil {
+		return errors.New("core: no data directory attached")
+	}
+	for _, name := range cp.data.Order {
+		key := strings.ToLower(name)
+		db, ok := cp.dirtyDBs[key]
+		if !ok {
+			continue
+		}
+		m := cp.metas[key]
+		cp.data.Dirty = append(cp.data.Dirty, store.SourceSnapshot{
+			Name:       m.Name,
+			Relations:  store.SnapshotDatabase(db),
+			Structure:  m.Structure,
+			Profiles:   m.Profiles,
+			TupleCount: m.TupleCount,
+		})
+	}
+	if err := d.dir.CompleteCheckpoint(cp.data); err != nil {
+		d.remerge(cp.dirtySet, cp.records)
+		return err
+	}
+	return nil
+}
+
+// DurabilityStats reports the durability state for monitoring; ok is
+// false when no data directory is attached.
+type DurabilityStats struct {
+	Dir            string
+	Gen            uint64
+	WALSeq         uint64
+	WALRecords     int
+	WALBytes       int64
+	DirtySources   int
+	Sources        int
+	LastCheckpoint time.Time
+}
+
+// DurabilityStats returns the current durability state.
+func (s *System) DurabilityStats() (DurabilityStats, bool) {
+	d := s.durable
+	if d == nil {
+		return DurabilityStats{}, false
+	}
+	ds := d.dir.Stats()
+	d.mu.Lock()
+	dirty := len(d.dirty)
+	records := d.records
+	d.mu.Unlock()
+	return DurabilityStats{
+		Dir:            ds.Path,
+		Gen:            ds.Gen,
+		WALSeq:         ds.WALSeq,
+		WALRecords:     records,
+		WALBytes:       ds.WALBytes,
+		DirtySources:   dirty,
+		Sources:        ds.Sources,
+		LastCheckpoint: ds.LastCheckpoint,
+	}, true
+}

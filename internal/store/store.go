@@ -5,9 +5,17 @@
 // must survive restarts without re-running the expensive discovery steps
 // (§6.2 stresses how costly re-computation is).
 //
-// The format is a single gob-encoded snapshot. Gob keeps the module
-// dependency-free and is versioned through an explicit header so future
-// layouts can migrate.
+// Two on-disk layouts exist:
+//
+//   - the single-file gob snapshot (Write/Read, SaveFile/LoadFile) — the
+//     import/export format, a full rewrite per save;
+//   - the durable directory format (see dir.go): a MANIFEST naming
+//     per-source checkpoint segments plus an append-only WAL (wal.go),
+//     which is what long-lived warehouses use.
+//
+// Every on-disk artifact starts with a magic string and a format-version
+// byte, so the layouts stay distinguishable from each other — and from
+// the headerless pre-v2 snapshots — forever after.
 package store
 
 import (
@@ -19,14 +27,19 @@ import (
 	"strings"
 
 	"repro/internal/discovery"
-	"repro/internal/ind"
 	"repro/internal/metadata"
 	"repro/internal/profile"
 	"repro/internal/rel"
 )
 
-// FormatVersion identifies the snapshot layout.
-const FormatVersion = 1
+// FormatVersion identifies the snapshot layout. Version 2 added the
+// magic header and persisted per-source structures and column profiles
+// (recovery reuses them instead of re-running discovery).
+const FormatVersion = 2
+
+// snapshotMagic prefixes every single-file snapshot, followed by one
+// format-version byte.
+const snapshotMagic = "ALDN"
 
 // Snapshot is the serializable state of an integrated warehouse.
 type Snapshot struct {
@@ -38,11 +51,16 @@ type Snapshot struct {
 	Removed []metadata.Link
 }
 
-// SourceSnapshot is one source's data plus discovered metadata.
+// SourceSnapshot is one source's data plus discovered metadata. The
+// full discovered structure and column profiles are persisted so a
+// restore can skip re-running profiling and structural discovery —
+// §6.2 stresses how costly re-computation is; recovery only re-derives
+// what is genuinely absent.
 type SourceSnapshot struct {
 	Name       string
 	Relations  []RelationSnapshot
-	Structure  *StructureSnapshot
+	Structure  *discovery.Structure
+	Profiles   map[string]*profile.ColumnProfile
 	TupleCount int
 }
 
@@ -64,15 +82,6 @@ type CellSnapshot struct {
 	F    float64
 	S    string
 	B    bool
-}
-
-// StructureSnapshot captures the parts of discovery.Structure needed to
-// resume operation (paths are recomputed cheaply on load).
-type StructureSnapshot struct {
-	Primary          string
-	PrimaryAccession string
-	ForeignKeys      []ind.IND
-	InDegree         map[string]int
 }
 
 func encodeCell(v rel.Value) CellSnapshot {
@@ -168,19 +177,6 @@ func RestoreDatabase(name string, rels []RelationSnapshot) *rel.Database {
 	return db
 }
 
-// SnapshotStructure captures a discovered structure.
-func SnapshotStructure(s *discovery.Structure) *StructureSnapshot {
-	if s == nil {
-		return nil
-	}
-	return &StructureSnapshot{
-		Primary:          s.Primary,
-		PrimaryAccession: s.PrimaryAccession,
-		ForeignKeys:      append([]ind.IND{}, s.ForeignKeys...),
-		InDegree:         s.InDegree,
-	}
-}
-
 // Build assembles a snapshot from warehouse pieces. Callers pass the
 // per-source databases plus the metadata repository.
 func Build(sources map[string]*rel.Database, metas map[string]*metadata.SourceMeta,
@@ -201,7 +197,8 @@ func Build(sources map[string]*rel.Database, metas map[string]*metadata.SourceMe
 		snap.Sources = append(snap.Sources, SourceSnapshot{
 			Name:       m.Name,
 			Relations:  SnapshotDatabase(db),
-			Structure:  SnapshotStructure(m.Structure),
+			Structure:  m.Structure,
+			Profiles:   m.Profiles,
 			TupleCount: m.TupleCount,
 		})
 	}
@@ -210,10 +207,14 @@ func Build(sources map[string]*rel.Database, metas map[string]*metadata.SourceMe
 
 func keyOf(name string) string { return strings.ToLower(name) }
 
-// Write encodes a snapshot.
+// Write encodes a snapshot: the magic string, one format-version byte,
+// then the gob stream.
 func Write(w io.Writer, snap *Snapshot) error {
 	if snap.Version == 0 {
 		snap.Version = FormatVersion
+	}
+	if _, err := w.Write(append([]byte(snapshotMagic), byte(FormatVersion))); err != nil {
+		return fmt.Errorf("store: writing snapshot header: %w", err)
 	}
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(snap); err != nil {
@@ -222,8 +223,21 @@ func Write(w io.Writer, snap *Snapshot) error {
 	return nil
 }
 
-// Read decodes a snapshot and validates its version.
+// Read decodes a snapshot, validating the magic header and its version.
+// Headerless pre-v2 snapshots and future versions are rejected with a
+// clear error rather than a gob decoding failure.
 func Read(r io.Reader) (*Snapshot, error) {
+	hdr := make([]byte, len(snapshotMagic)+1)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("store: reading snapshot header: %w", err)
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("store: not an ALADIN snapshot (bad magic %q; headerless pre-v%d snapshots must be re-exported)",
+			hdr[:len(snapshotMagic)], FormatVersion)
+	}
+	if v := int(hdr[len(snapshotMagic)]); v != FormatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (want %d)", v, FormatVersion)
+	}
 	dec := gob.NewDecoder(r)
 	var snap Snapshot
 	if err := dec.Decode(&snap); err != nil {
@@ -235,23 +249,11 @@ func Read(r io.Reader) (*Snapshot, error) {
 	return &snap, nil
 }
 
-// SaveFile writes a snapshot to a file (atomically via a temp file).
+// SaveFile durably writes a snapshot to a file: temp file, fsync,
+// atomic rename, directory fsync — a "saved" snapshot survives power
+// loss, not just a process crash.
 func SaveFile(path string, snap *Snapshot) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := Write(f, snap); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicWriteFile(path, func(w io.Writer) error { return Write(w, snap) })
 }
 
 // LoadFile reads a snapshot from a file.
@@ -295,14 +297,9 @@ func Restore(snap *Snapshot,
 			}
 			meta.Structure = st
 			meta.Profiles = profs
-		} else if ss.Structure != nil {
-			meta.Structure = &discovery.Structure{
-				Source:           ss.Name,
-				Primary:          ss.Structure.Primary,
-				PrimaryAccession: ss.Structure.PrimaryAccession,
-				ForeignKeys:      ss.Structure.ForeignKeys,
-				InDegree:         ss.Structure.InDegree,
-			}
+		} else {
+			meta.Structure = ss.Structure
+			meta.Profiles = ss.Profiles
 		}
 		out.Repo.RegisterSource(meta)
 	}
