@@ -48,6 +48,7 @@ import (
 	"repro/internal/dup"
 	"repro/internal/metadata"
 	"repro/internal/objectweb"
+	"repro/internal/parallel"
 	"repro/internal/rel"
 	"repro/internal/search"
 	"repro/internal/sqlx"
@@ -126,6 +127,9 @@ type DB struct {
 	// plans caches prepared query plans by SQL text (nil = no cache);
 	// it has its own lock and is never touched under mu.
 	plans *planCache
+	// workers is the query parallelism degree (resolved from WithWorkers;
+	// immutable after Open). Eligible scans run as parallel morsels.
+	workers int
 
 	// dir is the durable data directory (nil without WithDataDir).
 	// chkMu serializes checkpoints, which otherwise run outside mu;
@@ -160,9 +164,9 @@ func Open(opts ...Option) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("aladin: restoring snapshot: %w", err)
 		}
-		return &DB{sys: sys, plans: plans}, nil
+		return &DB{sys: sys, plans: plans, workers: parallel.Workers(cfg.core.Workers)}, nil
 	}
-	return &DB{sys: core.New(cfg.core), plans: plans}, nil
+	return &DB{sys: core.New(cfg.core), plans: plans, workers: parallel.Workers(cfg.core.Workers)}, nil
 }
 
 // Close marks the database closed and, on a durable database, flushes

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/store"
 )
 
@@ -57,7 +58,8 @@ func openDurable(cfg *config, plans *planCache) (*DB, error) {
 		}
 		sys.AttachDurable(dir)
 		sys.MarkAllDirty()
-		db := &DB{sys: sys, plans: plans, dir: dir, checkpointEvery: cfg.checkpointEvery}
+		db := &DB{sys: sys, plans: plans, dir: dir, checkpointEvery: cfg.checkpointEvery,
+			workers: parallel.Workers(cfg.core.Workers)}
 		if err := db.Checkpoint(context.Background()); err != nil {
 			dir.Close()
 			return nil, fmt.Errorf("aladin: checkpointing imported snapshot: %w", err)
@@ -69,7 +71,8 @@ func openDurable(cfg *config, plans *planCache) (*DB, error) {
 		dir.Close()
 		return nil, fmt.Errorf("aladin: recovering %s: %w", dir.Path(), err)
 	}
-	return &DB{sys: sys, plans: plans, dir: dir, checkpointEvery: cfg.checkpointEvery}, nil
+	return &DB{sys: sys, plans: plans, dir: dir, checkpointEvery: cfg.checkpointEvery,
+		workers: parallel.Workers(cfg.core.Workers)}, nil
 }
 
 // Exec executes one INSERT, UPDATE or DELETE statement against a

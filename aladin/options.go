@@ -21,9 +21,10 @@ type config struct {
 type Option func(*config)
 
 // WithWorkers bounds the worker pool parallelizing the pipeline's inner
-// loops (profiling, IND checks, link discovery, duplicate scoring).
-// 0 means all CPUs; 1 forces the serial pipeline. Results are identical
-// for any worker count.
+// loops (profiling, IND checks, link discovery, duplicate scoring) and
+// the morsel-parallel execution of eligible queries (see ExplainAnalyze's
+// Gather operator). 0 means all CPUs; 1 forces serial execution. Results
+// are identical for any worker count.
 func WithWorkers(n int) Option {
 	return func(c *config) {
 		if n < 0 {

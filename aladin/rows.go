@@ -220,7 +220,7 @@ func (d *DB) queryRows(ctx context.Context, sql string, explain bool) (*Rows, st
 			return nil, "", fmt.Errorf("%w: %w", ErrBadQuery, err)
 		}
 	}
-	cur, err := plan.Open(ctx, snap)
+	cur, err := plan.OpenParallel(ctx, snap, d.workers)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, "", fmt.Errorf("%w: %w", ErrCanceled, err)
@@ -244,6 +244,29 @@ func (d *DB) Explain(ctx context.Context, sql string) (string, error) {
 	}
 	text, err := plan.Explain(snap)
 	if err != nil {
+		return "", fmt.Errorf("%w: %w", ErrBadQuery, err)
+	}
+	return text, nil
+}
+
+// ExplainAnalyze executes the query and renders its operator tree
+// annotated with both estimated and actual rows (plus cumulative time)
+// per operator, and a summary line with total rows, wall time and
+// tuples scanned. Execution uses the same parallelism degree as
+// QueryRows (WithWorkers), so the plan shows the Gather exchange when
+// morsel parallelism actually kicked in. The query's rows are fully
+// computed and discarded — use it for tuning, not for fetching results.
+// Errors: ErrBadQuery, ErrCanceled, ErrClosed.
+func (d *DB) ExplainAnalyze(ctx context.Context, sql string) (string, error) {
+	snap, plan, err := d.snapshotPlan(ctx, sql)
+	if err != nil {
+		return "", err
+	}
+	text, err := plan.ExplainAnalyze(ctx, snap, d.workers)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return "", fmt.Errorf("%w: %w", ErrCanceled, err)
+		}
 		return "", fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
 	return text, nil

@@ -1,0 +1,223 @@
+// Query-engine benchmarks (ROADMAP: cost-based optimizer + morsel
+// parallelism): morsel-parallel scans and joins against their serial
+// plans, and the greedy join reorderer against the parse-order plan of
+// PR 5 over the 200-protein corpus. Run with:
+//
+//	go test -bench 'ParallelScan|ParallelJoin|JoinReorder' -benchtime 1x .
+//
+// Set BENCH_JSON=1 to (re)generate BENCH_query.json, the tracked perf
+// record (TestWriteQueryBenchJSON).
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/sqlx"
+)
+
+// parallelQueryDB caches a fact/dimension pair big enough that eligible
+// scans split into many morsels (the warehouse relations are all
+// smaller than one morsel).
+var parallelQueryDB *rel.Database
+
+const parallelFactRows = 16*1024 + 17
+
+func bigQueryDB(b *testing.B) *rel.Database {
+	b.Helper()
+	if parallelQueryDB == nil {
+		db := rel.NewDatabase("bench")
+		intCol := func(name string) rel.Column { return rel.Column{Name: name, Kind: rel.KindInt} }
+		fact := db.Create("fact", rel.NewSchema(intCol("id"), intCol("grp"), intCol("dim_id"),
+			rel.Column{Name: "note", Kind: rel.KindString}))
+		dim := db.Create("dim", rel.NewSchema(intCol("id"),
+			rel.Column{Name: "name", Kind: rel.KindString}))
+		for i := 0; i < 64; i++ {
+			dim.Append(rel.Tuple{rel.Int(int64(i)), rel.Str(fmt.Sprintf("dim %d", i))})
+		}
+		for i := 0; i < parallelFactRows; i++ {
+			fact.Append(rel.Tuple{rel.Int(int64(i)), rel.Int(int64(i % 7)),
+				rel.Int(int64(i % 64)), rel.Str(fmt.Sprintf("note %d", i%13))})
+		}
+		parallelQueryDB = db
+	}
+	return parallelQueryDB
+}
+
+// parallelWorkerCounts: serial, plus the host's parallel degree (at
+// least 2 so the exchange machinery is exercised even on one CPU).
+func parallelWorkerCounts() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return []int{1, n}
+}
+
+// benchParallelQuery opens and drains one plan per iteration at the
+// given parallelism and checks the row count stays exact.
+func benchParallelQuery(b *testing.B, db *rel.Database, q string, workers, wantRows int) {
+	b.Helper()
+	ctx := context.Background()
+	plan, err := sqlx.Prepare(db, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := plan.OpenParallel(ctx, db, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for {
+			_, err := cur.Next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows++
+		}
+		cur.Close()
+		if rows != wantRows {
+			b.Fatalf("got %d rows, want %d", rows, wantRows)
+		}
+	}
+}
+
+func countFact(pred func(i int) bool) int {
+	n := 0
+	for i := 0; i < parallelFactRows; i++ {
+		if pred(i) {
+			n++
+		}
+	}
+	return n
+}
+
+const (
+	parallelScanQuery = `SELECT id, note FROM fact WHERE grp = 3`
+	parallelJoinQuery = `SELECT f.id, d.name FROM fact f JOIN dim d ON f.dim_id = d.id WHERE d.id < 32`
+)
+
+// BenchmarkParallelScan: a filtered scan over a 16-morsel fact table,
+// serial vs morsel-parallel. Rows come back bit-identical in both modes
+// (TestParallelMatchesSerial pins that); here only wall time differs.
+func BenchmarkParallelScan(b *testing.B) {
+	db := bigQueryDB(b)
+	want := countFact(func(i int) bool { return i%7 == 3 })
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchParallelQuery(b, db, parallelScanQuery, w, want)
+		})
+	}
+}
+
+// BenchmarkParallelJoin: a hash join probing the shared build side from
+// every morsel worker, serial vs morsel-parallel.
+func BenchmarkParallelJoin(b *testing.B) {
+	db := bigQueryDB(b)
+	want := countFact(func(i int) bool { return i%64 < 32 })
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			benchParallelQuery(b, db, parallelJoinQuery, w, want)
+		})
+	}
+}
+
+// joinReorderQuery names the filtered table in the middle of the chain,
+// so the parse-order plan (PR 5 behaviour) scans all 400 dbref rows
+// first while the reordered plan starts from the one protein the
+// accession filter selects.
+const joinReorderQuery = `
+	SELECT d.ref_value, s.pdb_code
+	FROM swissprot_dbref d
+	JOIN swissprot_protein p ON d.protein_id = p.protein_id
+	JOIN pdb_structure s ON s.structure_id = p.protein_id
+	WHERE p.accession = 'P10042'`
+
+// BenchmarkJoinReorder: the 3-way join over the 200-protein corpus with
+// the cost-based reorderer off (parse order) and on. benchCursorQuery
+// reports scanned-tuples/op, where the plan change shows up even when
+// timings jitter.
+func BenchmarkJoinReorder(b *testing.B) {
+	indexed, _ := indexedAndScanWarehouses(b)
+	defer func() { sqlx.ReorderJoins = true }()
+	b.Run("parse-order", func(b *testing.B) {
+		sqlx.ReorderJoins = false
+		benchCursorQuery(b, indexed, joinReorderQuery, 2)
+	})
+	b.Run("reordered", func(b *testing.B) {
+		sqlx.ReorderJoins = true
+		benchCursorQuery(b, indexed, joinReorderQuery, 2)
+	})
+}
+
+// TestWriteQueryBenchJSON regenerates BENCH_query.json, the tracked
+// query-engine perf record (set BENCH_JSON=1; CI runs it).
+func TestWriteQueryBenchJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to regenerate BENCH_query.json")
+	}
+	type entry struct {
+		Name    string  `json:"name"`
+		Workers int     `json:"workers,omitempty"`
+		Mode    string  `json:"mode,omitempty"`
+		NsPerOp int64   `json:"ns_per_op"`
+		MsPerOp float64 `json:"ms_per_op"`
+	}
+	out := struct {
+		Benchmark string  `json:"benchmark"`
+		Go        string  `json:"go"`
+		FactRows  int     `json:"fact_rows"`
+		Proteins  int     `json:"corpus_proteins"`
+		Entries   []entry `json:"entries"`
+	}{Benchmark: "query", Go: runtime.Version(), FactRows: parallelFactRows, Proteins: 200}
+
+	add := func(e entry, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		e.NsPerOp = r.NsPerOp()
+		e.MsPerOp = float64(r.NsPerOp()) / 1e6
+		out.Entries = append(out.Entries, e)
+		t.Logf("%s: %v", e.Name, r)
+	}
+
+	var db *rel.Database
+	testing.Benchmark(func(b *testing.B) { db = bigQueryDB(b) })
+	scanWant := countFact(func(i int) bool { return i%7 == 3 })
+	joinWant := countFact(func(i int) bool { return i%64 < 32 })
+	for _, w := range parallelWorkerCounts() {
+		add(entry{Name: fmt.Sprintf("parallel-scan/workers-%d", w), Workers: w},
+			func(b *testing.B) { benchParallelQuery(b, db, parallelScanQuery, w, scanWant) })
+		add(entry{Name: fmt.Sprintf("parallel-join/workers-%d", w), Workers: w},
+			func(b *testing.B) { benchParallelQuery(b, db, parallelJoinQuery, w, joinWant) })
+	}
+	var indexed *rel.Database
+	testing.Benchmark(func(b *testing.B) { indexed, _ = indexedAndScanWarehouses(b) })
+	defer func() { sqlx.ReorderJoins = true }()
+	for _, mode := range []struct {
+		name    string
+		reorder bool
+	}{{"parse-order", false}, {"reordered", true}} {
+		sqlx.ReorderJoins = mode.reorder
+		add(entry{Name: "join-reorder/" + mode.name, Mode: mode.name},
+			func(b *testing.B) { benchCursorQuery(b, indexed, joinReorderQuery, 2) })
+	}
+	sqlx.ReorderJoins = true
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_query.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,7 +9,8 @@
 //	aladin import <format> <file> <name> parse a source file and show its structure
 //	                                     (formats: embl, genbank, fasta, obo, csv, tsv, xml)
 //	aladin query "<sql>"                 run SQL over the integrated demo corpus
-//	aladin explain "<sql>"               show the access plan the query would use
+//	aladin explain [-analyze] "<sql>"    show the access plan the query would use
+//	                                     (-analyze executes it and adds actual rows/times)
 //	aladin search "<terms>"              ranked full-text search over the demo corpus
 //	aladin browse <source> <accession>   show one object's web view
 //	aladin stats                         repository statistics for the demo corpus
@@ -36,9 +37,13 @@ import (
 	"repro/internal/store"
 )
 
-// workerCount is the -workers flag: the pipeline worker pool size
-// (0 = all CPUs, 1 = serial).
+// workerCount is the -workers flag: the pipeline and query worker pool
+// size (0 = all CPUs, 1 = serial).
 var workerCount int
+
+// analyzeFlag is the -analyze flag of the explain subcommand: execute
+// the query and annotate the plan with actual rows and times.
+var analyzeFlag bool
 
 func main() {
 	global := newFlagSet("aladin")
@@ -69,7 +74,8 @@ func main() {
 // values, so global and per-subcommand placement both work.
 func newFlagSet(name string) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
-	fs.IntVar(&workerCount, "workers", workerCount, "pipeline worker pool size (0 = all CPUs, 1 = serial)")
+	fs.IntVar(&workerCount, "workers", workerCount, "pipeline and query worker pool size (0 = all CPUs, 1 = serial)")
+	fs.BoolVar(&analyzeFlag, "analyze", analyzeFlag, "with explain: execute the query and report actual rows and times")
 	return fs
 }
 
@@ -95,7 +101,8 @@ commands:
   demo                            integrate the synthetic corpus and report
   import <format> <file> <name>   parse and analyze one source file
   query "<sql>"                   SQL over the integrated demo corpus
-  explain "<sql>"                 show the access plan the query would use
+  explain [-analyze] "<sql>"      show the access plan the query would use
+                                  (-analyze executes it and adds actual rows/times)
   search "<terms>"                ranked full-text search (demo corpus)
   browse <source> <accession>     object web view (demo corpus)
   stats                           repository statistics (demo corpus)
@@ -231,14 +238,19 @@ func cmdQuery(args []string) error {
 
 func cmdExplain(args []string) error {
 	if len(args) != 1 {
-		return fmt.Errorf("usage: aladin explain \"<sql>\"")
+		return fmt.Errorf("usage: aladin explain [-analyze] \"<sql>\"")
 	}
 	ctx := context.Background()
 	db, err := demoDB(ctx)
 	if err != nil {
 		return err
 	}
-	text, err := db.Explain(ctx, args[0])
+	var text string
+	if analyzeFlag {
+		text, err = db.ExplainAnalyze(ctx, args[0])
+	} else {
+		text, err = db.Explain(ctx, args[0])
+	}
 	if err != nil {
 		return err
 	}

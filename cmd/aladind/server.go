@@ -179,9 +179,11 @@ func toLinkJSON(l aladin.Link) linkJSON {
 // Pages are served from independent snapshots: a source integrated
 // between two page fetches shifts later pages, like any offset-based
 // pagination. With explain=1 the envelope also carries the access plan
-// (operator tree with chosen index/scan paths) under "plan". Unknown
-// query parameters are rejected with a structured 400 — a typo like
-// limt=10 must not silently fall back to the defaults.
+// (operator tree with chosen index/scan paths) under "plan";
+// explain=analyze executes the query and the plan gains actual rows and
+// operator times. Unknown query parameters are rejected with a
+// structured 400 — a typo like limt=10 must not silently fall back to
+// the defaults.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	for name := range params {
@@ -203,7 +205,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
 		return
 	}
-	explain, err := boolParam("explain", params.Get("explain"))
+	explain, err := explainParam(params.Get("explain"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
 		return
@@ -218,12 +220,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// QueryRowsExplain binds plan and cursor to one warehouse snapshot,
 	// so the plan in the envelope describes exactly the rows beside it
-	// even when an AddSource commit lands mid-request.
+	// even when an AddSource commit lands mid-request. explain=analyze
+	// instead executes the query once up front to meter actual rows and
+	// operator times, then streams the page from a second execution.
 	var rows *aladin.Rows
 	planText := ""
-	if explain {
+	switch explain {
+	case explainAnalyze:
+		planText, err = s.db.ExplainAnalyze(r.Context(), q)
+		if err == nil {
+			rows, err = s.db.QueryRows(r.Context(), q)
+		}
+	case explainPlan:
 		rows, planText, err = s.db.QueryRowsExplain(r.Context(), q)
-	} else {
+	default:
 		rows, err = s.db.QueryRows(r.Context(), q)
 	}
 	if err != nil {
@@ -246,7 +256,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	cols, _ := json.Marshal(rows.Columns())
 	fmt.Fprintf(w, `{"columns":%s,"limit":%d`, cols, limit)
-	if explain {
+	if explain != explainNone {
 		plan, _ := json.Marshal(planText)
 		fmt.Fprintf(w, `,"plan":%s`, plan)
 	}
@@ -580,6 +590,32 @@ func (s *server) handleCrawl(w http.ResponseWriter, r *http.Request) {
 		out = append(out, toRefJSON(c))
 	}
 	writeJSON(w, map[string]any{"start": toRefJSON(ref), "objects": out, "count": len(out)})
+}
+
+// explainMode selects how much plan detail the query envelope carries.
+type explainMode int
+
+const (
+	explainNone explainMode = iota
+	explainPlan
+	explainAnalyze
+)
+
+// explainParam parses the explain query parameter: boolean values toggle
+// the plain access plan, "analyze" additionally executes the query and
+// annotates the plan with actual rows and operator times.
+func explainParam(s string) (explainMode, error) {
+	if strings.TrimSpace(s) == "analyze" {
+		return explainAnalyze, nil
+	}
+	b, err := boolParam("explain", s)
+	if err != nil {
+		return explainNone, fmt.Errorf("parameter explain: %q (expected 0, 1, true, false, or analyze)", s)
+	}
+	if b {
+		return explainPlan, nil
+	}
+	return explainNone, nil
 }
 
 // boolParam parses a flag-style query parameter; empty means false.

@@ -310,6 +310,10 @@ func (s *System) PrepareAdd(ctx context.Context, db *rel.Database) (*PendingAdd,
 	idxCols := indexColumns(structure)
 	for _, r := range db.Relations() {
 		buildRelationIndexes(r, idxCols[strings.ToLower(r.Name)])
+		// Attach the planner's statistics block, derived from the step-2
+		// profiles without a second scan. The qualified warehouse clones
+		// below inherit it (Clone deep-copies stats).
+		r.Stats = profile.RelationStats(r, profs)
 	}
 	p.web, err = s.web.Prepare(db, structure)
 	if err != nil {
@@ -708,6 +712,7 @@ func (s *System) ReanalyzeContext(ctx context.Context, source string) (*AddRepor
 	idxCols := indexColumns(structure)
 	for _, r := range db.Relations() {
 		buildRelationIndexes(r, idxCols[strings.ToLower(r.Name)])
+		r.Stats = profile.RelationStats(r, profs)
 		s.warehouse.Put(qualifiedClone(r, name, idxCols[strings.ToLower(r.Name)]))
 	}
 

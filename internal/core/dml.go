@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/rel"
 	"repro/internal/sqlx"
 	"repro/internal/store"
 )
@@ -80,6 +81,12 @@ func (s *System) Exec(sql string) (*sqlx.Result, error) {
 	clone.Name = orig.Name
 	idxCols := indexColumns(meta.Structure)
 	buildRelationIndexes(clone, idxCols[strings.ToLower(clone.Name)])
+	// INSERTs maintained the clone's stats incrementally through Append;
+	// UPDATE/DELETE mutate tuples in place, so rebuild from scratch.
+	switch stmt.(type) {
+	case *sqlx.UpdateStmt, *sqlx.DeleteStmt:
+		clone.Stats = rel.BuildStats(clone)
+	}
 	srcDB.Put(clone)
 	s.warehouse.Put(qualifiedClone(clone, srcKey, idxCols[strings.ToLower(clone.Name)]))
 	s.Repo.RecordChanges(meta.Name, res.Affected)

@@ -57,6 +57,12 @@ func (s *System) installRestored(ss *store.SourceSnapshot) error {
 	idxCols := indexColumns(structure)
 	for _, r := range db.Relations() {
 		buildRelationIndexes(r, idxCols[strings.ToLower(r.Name)])
+		// Segments written before stats were persisted restore without a
+		// statistics block; rebuild one from the (restored or freshly
+		// computed) profiles so the planner never regresses to guesses.
+		if r.Stats == nil {
+			r.Stats = profile.RelationStats(r, profs)
+		}
 	}
 	if err := s.web.AddSource(db, structure); err != nil {
 		return err

@@ -90,7 +90,21 @@ type ColumnProfile struct {
 
 	// Samples holds up to 10 example non-null values.
 	Samples []string
+
+	// MinValue and MaxValue bound the non-null values under rel.Value
+	// ordering (KindNull when the column is all-NULL). They feed the
+	// planner's statistics block.
+	MinValue rel.Value
+	MaxValue rel.Value
+
+	// HistSample is a deterministic reservoir sample of non-null values
+	// (capped at histSampleCap) from which the planner's equi-depth
+	// histogram is built.
+	HistSample []rel.Value
 }
+
+// histSampleCap bounds the per-column histogram reservoir.
+const histSampleCap = 1024
 
 // dnaAlphabet includes the IUPAC bases plus N (unknown) and U (RNA).
 func isDNAChar(r rune) bool {
@@ -123,7 +137,12 @@ func ProfileColumn(r *rel.Relation, column string, opts Options) (*ColumnProfile
 		MinLen:                math.MaxInt32,
 		AllValuesHaveNonDigit: true,
 		PurelyNumeric:         true,
+		MinValue:              rel.Null(),
+		MaxValue:              rel.Null(),
 	}
+	// Deterministic LCG state for the histogram reservoir: same input,
+	// same sample — profiling results stay reproducible.
+	var rng uint64 = 0x243f6a8885a308d3
 	for i := range p.Signature {
 		p.Signature[i] = math.MaxUint64
 	}
@@ -195,6 +214,20 @@ func ProfileColumn(r *rel.Relation, column string, opts Options) (*ColumnProfile
 		totalTokens += len(strings.Fields(s))
 		if len(p.Samples) < 10 {
 			p.Samples = append(p.Samples, s)
+		}
+		if p.MinValue.IsNull() || v.Compare(p.MinValue) < 0 {
+			p.MinValue = v
+		}
+		if p.MaxValue.IsNull() || v.Compare(p.MaxValue) > 0 {
+			p.MaxValue = v
+		}
+		if len(p.HistSample) < histSampleCap {
+			p.HistSample = append(p.HistSample, v)
+		} else {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			if j := rng % uint64(nonNull); j < histSampleCap {
+				p.HistSample[j] = v
+			}
 		}
 	}
 	p.Distinct = len(seen)

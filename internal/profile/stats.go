@@ -1,0 +1,39 @@
+package profile
+
+import (
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// RelationStats converts a relation's column profiles into the compact
+// rel.Stats block the cost-based planner consumes — no second scan of
+// the data. Columns missing from profs get no stats (the planner falls
+// back to guesses). When profiling sampled (Options.SampleEvery > 1),
+// null counts are scaled to the full cardinality and Built records the
+// sampled row count so the planner scales distinct counts the same way.
+func RelationStats(r *rel.Relation, profs map[string]*ColumnProfile) *rel.Stats {
+	rows := len(r.Tuples)
+	st := &rel.Stats{Rows: rows, Built: rows, Cols: make(map[string]*rel.ColStats, r.Schema.Len())}
+	for _, c := range r.Schema.Columns {
+		p := profs[Key(r.Name, c.Name)]
+		if p == nil {
+			continue
+		}
+		nulls := p.Nulls
+		if p.Rows > 0 && p.Rows < rows {
+			// Sampled profile: extrapolate nulls, and let Built < Rows
+			// drive the planner's distinct-count scaling.
+			nulls = p.Nulls * rows / p.Rows
+			st.Built = p.Rows
+		}
+		st.Cols[strings.ToLower(c.Name)] = &rel.ColStats{
+			Nulls:    nulls,
+			Distinct: p.Distinct,
+			Min:      p.MinValue,
+			Max:      p.MaxValue,
+			Hist:     rel.EquiDepthHist(p.HistSample, rel.StatsHistBuckets),
+		}
+	}
+	return st
+}

@@ -107,6 +107,11 @@ type Relation struct {
 	// name (see index.go). Never gob-encoded: snapshots rebuild indexes
 	// from restored tuples.
 	indexes map[string]*Index
+
+	// Stats is the planner's statistics block (see stats.go), nil until
+	// profiling (or BuildStats) computes one. Append maintains it
+	// incrementally; Clone deep-copies it.
+	Stats *Stats
 }
 
 // NewRelation creates an empty relation with the given schema.
@@ -127,6 +132,9 @@ func (r *Relation) Append(t Tuple) {
 	}
 	r.Tuples = append(r.Tuples, t)
 	r.maintainIndexes(t, len(r.Tuples)-1)
+	if r.Stats != nil {
+		r.Stats.maintain(r, t)
+	}
 }
 
 // AppendStrings adds a tuple of parsed text values.
@@ -258,6 +266,7 @@ func (r *Relation) Clone() *Relation {
 	for i, t := range r.Tuples {
 		c.Tuples[i] = t.Clone()
 	}
+	c.Stats = r.Stats.Clone()
 	return c
 }
 

@@ -1,0 +1,222 @@
+package rel
+
+import (
+	"sort"
+	"strings"
+)
+
+// lowerName is the canonical stats/index key for a column name.
+func lowerName(name string) string { return strings.ToLower(name) }
+
+// StatsHistBuckets is the target number of equi-depth histogram buckets
+// per column. Small on purpose: the planner only needs coarse range
+// selectivity, and the whole Stats block must stay cheap to clone and
+// checkpoint.
+const StatsHistBuckets = 16
+
+// Stats is the compact per-relation statistics block the cost-based
+// planner estimates from: row count, and per-column distinct/null
+// counts, min/max, and a small equi-depth histogram. It is computed
+// during profiling (or rebuilt by BuildStats after DML), maintained
+// incrementally by Append, and shared by ShallowClone snapshots —
+// published relations are immutable, so a snapshot's Stats never change
+// underneath a reader.
+type Stats struct {
+	// Rows is the current cardinality, maintained exactly on Append.
+	Rows int
+	// Built is the cardinality at the time the distinct counts and
+	// histograms were computed. When Rows has grown past Built, the
+	// planner scales distinct counts by Rows/Built instead of treating
+	// them as exact (histogram depths scale the same way implicitly,
+	// since selectivities are fractions).
+	Built int
+	// Cols maps lower-cased column name to its statistics.
+	Cols map[string]*ColStats
+}
+
+// ColStats summarizes one column.
+type ColStats struct {
+	// Nulls counts NULL values; maintained exactly on Append.
+	Nulls int
+	// Distinct counts distinct non-null values as of Built rows.
+	Distinct int
+	// Min and Max bound the non-null values (KindNull when the column
+	// is all-NULL); maintained on Append.
+	Min Value
+	Max Value
+	// Hist holds ascending equi-depth bucket upper bounds over the
+	// non-null values as of Built rows; each bucket covers an equal
+	// share of rows. Empty when the column had no non-null values.
+	Hist []Value
+}
+
+// BuildStats computes a fresh Stats block with a full scan of r — the
+// fallback used after in-place DML, where incremental maintenance is
+// not possible. The profiling pipeline builds the same block without a
+// second scan (see profile.RelationStats).
+func BuildStats(r *Relation) *Stats {
+	st := &Stats{Rows: len(r.Tuples), Built: len(r.Tuples), Cols: make(map[string]*ColStats, r.Schema.Len())}
+	for i, col := range r.Schema.Columns {
+		cs := &ColStats{Min: Null(), Max: Null()}
+		seen := make(map[string]struct{})
+		var vals []Value
+		for _, t := range r.Tuples {
+			v := t[i]
+			if v.IsNull() {
+				cs.Nulls++
+				continue
+			}
+			if _, ok := seen[v.Key()]; !ok {
+				seen[v.Key()] = struct{}{}
+			}
+			cs.observe(v)
+			vals = append(vals, v)
+		}
+		cs.Distinct = len(seen)
+		cs.Hist = EquiDepthHist(vals, StatsHistBuckets)
+		st.Cols[lowerName(col.Name)] = cs
+	}
+	return st
+}
+
+// EquiDepthHist sorts vals (in place) and returns ~buckets ascending
+// equi-depth upper bounds. Callers pass a full column or a sample; the
+// bounds are quantiles either way.
+func EquiDepthHist(vals []Value, buckets int) []Value {
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	if buckets > len(vals) {
+		buckets = len(vals)
+	}
+	out := make([]Value, buckets)
+	for b := 0; b < buckets; b++ {
+		out[b] = vals[(b+1)*len(vals)/buckets-1]
+	}
+	return out
+}
+
+// observe folds one non-null value into min/max.
+func (cs *ColStats) observe(v Value) {
+	if cs.Min.IsNull() || v.Compare(cs.Min) < 0 {
+		cs.Min = v
+	}
+	if cs.Max.IsNull() || v.Compare(cs.Max) > 0 {
+		cs.Max = v
+	}
+}
+
+// maintain folds one appended tuple into the stats: exact row, null and
+// min/max updates. Distinct counts and histograms are left as of Built;
+// the planner scales them by row growth.
+func (st *Stats) maintain(r *Relation, t Tuple) {
+	st.Rows++
+	for i, col := range r.Schema.Columns {
+		cs := st.Cols[lowerName(col.Name)]
+		if cs == nil {
+			cs = &ColStats{Min: Null(), Max: Null()}
+			st.Cols[lowerName(col.Name)] = cs
+		}
+		if t[i].IsNull() {
+			cs.Nulls++
+			continue
+		}
+		cs.observe(t[i])
+	}
+}
+
+// Clone returns a deep copy (histogram slices shared: they are never
+// mutated after construction).
+func (st *Stats) Clone() *Stats {
+	if st == nil {
+		return nil
+	}
+	c := &Stats{Rows: st.Rows, Built: st.Built, Cols: make(map[string]*ColStats, len(st.Cols))}
+	for k, cs := range st.Cols {
+		cc := *cs
+		c.Cols[k] = &cc
+	}
+	return c
+}
+
+// Col returns the named column's stats, or nil.
+func (st *Stats) Col(name string) *ColStats {
+	if st == nil {
+		return nil
+	}
+	return st.Cols[lowerName(name)]
+}
+
+// growth returns the factor by which the relation has grown since the
+// distinct counts and histograms were built (>= 1).
+func (st *Stats) growth() float64 {
+	if st.Built <= 0 || st.Rows <= st.Built {
+		return 1
+	}
+	return float64(st.Rows) / float64(st.Built)
+}
+
+// DistinctEst returns the estimated number of distinct non-null values
+// in the named column, scaled by row growth since the stats were built.
+// Returns 0 when the column (or the stats block) is unknown.
+func (st *Stats) DistinctEst(name string) float64 {
+	cs := st.Col(name)
+	if cs == nil {
+		return 0
+	}
+	d := float64(cs.Distinct) * st.growth()
+	if max := float64(st.Rows - cs.Nulls); d > max {
+		d = max
+	}
+	return d
+}
+
+// NullFraction returns the fraction of rows where the column is NULL.
+func (st *Stats) NullFraction(name string) float64 {
+	cs := st.Col(name)
+	if cs == nil || st.Rows == 0 {
+		return 0
+	}
+	return float64(cs.Nulls) / float64(st.Rows)
+}
+
+// EqSelectivity estimates the fraction of rows where the column equals
+// an (unknown) constant: 1/distinct, the uniform-frequency assumption.
+// Returns (sel, true) when stats exist for the column, (0, false)
+// otherwise.
+func (st *Stats) EqSelectivity(name string) (float64, bool) {
+	d := st.DistinctEst(name)
+	if d <= 0 {
+		return 0, false
+	}
+	sel := (1 - st.NullFraction(name)) / d
+	return sel, true
+}
+
+// LessFraction estimates the fraction of non-null rows with value < v
+// (or <= v when inclusive), from the equi-depth histogram: the share of
+// buckets whose upper bound falls below v, plus half a bucket for the
+// straddling one. Returns (frac, true) when a histogram exists.
+func (st *Stats) LessFraction(name string, v Value, inclusive bool) (float64, bool) {
+	cs := st.Col(name)
+	if cs == nil || len(cs.Hist) == 0 {
+		return 0, false
+	}
+	below := 0
+	for _, bound := range cs.Hist {
+		c := bound.Compare(v)
+		if c < 0 || (inclusive && c == 0) {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(cs.Hist))
+	if below < len(cs.Hist) {
+		// The straddling bucket contributes, on average, half its depth.
+		frac += 0.5 / float64(len(cs.Hist))
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac, true
+}

@@ -11,16 +11,110 @@ import (
 // the logical plan from logical.go and a concrete database snapshot and
 // choose the physical access path of every scan and join node. Binding
 // happens per Open, never at Prepare, so a cached Plan stays valid
-// across warehouse commits — each Open sees the snapshot's relations and
-// their persistent hash indexes as they are now.
+// across warehouse commits — each Open sees the snapshot's relations,
+// their persistent hash indexes and their statistics blocks as they are
+// now.
+//
+// Estimation is cost-based where statistics exist: selection
+// selectivities come from per-column distinct counts, null counts and
+// equi-depth histograms (rel.Stats), and equi-join output sizes from
+// the textbook |L|·|R| / max(ndv(L.a), ndv(R.b)) containment
+// assumption. Relations without a statistics block fall back to the
+// fixed guesses below, so ad-hoc databases still plan sensibly.
 
-// Default selectivity guesses where no index gives exact counts: an
-// equality predicate keeps 1/eqSelectivityDiv of the rows, any other
-// predicate 1/filterSelectivityDiv.
+// Default selectivity guesses where neither an index nor statistics
+// give counts: an equality predicate keeps 1/eqSelectivityDiv of the
+// rows, any other predicate 1/filterSelectivityDiv.
 const (
 	eqSelectivityDiv     = 10
 	filterSelectivityDiv = 3
 )
+
+// ReorderJoins toggles greedy reordering of inner equi-join chains.
+// Exported so benchmarks can compare the reordered plan against the
+// parse-order plan; always on in production use.
+var ReorderJoins = true
+
+// binder accumulates the relations bound so far during one bindSelect,
+// so later join steps can estimate distinct counts of columns on any
+// earlier binding.
+type binder struct {
+	db   *rel.Database
+	rels map[string]*rel.Relation // lower-cased binding name -> relation
+}
+
+func newBinder(db *rel.Database) *binder {
+	return &binder{db: db, rels: make(map[string]*rel.Relation)}
+}
+
+func (bd *binder) add(binding string, r *rel.Relation) {
+	bd.rels[strings.ToLower(binding)] = r
+}
+
+// ndv estimates the distinct count of the referenced column in its base
+// relation; 0 when the binding or its statistics are unknown.
+func (bd *binder) ndv(cr *ColumnRef) float64 {
+	if cr == nil {
+		return 0
+	}
+	if cr.Table != "" {
+		if r := bd.rels[strings.ToLower(cr.Table)]; r != nil {
+			return r.Stats.DistinctEst(cr.Column)
+		}
+		return 0
+	}
+	var found *rel.Relation
+	for _, r := range bd.rels {
+		if r.Schema.Index(cr.Column) >= 0 {
+			if found != nil {
+				return 0 // ambiguous
+			}
+			found = r
+		}
+	}
+	if found == nil {
+		return 0
+	}
+	return found.Stats.DistinctEst(cr.Column)
+}
+
+// selectAccess is the bound physical plan of one SELECT (without its
+// union chain): the base-table access path and the join steps in
+// execution order — possibly reordered. Open and Explain both consume
+// bindSelect output, so the plan shown is always the plan run.
+type selectAccess struct {
+	scan  *scanAccess
+	joins []*joinAccess
+}
+
+// bindSelect chooses every access path of one SELECT against db. Inner
+// equi-join chains of three or more tables are greedily reordered by
+// estimated intermediate cardinality (never across a LEFT JOIN).
+func bindSelect(db *rel.Database, lg *logicalSelect) (*selectAccess, error) {
+	sel := &selectAccess{}
+	if len(lg.tables) == 0 {
+		return sel, nil
+	}
+	if info, ok := reorderPrefix(db, lg); ok {
+		return bindReordered(db, lg, info)
+	}
+	bd := newBinder(db)
+	sa, err := bindScan(bd, lg.tables[0], nil)
+	if err != nil {
+		return nil, err
+	}
+	sel.scan = sa
+	leftEst := sa.est
+	for _, tl := range lg.tables[1:] {
+		ja, err := bindJoin(bd, tl, leftEst)
+		if err != nil {
+			return nil, err
+		}
+		sel.joins = append(sel.joins, ja)
+		leftEst = ja.est
+	}
+	return sel, nil
+}
 
 // scanAccess is the bound access path of one table scan.
 type scanAccess struct {
@@ -35,19 +129,23 @@ type scanAccess struct {
 	// (the conjunct served by the index probe is excluded).
 	filters []Expr
 	// est is the estimated output cardinality. Index probes report the
-	// exact bucket size; everything else applies selectivity guesses.
+	// exact bucket size; everything else applies statistics-based (or
+	// fallback) selectivities.
 	est float64
 }
 
 // bindScan chooses the access path for one table: the most selective
 // usable index probe (exact bucket sizes are known at bind time), or a
-// sequential scan.
-func bindScan(db *rel.Database, tl *tableLogical) (*scanAccess, error) {
-	r := db.Relation(tl.ref.Name)
+// sequential scan. extra holds ON conjuncts reassigned to this table by
+// join reordering; they filter (and shrink the estimate) like pushed
+// WHERE conjuncts but never probe an index.
+func bindScan(bd *binder, tl *tableLogical, extra []Expr) (*scanAccess, error) {
+	r := bd.db.Relation(tl.ref.Name)
 	if r == nil {
 		return nil, fmt.Errorf("sqlx: no such table %q", tl.ref.Name)
 	}
 	sa := &scanAccess{tl: tl, r: r, binding: tl.ref.Binding()}
+	defer bd.add(sa.binding, r)
 	best := -1
 	bestCount := 0
 	for i := range tl.eq {
@@ -69,29 +167,175 @@ func bindScan(db *rel.Database, tl *tableLogical) (*scanAccess, error) {
 				continue
 			}
 			sa.filters = append(sa.filters, f)
-			sa.est /= filterSelectivityDiv
+			sa.est *= predSelectivity(r, f)
+		}
+		for _, f := range extra {
+			sa.filters = append(sa.filters, f)
+			sa.est *= predSelectivity(r, f)
+		}
+		if sa.est < 1 && bestCount > 0 {
+			sa.est = 1
 		}
 		return sa, nil
 	}
 	sa.filters = tl.filters
-	sa.est = estimateFiltered(r, tl)
+	if len(extra) > 0 {
+		sa.filters = append(append([]Expr{}, tl.filters...), extra...)
+	}
+	sa.est = estimateFiltered(r, sa.filters)
 	return sa, nil
 }
 
-// estimateFiltered guesses the rows of r surviving tl's pushed filters.
-func estimateFiltered(r *rel.Relation, tl *tableLogical) float64 {
+// estimateFiltered estimates the rows of r surviving the given pushed
+// conjuncts, multiplying per-predicate selectivities.
+func estimateFiltered(r *rel.Relation, filters []Expr) float64 {
 	est := float64(r.Cardinality())
-	for _, f := range tl.filters {
-		if _, _, ok := eqConst(f); ok {
-			est /= eqSelectivityDiv
-		} else {
-			est /= filterSelectivityDiv
-		}
+	for _, f := range filters {
+		est *= predSelectivity(r, f)
 	}
 	if est < 1 && r.Cardinality() > 0 {
 		est = 1
 	}
 	return est
+}
+
+// predSelectivity estimates the fraction of r's rows satisfying one
+// conjunct, from the relation's statistics block when present, falling
+// back to the fixed guesses: equality 1/distinct (uniform-frequency),
+// ranges and BETWEEN from the equi-depth histogram, IS [NOT] NULL from
+// the null count, IN from the list length.
+func predSelectivity(r *rel.Relation, e Expr) float64 {
+	st := r.Stats
+	switch x := e.(type) {
+	case *BinaryExpr:
+		col, v, op, ok := colConst(x)
+		if !ok {
+			break
+		}
+		switch op {
+		case "=":
+			if sel, ok := st.EqSelectivity(col); ok {
+				return clampSel(sel)
+			}
+			return 1.0 / eqSelectivityDiv
+		case "<>":
+			if sel, ok := st.EqSelectivity(col); ok {
+				return clampSel((1 - st.NullFraction(col)) - sel)
+			}
+		case "<", "<=", ">", ">=":
+			if sel, ok := rangeSelectivity(st, col, v, op); ok {
+				return clampSel(sel)
+			}
+		}
+	case *IsNullExpr:
+		if cr, ok := x.Expr.(*ColumnRef); ok && st.Col(cr.Column) != nil {
+			nf := st.NullFraction(cr.Column)
+			if x.Negate {
+				return clampSel(1 - nf)
+			}
+			return clampSel(nf)
+		}
+	case *BetweenExpr:
+		cr, okc := x.Expr.(*ColumnRef)
+		lo, okl := litVal(x.Lo)
+		hi, okh := litVal(x.Hi)
+		if okc && okl && okh {
+			fhi, ok := st.LessFraction(cr.Column, hi, true)
+			if ok {
+				flo, _ := st.LessFraction(cr.Column, lo, false)
+				sel := (fhi - flo) * (1 - st.NullFraction(cr.Column))
+				if x.Negate {
+					sel = 1 - sel
+				}
+				return clampSel(sel)
+			}
+		}
+	case *InExpr:
+		if cr, ok := x.Expr.(*ColumnRef); ok && x.Sub == nil && len(x.List) > 0 {
+			if sel, ok := st.EqSelectivity(cr.Column); ok {
+				s := sel * float64(len(x.List))
+				if x.Negate {
+					s = 1 - s
+				}
+				return clampSel(s)
+			}
+		}
+	}
+	return 1.0 / filterSelectivityDiv
+}
+
+// clampSel bounds a selectivity estimate to (0, 1]; estimates never hit
+// exactly zero so downstream operators keep a nonzero row floor.
+func clampSel(s float64) float64 {
+	if s < 1e-4 {
+		return 1e-4
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// colConst recognizes "column OP constant" (either order; comparison
+// operators are mirrored when the constant is on the left).
+func colConst(be *BinaryExpr) (col string, v rel.Value, op string, ok bool) {
+	if cr, k := be.Left.(*ColumnRef); k {
+		if lit, k2 := be.Right.(*Literal); k2 {
+			return cr.Column, lit.Value, be.Op, true
+		}
+	}
+	if cr, k := be.Right.(*ColumnRef); k {
+		if lit, k2 := be.Left.(*Literal); k2 {
+			return cr.Column, lit.Value, mirrorOp(be.Op), true
+		}
+	}
+	return "", rel.Value{}, "", false
+}
+
+func mirrorOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func litVal(e Expr) (rel.Value, bool) {
+	if lit, ok := e.(*Literal); ok {
+		return lit.Value, true
+	}
+	return rel.Value{}, false
+}
+
+// rangeSelectivity estimates a range predicate from the histogram,
+// scaled by the non-null fraction (histograms cover non-null values).
+func rangeSelectivity(st *rel.Stats, col string, v rel.Value, op string) (float64, bool) {
+	var frac float64
+	var ok bool
+	switch op {
+	case "<":
+		frac, ok = st.LessFraction(col, v, false)
+	case "<=":
+		frac, ok = st.LessFraction(col, v, true)
+	case ">":
+		frac, ok = st.LessFraction(col, v, true)
+		frac = 1 - frac
+	case ">=":
+		frac, ok = st.LessFraction(col, v, false)
+		frac = 1 - frac
+	default:
+		return 0, false
+	}
+	if !ok {
+		return 0, false
+	}
+	return frac * (1 - st.NullFraction(col)), true
 }
 
 // joinStrategy enumerates the physical join operators.
@@ -135,6 +379,12 @@ type joinAccess struct {
 	right    *rel.Relation
 	binding  string
 	strategy joinStrategy
+	// kind/on are the effective join kind and predicate of this step.
+	// After reordering they may differ from the parsed clause: ON
+	// conjuncts are reassigned to the first step where all their
+	// bindings are available.
+	kind JoinKind
+	on   Expr
 	// leftCol/rightIdx describe the equi-join columns (probe modes).
 	leftCol  *ColumnRef
 	rightCol string
@@ -144,48 +394,65 @@ type joinAccess struct {
 	// filters are pushed-down conjuncts on the joined table, applied to
 	// right tuples before matching.
 	filters []Expr
+	// post holds reassigned multi-table conjuncts evaluated on the
+	// joined rows above this step (reordered plans only).
+	post []Expr
+	// prebuilt, when set, replaces the lazily built joinHashBuildRight
+	// table: parallel execution shares one build across all morsels.
+	prebuilt map[string][]rel.Tuple
+	// precross, when set, replaces the per-iterator filtered right side
+	// of joinCrossSeq for the same reason.
+	precross []rel.Tuple
 	// est is the estimated output cardinality of the join.
 	est float64
 }
 
-// bindJoin chooses the join strategy for one JOIN step given the
-// estimated cardinality of the left input: an index-backed probe when
-// the right join column has a persistent hash index, otherwise a hash
-// join built on the estimated smaller side (inner joins only — outer
-// joins keep the right build so null extension follows left order), and
-// a nested loop for non-equi predicates.
-func bindJoin(db *rel.Database, tl *tableLogical, leftEst float64) (*joinAccess, error) {
-	right := db.Relation(tl.ref.Name)
+// bindJoin chooses the join strategy for one parse-order JOIN step given
+// the estimated cardinality of the left input.
+func bindJoin(bd *binder, tl *tableLogical, leftEst float64) (*joinAccess, error) {
+	right := bd.db.Relation(tl.ref.Name)
 	if right == nil {
 		return nil, fmt.Errorf("sqlx: no such table %q", tl.ref.Name)
 	}
-	ja := &joinAccess{tl: tl, right: right, binding: tl.ref.Binding(), filters: tl.filters}
-	rightEst := estimateFiltered(right, tl)
-	if tl.join.Kind == JoinCross {
+	ja := &joinAccess{
+		tl: tl, right: right, binding: tl.ref.Binding(),
+		kind: tl.join.Kind, on: tl.join.On, filters: tl.filters,
+	}
+	bindJoinStrategy(bd, ja, leftEst)
+	bd.add(ja.binding, right)
+	return ja, nil
+}
+
+// bindJoinStrategy picks the physical operator and estimate for a join
+// step whose kind, on and filters are already set: an index-backed probe
+// when the right join column has a persistent hash index, otherwise a
+// hash join built on the estimated smaller side (inner joins only —
+// outer joins keep the right build so null extension follows left
+// order), and a nested loop for non-equi predicates.
+func bindJoinStrategy(bd *binder, ja *joinAccess, leftEst float64) {
+	right := ja.right
+	rightEst := estimateFiltered(right, ja.filters)
+	if ja.kind == JoinCross && ja.on == nil {
 		ja.strategy = joinCrossSeq
 		ja.est = leftEst * rightEst
-		return ja, nil
+		return
 	}
-	leftCol, rightCol, hashable := equiJoinCols(tl.join.On, ja.binding)
+	leftCol, rightCol, hashable := equiJoinCols(ja.on, ja.binding)
 	if hashable {
 		if ri := right.Schema.Index(rightCol.Column); ri >= 0 {
 			ja.leftCol, ja.rightIdx = leftCol, ri
 			ja.rightCol = right.Schema.Columns[ri].Name
-			matches := avgMatches(right, ja.rightCol)
 			switch {
 			case right.HashIndex(ja.rightCol) != nil:
 				ja.strategy = joinIndexProbe
 				ja.idx = right.HashIndex(ja.rightCol)
-			case tl.join.Kind == JoinInner && leftEst < float64(right.Cardinality()):
+			case ja.kind == JoinInner && leftEst < float64(right.Cardinality()):
 				ja.strategy = joinHashBuildLeft
 			default:
 				ja.strategy = joinHashBuildRight
 			}
-			ja.est = leftEst * matches * selectivity(len(tl.filters))
-			if ja.est < 1 {
-				ja.est = 1
-			}
-			return ja, nil
+			ja.est = equiJoinEst(bd, ja, leftEst, rightEst)
+			return
 		}
 	}
 	ja.strategy = joinNestedLoop
@@ -193,7 +460,32 @@ func bindJoin(db *rel.Database, tl *tableLogical, leftEst float64) (*joinAccess,
 	if ja.est < 1 {
 		ja.est = 1
 	}
-	return ja, nil
+}
+
+// equiJoinEst estimates equi-join output as |L|·|R| / max(ndv(L.a),
+// ndv(R.b)) over the filtered inputs — the containment assumption.
+// Without statistics it falls back to index-derived average match
+// counts. LEFT JOIN output never shrinks below the left input.
+func equiJoinEst(bd *binder, ja *joinAccess, leftEst, rightEst float64) float64 {
+	ndvL := bd.ndv(ja.leftCol)
+	ndvR := ja.right.Stats.DistinctEst(ja.rightCol)
+	d := ndvL
+	if ndvR > d {
+		d = ndvR
+	}
+	var est float64
+	if d > 0 {
+		est = leftEst * rightEst / d
+	} else {
+		est = leftEst * avgMatches(ja.right, ja.rightCol) * selectivity(len(ja.filters))
+	}
+	if ja.kind == JoinLeft && est < leftEst {
+		est = leftEst
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
 }
 
 // avgMatches estimates how many right tuples one left row matches on the
@@ -229,7 +521,7 @@ func isDeclaredUnique(r *rel.Relation, col string) bool {
 	return false
 }
 
-// selectivity is the combined guess for n pushed non-index filters.
+// selectivity is the combined fallback guess for n pushed filters.
 func selectivity(n int) float64 {
 	s := 1.0
 	for i := 0; i < n; i++ {

@@ -1,0 +1,142 @@
+package sqlx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rel"
+)
+
+// EXPLAIN ANALYZE support: when a run carries a planMeters, every
+// operator of the executed tree is wrapped in a meterIter counting
+// emitted rows and cumulative time (child time included, as in
+// PostgreSQL). Parallel morsel chains share the same meter pointers, so
+// counts aggregate across workers; times then sum worker CPU time and
+// can exceed wall clock.
+
+// opMeter accumulates one operator's actual row count and nanoseconds.
+// Fields are atomics: morsel workers update them concurrently.
+type opMeter struct {
+	rows  int64
+	nanos int64
+}
+
+func (m *opMeter) observe(start time.Time, emitted bool) {
+	atomic.AddInt64(&m.nanos, int64(time.Since(start)))
+	if emitted {
+		atomic.AddInt64(&m.rows, 1)
+	}
+}
+
+// meterIter wraps one operator, metering each pull.
+type meterIter struct {
+	child opIter
+	m     *opMeter
+}
+
+func (mi *meterIter) next(ctx context.Context) (item, error) {
+	start := time.Now()
+	it, err := mi.child.next(ctx)
+	mi.m.observe(start, err == nil)
+	return it, err
+}
+
+// selMeters holds the meters of one SELECT branch, in chain order.
+// Pointers are nil for operators the branch does not have.
+type selMeters struct {
+	scan     *opMeter
+	joins    []*opMeter
+	residual *opMeter
+	// gather is set when the branch ran parallel morsels.
+	gather        *opMeter
+	gatherWorkers int
+	gatherMorsels int
+	agg           *opMeter // projection or aggregation
+	sort          *opMeter
+	distinct      *opMeter
+	limit         *opMeter
+}
+
+// planMeters holds every meter of one executed statement: one selMeters
+// per branch (head first, then union branches in order — the same order
+// openSelect opens them), plus the union-level operators.
+type planMeters struct {
+	branches      []*selMeters
+	union         *opMeter
+	unionDistinct *opMeter
+	unionSort     *opMeter
+	unionLimit    *opMeter
+}
+
+// branch returns the i'th branch meters, nil when out of range.
+func (pm *planMeters) branch(i int) *selMeters {
+	if pm == nil || i >= len(pm.branches) {
+		return nil
+	}
+	return pm.branches[i]
+}
+
+// ExplainAnalyze executes the plan against db (with the given
+// parallelism degree, as OpenParallel would) and renders the operator
+// tree annotated with estimated rows, actual rows and cumulative time
+// per operator, plus an execution summary line.
+func (p *Plan) ExplainAnalyze(ctx context.Context, db *rel.Database, workers int) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	rt := newRun()
+	if workers > 1 {
+		rt.workers = workers
+	}
+	rt.meters = &planMeters{}
+	start := time.Now()
+	_, it, err := openSelect(ctx, db, p.stmt, p.lg, rt)
+	if err != nil {
+		rt.close()
+		return "", err
+	}
+	rows := 0
+	for {
+		_, err := it.next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			rt.close()
+			return "", err
+		}
+		rows++
+	}
+	rt.close()
+	elapsed := time.Since(start)
+	lg := p.lg
+	if lg == nil {
+		lg = buildLogical(db, p.stmt)
+	}
+	root, err := explainTree(db, p.stmt, lg, rt.meters)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	renderExplain(&b, root, "", "")
+	fmt.Fprintf(&b, "Execution: %d rows in %s (%d tuples scanned)\n",
+		rows, fmtNanos(int64(elapsed)), atomic.LoadInt64(&rt.scanned))
+	return b.String(), nil
+}
+
+// fmtNanos renders a duration compactly for plan annotations.
+func fmtNanos(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/rel"
 )
@@ -24,11 +25,23 @@ const ctxBatch = 64
 // run carries the per-execution state shared by every operator of one
 // open cursor: the scanned-tuple probe, the cancellation tick counter,
 // and the materialized results of uncorrelated IN subqueries (keyed by
-// AST node so a shared, cached Plan is never mutated).
+// AST node so a shared, cached Plan is never mutated). Parallel
+// execution gives each morsel a private run sharing the parent's subs;
+// scanned is updated atomically so morsel workers can aggregate into
+// the parent while the consumer reads it.
 type run struct {
-	scanned int64
+	scanned int64 // atomic
 	ticks   int
 	subs    map[*InExpr][]rel.Value
+	// workers is the parallelism degree for eligible scan chains
+	// (0 or 1 = serial).
+	workers int
+	// meters, when non-nil, enables EXPLAIN ANALYZE instrumentation:
+	// every operator is wrapped to count rows and time.
+	meters *planMeters
+	// closers run when the cursor is closed or exhausted — cancel
+	// functions that stop parallel producers.
+	closers []func()
 }
 
 func newRun() *run {
@@ -37,13 +50,21 @@ func newRun() *run {
 
 // tick counts one stored-tuple read and checks ctx every ctxBatch reads.
 func (rt *run) tick(ctx context.Context) error {
-	rt.scanned++
+	atomic.AddInt64(&rt.scanned, 1)
 	rt.ticks++
 	if rt.ticks >= ctxBatch {
 		rt.ticks = 0
 		return ctx.Err()
 	}
 	return nil
+}
+
+// close runs the registered closers (idempotent: they are context
+// cancel functions).
+func (rt *run) close() {
+	for _, f := range rt.closers {
+		f()
+	}
 }
 
 // item is one element flowing between operators: an environment of table
@@ -93,16 +114,31 @@ func openSelect(ctx context.Context, db *rel.Database, s *SelectStmt, lg *logica
 		}
 	}
 	var it opIter = &concatIter{children: iters}
+	it = meterWrap(it, rt.meters, func(pm *planMeters) **opMeter { return &pm.union })
 	if !allMode {
 		it = newDistinctIter(it)
+		it = meterWrap(it, rt.meters, func(pm *planMeters) **opMeter { return &pm.unionDistinct })
 	}
 	if len(s.OrderBy) > 0 {
 		it = &rowOrderIter{child: it, order: s.OrderBy, columns: cols}
+		it = meterWrap(it, rt.meters, func(pm *planMeters) **opMeter { return &pm.unionSort })
 	}
 	if s.Limit >= 0 || s.Offset > 0 {
 		it = &limitIter{child: it, limit: s.Limit, offset: s.Offset}
+		it = meterWrap(it, rt.meters, func(pm *planMeters) **opMeter { return &pm.unionLimit })
 	}
 	return cols, it, nil
+}
+
+// meterWrap instruments it with a fresh meter stored via slot when
+// metering is on; a no-op otherwise.
+func meterWrap(it opIter, pm *planMeters, slot func(*planMeters) **opMeter) opIter {
+	if pm == nil {
+		return it
+	}
+	m := &opMeter{}
+	*slot(pm) = m
+	return &meterIter{child: it, m: m}
 }
 
 // openSelectOne builds the iterator tree for one SELECT without its UNION
@@ -130,34 +166,45 @@ func openSelectOne(ctx context.Context, db *rel.Database, s *SelectStmt, lg *log
 	if err := rt.materializeSubqueries(ctx, db, s.Having); err != nil {
 		return nil, nil, err
 	}
+	// Branch meters (EXPLAIN ANALYZE): allocated up front so parallel
+	// morsels share the same atomic counters.
+	var bm *selMeters
+	if rt.meters != nil {
+		bm = &selMeters{}
+		rt.meters.branches = append(rt.meters.branches, bm)
+	}
 	// 1. The joined row stream as environments, on the access paths
-	// chosen at bind time (see access.go).
+	// chosen by bindSelect (see access.go), executed serially or as
+	// parallel morsels over the base scan. The residual WHERE conjuncts
+	// filter inside the chain, above the joins.
 	var it opIter
 	if s.From == nil {
 		// SELECT without FROM: a single empty environment.
 		it = &singletonIter{rt: rt}
+		if bm != nil {
+			bm.scan = &opMeter{}
+			it = &meterIter{child: it, m: bm.scan}
+		}
 	} else {
-		sa, err := bindScan(db, lg.tables[0])
+		sel, err := bindSelect(db, lg)
 		if err != nil {
 			return nil, nil, err
 		}
-		it = openScan(sa, rt)
-		leftEst := sa.est
-		for i := range s.Joins {
-			ja, err := bindJoin(db, lg.tables[i+1], leftEst)
-			if err != nil {
-				return nil, nil, err
+		if bm != nil {
+			bm.scan = &opMeter{}
+			for range sel.joins {
+				bm.joins = append(bm.joins, &opMeter{})
 			}
-			it = openJoin(it, s.Joins[i], ja, rt)
-			leftEst = ja.est
+			if len(lg.residual) > 0 {
+				bm.residual = &opMeter{}
+			}
+		}
+		it, err = openMaybeParallel(ctx, sel, lg, rt, bm)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
-	// 2. Residual WHERE conjuncts (join predicates, multi-table and
-	// outer-join-side expressions) filter above the joins.
-	if residual := andJoin(lg.residual); residual != nil {
-		it = &filterIter{child: it, pred: residual}
-	}
-	// 3. Expand stars into concrete items.
+	// 2. Expand stars into concrete items.
 	items, cols, err := expandItems(db, s)
 	if err != nil {
 		return nil, nil, err
@@ -171,26 +218,70 @@ func openSelectOne(ctx context.Context, db *rel.Database, s *SelectStmt, lg *log
 			}
 		}
 	}
-	// 4. Group/aggregate (a pipeline breaker) or streaming projection,
+	// 3. Group/aggregate (a pipeline breaker) or streaming projection,
 	// then ORDER BY (a breaker), DISTINCT, LIMIT/OFFSET.
 	if grouped {
 		it = &groupIter{child: it, s: s, items: items, rt: rt}
+		it = branchMeter(it, bm, func(m *selMeters) **opMeter { return &m.agg })
 		if !headOfUnion && len(s.OrderBy) > 0 {
 			it = &rowOrderIter{child: it, order: s.OrderBy, items: items, columns: cols}
+			it = branchMeter(it, bm, func(m *selMeters) **opMeter { return &m.sort })
 		}
 	} else {
 		it = &projectIter{child: it, items: items}
+		it = branchMeter(it, bm, func(m *selMeters) **opMeter { return &m.agg })
 		if !headOfUnion && len(s.OrderBy) > 0 {
 			it = &orderIter{child: it, order: s.OrderBy, items: items}
+			it = branchMeter(it, bm, func(m *selMeters) **opMeter { return &m.sort })
 		}
 	}
 	if s.Distinct {
 		it = newDistinctIter(it)
+		it = branchMeter(it, bm, func(m *selMeters) **opMeter { return &m.distinct })
 	}
 	if !headOfUnion && (s.Limit >= 0 || s.Offset > 0) {
 		it = &limitIter{child: it, limit: s.Limit, offset: s.Offset}
+		it = branchMeter(it, bm, func(m *selMeters) **opMeter { return &m.limit })
 	}
 	return cols, it, nil
+}
+
+// branchMeter instruments it with a fresh meter stored via slot when
+// this branch is metered; a no-op otherwise.
+func branchMeter(it opIter, bm *selMeters, slot func(*selMeters) **opMeter) opIter {
+	if bm == nil {
+		return it
+	}
+	m := &opMeter{}
+	*slot(bm) = m
+	return &meterIter{child: it, m: m}
+}
+
+// openChain builds the scan→joins→residual part of one SELECT over the
+// base-scan tuple range [lo, hi). bm may be nil (no metering); under
+// parallel execution every morsel chain shares the same meters, so
+// counters aggregate across morsels.
+func openChain(sel *selectAccess, lg *logicalSelect, rt *run, bm *selMeters, lo, hi int) opIter {
+	it := openScan(sel.scan, rt, lo, hi)
+	if bm != nil {
+		it = &meterIter{child: it, m: bm.scan}
+	}
+	for i, ja := range sel.joins {
+		it = openJoin(it, ja, rt)
+		if pred := andJoin(ja.post); pred != nil {
+			it = &filterIter{child: it, pred: pred}
+		}
+		if bm != nil {
+			it = &meterIter{child: it, m: bm.joins[i]}
+		}
+	}
+	if residual := andJoin(lg.residual); residual != nil {
+		it = &filterIter{child: it, pred: residual}
+		if bm != nil {
+			it = &meterIter{child: it, m: bm.residual}
+		}
+	}
+	return it
 }
 
 // materializeSubqueries executes uncorrelated IN (SELECT ...) subqueries
@@ -216,7 +307,12 @@ func (rt *run) materializeSubqueries(ctx context.Context, db *rel.Database, e Ex
 		if _, done := rt.subs[x]; done {
 			return nil
 		}
+		// Subqueries run unmetered: their operators are not part of the
+		// outer statement's rendered plan.
+		saved := rt.meters
+		rt.meters = nil
 		cols, it, err := openSelect(ctx, db, x.Sub, nil, rt)
+		rt.meters = saved
 		if err != nil {
 			return fmt.Errorf("sqlx: IN subquery: %w", err)
 		}
@@ -277,16 +373,19 @@ func (s *singletonIter) next(ctx context.Context) (item, error) {
 	return item{env: &env{rt: s.rt}}, nil
 }
 
-// scanIter yields one environment per tuple of a base relation.
+// scanIter yields one environment per tuple of a base relation within
+// [pos, end) — a full scan serially, one morsel under parallel
+// execution.
 type scanIter struct {
 	rel     *rel.Relation
 	binding string
 	rt      *run
 	pos     int
+	end     int
 }
 
 func (s *scanIter) next(ctx context.Context) (item, error) {
-	if s.pos >= len(s.rel.Tuples) {
+	if s.pos >= s.end {
 		return item{}, io.EOF
 	}
 	if err := s.rt.tick(ctx); err != nil {
@@ -323,14 +422,15 @@ func (s *indexScanIter) next(ctx context.Context) (item, error) {
 }
 
 // openScan builds the iterator for a bound table access path: an index
-// probe or a sequential scan, with the remaining pushed-down filters
-// applied above it.
-func openScan(sa *scanAccess, rt *run) opIter {
+// probe or a sequential scan over [lo, hi), with the remaining
+// pushed-down filters applied above it. Index probes ignore the range
+// (they never run partitioned).
+func openScan(sa *scanAccess, rt *run, lo, hi int) opIter {
 	var it opIter
 	if sa.idx != nil {
 		it = &indexScanIter{rel: sa.r, binding: sa.binding, rt: rt, positions: sa.idx.Lookup(sa.eq.val)}
 	} else {
-		it = &scanIter{rel: sa.r, binding: sa.binding, rt: rt}
+		it = &scanIter{rel: sa.r, binding: sa.binding, rt: rt, pos: lo, end: hi}
 	}
 	if pred := andJoin(sa.filters); pred != nil {
 		it = &filterIter{child: it, pred: pred}
@@ -339,11 +439,11 @@ func openScan(sa *scanAccess, rt *run) opIter {
 }
 
 // openJoin builds the iterator for a bound join access path.
-func openJoin(child opIter, j Join, ja *joinAccess, rt *run) opIter {
+func openJoin(child opIter, ja *joinAccess, rt *run) opIter {
 	if ja.strategy == joinHashBuildLeft {
 		return &hashLeftJoinIter{child: child, ja: ja, rt: rt}
 	}
-	return newJoinIter(child, j, ja, rt)
+	return newJoinIter(child, ja, rt)
 }
 
 // joinIter extends each child environment with matching tuples of the
@@ -355,7 +455,6 @@ func openJoin(child opIter, j Join, ja *joinAccess, rt *run) opIter {
 // strategy lives in hashLeftJoinIter.
 type joinIter struct {
 	child opIter
-	j     Join
 	ja    *joinAccess
 	rt    *run
 
@@ -377,13 +476,13 @@ type joinIter struct {
 	matched bool
 }
 
-func newJoinIter(child opIter, j Join, ja *joinAccess, rt *run) *joinIter {
+func newJoinIter(child opIter, ja *joinAccess, rt *run) *joinIter {
 	ji := &joinIter{
-		child: child, j: j, ja: ja, rt: rt,
+		child: child, ja: ja, rt: rt,
 		nullTuple: make(rel.Tuple, ja.right.Schema.Len()),
 	}
 	if ja.strategy == joinNestedLoop {
-		ji.pred = andJoin(append(append([]Expr{}, ja.filters...), j.On))
+		ji.pred = andJoin(append(append([]Expr{}, ja.filters...), ja.on))
 	}
 	return ji
 }
@@ -408,7 +507,13 @@ func rightFilterOK(filters []Expr, bname string, schema *rel.Schema, t rel.Tuple
 }
 
 // buildLazy hashes the (pre-filtered) right relation for probe mode.
+// Parallel execution pre-builds the table once and shares it across
+// morsels (ja.prebuilt).
 func (ji *joinIter) buildLazy(ctx context.Context) error {
+	if ji.ja.prebuilt != nil {
+		ji.lazy, ji.built = ji.ja.prebuilt, true
+		return nil
+	}
 	ji.lazy = make(map[string][]rel.Tuple, len(ji.ja.right.Tuples))
 	for _, t := range ji.ja.right.Tuples {
 		if err := ji.rt.tick(ctx); err != nil {
@@ -432,8 +537,13 @@ func (ji *joinIter) buildLazy(ctx context.Context) error {
 }
 
 // buildCross materializes the cross-product right side once. Without
-// pushed filters the relation's tuples are shared directly.
+// pushed filters the relation's tuples are shared directly; parallel
+// execution pre-filters once and shares across morsels (ja.precross).
 func (ji *joinIter) buildCross(ctx context.Context) error {
+	if ji.ja.precross != nil {
+		ji.cross, ji.crossed = ji.ja.precross, true
+		return nil
+	}
 	if len(ji.ja.filters) == 0 {
 		ji.cross = ji.ja.right.Tuples
 	} else {
@@ -539,7 +649,7 @@ func (ji *joinIter) next(ctx context.Context) (item, error) {
 		}
 		left := ji.cur
 		ji.cur = nil
-		if !ji.matched && ji.j.Kind == JoinLeft {
+		if !ji.matched && ji.ja.kind == JoinLeft {
 			return item{env: extend(left, ji.ja.binding, right.Schema, ji.nullTuple)}, nil
 		}
 	}

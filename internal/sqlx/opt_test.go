@@ -170,7 +170,7 @@ func TestSmallerSideHashBuild(t *testing.T) {
 	_, stripped := optDB(t)
 	lg := buildLogical(stripped, mustParseSelect(t,
 		`SELECT p.name, o.species FROM organism o JOIN protein p ON p.organism_id = o.id WHERE o.id = 3`))
-	ja, err := bindJoin(stripped, lg.tables[1], 1)
+	ja, err := bindJoin(newBinder(stripped), lg.tables[1], 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/rel"
 )
@@ -56,12 +57,24 @@ func (p *Plan) SQL() string { return p.sql }
 // caller; it stays valid as long as db's relations are not mutated (an
 // immutable snapshot makes that unconditional).
 func (p *Plan) Open(ctx context.Context, db *rel.Database) (*Cursor, error) {
+	return p.OpenParallel(ctx, db, 1)
+}
+
+// OpenParallel is Open with a parallelism degree: eligible scan chains
+// run as parallel morsels on up to workers goroutines (see parallel.go).
+// Results are bit-identical to serial execution regardless of workers.
+// workers <= 1 executes serially on the calling goroutine.
+func (p *Plan) OpenParallel(ctx context.Context, db *rel.Database, workers int) (*Cursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	rt := newRun()
+	if workers > 1 {
+		rt.workers = workers
+	}
 	cols, it, err := openSelect(ctx, db, p.stmt, p.lg, rt)
 	if err != nil {
+		rt.close()
 		return nil, err
 	}
 	return &Cursor{cols: cols, it: it, rt: rt}, nil
@@ -102,6 +115,7 @@ func (c *Cursor) Next(ctx context.Context) (rel.Tuple, error) {
 	it, err := c.it.next(ctx)
 	if err != nil {
 		c.done = true
+		c.rt.close()
 		return nil, err
 	}
 	return it.row, nil
@@ -110,12 +124,13 @@ func (c *Cursor) Next(ctx context.Context) (rel.Tuple, error) {
 // Scanned reports how many stored tuples the execution has read so far —
 // the operator pull-count probe: a LIMIT query that stopped early reports
 // fewer scanned tuples than its inputs hold.
-func (c *Cursor) Scanned() int64 { return c.rt.scanned }
+func (c *Cursor) Scanned() int64 { return atomic.LoadInt64(&c.rt.scanned) }
 
 // Close releases the cursor; subsequent Next calls return io.EOF. Close
 // is idempotent and always returns nil (it exists so callers can follow
 // the usual rows-must-be-closed discipline).
 func (c *Cursor) Close() error {
 	c.done = true
+	c.rt.close()
 	return nil
 }

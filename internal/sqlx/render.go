@@ -1,0 +1,341 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// RenderSQL renders a parsed statement back to SQL that parses to the
+// same tree. The output is canonical: compound expressions are fully
+// parenthesized, keywords are uppercase, and identifiers that collide
+// with keywords (or contain non-identifier characters) are quoted — so
+// render(parse(render(parse(x)))) == render(parse(x)), the fixpoint
+// property FuzzPrepare checks.
+func RenderSQL(stmt Statement) string {
+	var b strings.Builder
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		renderSelect(&b, s)
+	case *InsertStmt:
+		fmt.Fprintf(&b, "INSERT INTO %s", sqlIdent(s.Table))
+		if len(s.Columns) > 0 {
+			b.WriteString(" (")
+			for i, c := range s.Columns {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(sqlIdent(c))
+			}
+			b.WriteString(")")
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(renderExpr(e))
+			}
+			b.WriteString(")")
+		}
+	case *CreateTableStmt:
+		b.WriteString("CREATE TABLE ")
+		if s.IfNotExists {
+			b.WriteString("IF NOT EXISTS ")
+		}
+		b.WriteString(sqlIdent(s.Table))
+		b.WriteString(" (")
+		for i, cd := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(sqlIdent(cd.Name))
+			b.WriteString(" ")
+			b.WriteString(kindType(cd.Kind))
+			if cd.PrimaryKey {
+				b.WriteString(" PRIMARY KEY")
+			}
+			if cd.Unique {
+				b.WriteString(" UNIQUE")
+			}
+			if cd.References != nil {
+				fmt.Fprintf(&b, " REFERENCES %s", sqlIdent(cd.References.ToRelation))
+				if cd.References.ToColumn != "" {
+					fmt.Fprintf(&b, " (%s)", sqlIdent(cd.References.ToColumn))
+				}
+			}
+		}
+		b.WriteString(")")
+	case *DropTableStmt:
+		b.WriteString("DROP TABLE ")
+		if s.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(sqlIdent(s.Table))
+	case *UpdateStmt:
+		fmt.Fprintf(&b, "UPDATE %s SET ", sqlIdent(s.Table))
+		for i, a := range s.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s = %s", sqlIdent(a.Column), renderExpr(a.Value))
+		}
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			b.WriteString(renderExpr(s.Where))
+		}
+	case *DeleteStmt:
+		fmt.Fprintf(&b, "DELETE FROM %s", sqlIdent(s.Table))
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			b.WriteString(renderExpr(s.Where))
+		}
+	default:
+		fmt.Fprintf(&b, "/* unrenderable %T */", stmt)
+	}
+	return b.String()
+}
+
+// renderSelect renders a full SELECT including its UNION chain and the
+// head's ORDER BY/LIMIT/OFFSET (which bind to the whole chain).
+func renderSelect(b *strings.Builder, s *SelectStmt) {
+	renderSelectCore(b, s)
+	for cur := s; cur.Union != nil; cur = cur.Union {
+		b.WriteString(" UNION ")
+		if cur.UnionAll {
+			b.WriteString("ALL ")
+		}
+		renderSelectCore(b, cur.Union)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, oi := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderExpr(oi.Expr))
+			if oi.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(b, " LIMIT %d", s.Limit)
+	}
+	if s.Offset > 0 {
+		fmt.Fprintf(b, " OFFSET %d", s.Offset)
+	}
+}
+
+func renderSelectCore(b *strings.Builder, s *SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarTable != "":
+			b.WriteString(sqlIdent(it.StarTable))
+			b.WriteString(".*")
+		case it.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(renderExpr(it.Expr))
+			if it.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(sqlIdent(it.Alias))
+			}
+		}
+	}
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		renderTableRef(b, s.From)
+		for _, j := range s.Joins {
+			switch j.Kind {
+			case JoinLeft:
+				b.WriteString(" LEFT JOIN ")
+			case JoinCross:
+				b.WriteString(" CROSS JOIN ")
+			default:
+				b.WriteString(" JOIN ")
+			}
+			renderTableRef(b, j.Table)
+			if j.Kind != JoinCross {
+				b.WriteString(" ON ")
+				b.WriteString(renderExpr(j.On))
+			}
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(renderExpr(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderExpr(e))
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(renderExpr(s.Having))
+	}
+}
+
+func renderTableRef(b *strings.Builder, tr *TableRef) {
+	b.WriteString(sqlIdent(tr.Name))
+	if tr.Alias != "" {
+		b.WriteString(" AS ")
+		b.WriteString(sqlIdent(tr.Alias))
+	}
+}
+
+// renderExpr renders one expression. Every compound node is wrapped in
+// parentheses, so operator precedence and associativity can never shift
+// on re-parse.
+func renderExpr(e Expr) string {
+	switch x := e.(type) {
+	case *Literal:
+		return renderValue(x.Value)
+	case *ColumnRef:
+		if x.Table != "" {
+			return sqlIdent(x.Table) + "." + sqlIdent(x.Column)
+		}
+		return sqlIdent(x.Column)
+	case *BinaryExpr:
+		return "(" + renderExpr(x.Left) + " " + x.Op + " " + renderExpr(x.Right) + ")"
+	case *UnaryExpr:
+		if x.Op == "NOT" {
+			return "(NOT " + renderExpr(x.Expr) + ")"
+		}
+		// "-(x)" — never "-" directly against another "-", which would
+		// lex as a line comment.
+		return "(-" + "(" + renderExpr(x.Expr) + "))"
+	case *IsNullExpr:
+		if x.Negate {
+			return "(" + renderExpr(x.Expr) + " IS NOT NULL)"
+		}
+		return "(" + renderExpr(x.Expr) + " IS NULL)"
+	case *InExpr:
+		var b strings.Builder
+		b.WriteString("(")
+		b.WriteString(renderExpr(x.Expr))
+		if x.Negate {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Sub != nil {
+			renderSelect(&b, x.Sub)
+		} else {
+			for i, it := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(renderExpr(it))
+			}
+		}
+		b.WriteString("))")
+		return b.String()
+	case *BetweenExpr:
+		neg := ""
+		if x.Negate {
+			neg = "NOT "
+		}
+		return "(" + renderExpr(x.Expr) + " " + neg + "BETWEEN " +
+			renderExpr(x.Lo) + " AND " + renderExpr(x.Hi) + ")"
+	case *FuncExpr:
+		var b strings.Builder
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		if x.Star {
+			b.WriteString("*")
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(renderExpr(a))
+			}
+		}
+		b.WriteString(")")
+		return b.String()
+	}
+	return fmt.Sprintf("/* unrenderable %T */", e)
+}
+
+// renderValue renders a literal the lexer reads back as the same value
+// and kind. Floats keep a decimal point so they stay floats; negative
+// numbers cannot appear here (the parser produces unary minus instead).
+func renderValue(v rel.Value) string {
+	switch v.K {
+	case rel.KindNull:
+		return "NULL"
+	case rel.KindBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case rel.KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case rel.KindFloat:
+		s := strconv.FormatFloat(v.F, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	default:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+}
+
+// kindType names a column type in CREATE TABLE syntax.
+func kindType(k rel.Kind) string {
+	switch k {
+	case rel.KindInt:
+		return "INTEGER"
+	case rel.KindFloat:
+		return "REAL"
+	case rel.KindBool:
+		return "BOOLEAN"
+	default:
+		return "TEXT"
+	}
+}
+
+// sqlIdent renders an identifier, quoting it when it would lex as a
+// keyword or contains anything but ASCII identifier bytes. The lexer
+// walks bytes, so multi-byte runes are never safe bare even when
+// unicode.IsLetter holds for the decoded rune; quoting accepts any
+// byte except '"', which cannot occur in a parsed identifier.
+func sqlIdent(name string) string {
+	plain := name != "" && !keywords[strings.ToUpper(name)]
+	for i := 0; i < len(name) && plain; i++ {
+		c := name[i]
+		switch {
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			plain = false
+		}
+	}
+	if plain {
+		return name
+	}
+	return `"` + name + `"`
+}

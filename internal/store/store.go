@@ -73,6 +73,75 @@ type RelationSnapshot struct {
 	ForeignKeys []rel.ForeignKey
 	// Tuples flatten row-major; Kinds parallel the values.
 	Rows [][]CellSnapshot
+	// Stats carries the planner's statistics block, when one was
+	// computed. Absent in pre-stats snapshots (gob tolerates the missing
+	// field); restore then leaves Relation.Stats nil and the planner
+	// falls back to guesses.
+	Stats *StatsSnapshot
+}
+
+// StatsSnapshot flattens rel.Stats for encoding.
+type StatsSnapshot struct {
+	Rows  int
+	Built int
+	Cols  []ColStatsSnapshot
+}
+
+// ColStatsSnapshot flattens one column's rel.ColStats.
+type ColStatsSnapshot struct {
+	Name     string
+	Nulls    int
+	Distinct int
+	Min      CellSnapshot
+	Max      CellSnapshot
+	Hist     []CellSnapshot
+}
+
+func encodeStats(st *rel.Stats) *StatsSnapshot {
+	if st == nil {
+		return nil
+	}
+	out := &StatsSnapshot{Rows: st.Rows, Built: st.Built}
+	names := make([]string, 0, len(st.Cols))
+	for name := range st.Cols {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic segment bytes
+	for _, name := range names {
+		cs := st.Cols[name]
+		c := ColStatsSnapshot{
+			Name:     name,
+			Nulls:    cs.Nulls,
+			Distinct: cs.Distinct,
+			Min:      encodeCell(cs.Min),
+			Max:      encodeCell(cs.Max),
+		}
+		for _, v := range cs.Hist {
+			c.Hist = append(c.Hist, encodeCell(v))
+		}
+		out.Cols = append(out.Cols, c)
+	}
+	return out
+}
+
+func decodeStats(ss *StatsSnapshot) *rel.Stats {
+	if ss == nil {
+		return nil
+	}
+	st := &rel.Stats{Rows: ss.Rows, Built: ss.Built, Cols: make(map[string]*rel.ColStats, len(ss.Cols))}
+	for _, c := range ss.Cols {
+		cs := &rel.ColStats{
+			Nulls:    c.Nulls,
+			Distinct: c.Distinct,
+			Min:      decodeCell(c.Min),
+			Max:      decodeCell(c.Max),
+		}
+		for _, v := range c.Hist {
+			cs.Hist = append(cs.Hist, decodeCell(v))
+		}
+		st.Cols[c.Name] = cs
+	}
+	return st
 }
 
 // CellSnapshot is one encoded value.
@@ -134,6 +203,7 @@ func SnapshotRelation(r *rel.Relation) RelationSnapshot {
 		}
 		rs.Rows[i] = row
 	}
+	rs.Stats = encodeStats(r.Stats)
 	return rs
 }
 
@@ -156,6 +226,9 @@ func RestoreRelation(rs RelationSnapshot) *rel.Relation {
 		r.Append(t)
 	}
 	r.EnsureIndexes()
+	// Attach stats after the Append loop so incremental maintenance does
+	// not double-count the restored rows.
+	r.Stats = decodeStats(rs.Stats)
 	return r
 }
 
