@@ -87,6 +87,20 @@ type (
 	Snapshot = store.Snapshot
 )
 
+// SnapshotID names one exact warehouse state: the completed checkpoint
+// generation (0 without a data directory) and the global sequence of
+// the last applied mutation. Every read observes exactly one snapshot;
+// the pair is what pins pagination cursors, tags HTTP responses
+// (ETag), and measures replication lag — a replica has converged with
+// its primary when their Seq values match.
+type SnapshotID struct {
+	Gen uint64
+	Seq uint64
+}
+
+// String renders the ID in its wire form, e.g. "g3-s17".
+func (s SnapshotID) String() string { return fmt.Sprintf("g%d-s%d", s.Gen, s.Seq) }
+
 // Stats aggregates the observable state of a DB.
 type Stats struct {
 	// Repo summarizes the link repository.
@@ -95,9 +109,15 @@ type Stats struct {
 	Web WebStats
 	// IndexedDocuments is the number of values in the search index.
 	IndexedDocuments int
+	// Snapshot identifies the warehouse state this Stats observed:
+	// checkpoint generation + last-applied mutation sequence.
+	Snapshot SnapshotID
 	// Durability reports WAL and checkpoint state (Enabled=false without
 	// WithDataDir).
 	Durability DurabilityStats
+	// Replication reports the database's role and, on a replica, its
+	// streaming state and lag behind the primary.
+	Replication ReplicationStats
 }
 
 // SourceInfo describes one integrated source.
@@ -140,6 +160,11 @@ type DB struct {
 	chkMu           sync.Mutex
 	chkErrMu        sync.Mutex
 	lastChkErr      error
+
+	// repl is the replica machinery (nil unless opened WithReplicaOf):
+	// the streaming client goroutine applying the primary's WAL, plus
+	// its observable state (replica.go).
+	repl *replicaState
 }
 
 // Open creates a database, configured by functional options. With
@@ -155,6 +180,9 @@ func Open(opts ...Option) (*DB, error) {
 	var plans *planCache
 	if cfg.planCache > 0 {
 		plans = newPlanCache(cfg.planCache)
+	}
+	if cfg.replicaOf != "" {
+		return openReplica(&cfg, plans)
 	}
 	if cfg.dataDir != "" {
 		return openDurable(&cfg, plans)
@@ -173,6 +201,11 @@ func Open(opts ...Option) (*DB, error) {
 // and closes the write-ahead log; subsequent calls return ErrClosed.
 // Close never interrupts an in-flight call — it waits for the write lock.
 func (d *DB) Close() error {
+	// A replica's streaming goroutine applies records under the write
+	// lock; stop and drain it before taking that lock ourselves.
+	if d.repl != nil {
+		d.repl.stop()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -206,6 +239,9 @@ func (d *DB) checkOpenRLocked() error {
 func (d *DB) AddSource(ctx context.Context, src *Source) (*Report, error) {
 	if src == nil {
 		return nil, errors.New("aladin: nil source")
+	}
+	if err := d.replicaGuard(); err != nil {
+		return nil, err
 	}
 	d.addMu.Lock()
 	defer d.addMu.Unlock()
@@ -418,12 +454,30 @@ func (d *DB) Stats(ctx context.Context) (Stats, error) {
 	if err := d.checkOpenRLocked(); err != nil {
 		return Stats{}, err
 	}
+	gen, seq := d.sys.SnapshotID()
 	return Stats{
 		Repo:             d.sys.Repo.Stats(),
 		Web:              d.sys.WebStats(),
 		IndexedDocuments: d.sys.IndexedDocuments(),
+		Snapshot:         SnapshotID{Gen: gen, Seq: seq},
 		Durability:       d.durabilityStats(),
+		Replication:      d.replicationStats(),
 	}, nil
+}
+
+// SnapshotID returns the identifier of the warehouse state a read
+// issued right now would observe (see the SnapshotID type).
+func (d *DB) SnapshotID(ctx context.Context) (SnapshotID, error) {
+	if err := ctxErr(ctx); err != nil {
+		return SnapshotID{}, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if err := d.checkOpenRLocked(); err != nil {
+		return SnapshotID{}, err
+	}
+	gen, seq := d.sys.SnapshotID()
+	return SnapshotID{Gen: gen, Seq: seq}, nil
 }
 
 // Sources lists the integrated sources in integration order.
@@ -479,6 +533,9 @@ func (d *DB) Reanalyze(ctx context.Context, source string) (*Report, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	if err := d.replicaGuard(); err != nil {
+		return nil, err
+	}
 	d.addMu.Lock()
 	defer d.addMu.Unlock()
 	d.mu.Lock()
@@ -504,6 +561,9 @@ func (d *DB) RemoveLinkFeedback(ctx context.Context, l Link) (bool, error) {
 	if err := ctxErr(ctx); err != nil {
 		return false, err
 	}
+	if err := d.replicaGuard(); err != nil {
+		return false, err
+	}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -523,6 +583,9 @@ func (d *DB) RemoveLinkFeedback(ctx context.Context, l Link) (bool, error) {
 // Errors: ErrUnknownSource, ErrCanceled, ErrClosed.
 func (d *DB) RecordChanges(ctx context.Context, source string, n int) (bool, error) {
 	if err := ctxErr(ctx); err != nil {
+		return false, err
+	}
+	if err := d.replicaGuard(); err != nil {
 		return false, err
 	}
 	d.mu.Lock()

@@ -86,6 +86,9 @@ func (d *DB) Exec(ctx context.Context, sql string) (*QueryResult, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	if err := d.replicaGuard(); err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()

@@ -25,4 +25,7 @@ var (
 	// ErrInternal wraps a recovered pipeline panic. The database state is
 	// unwound; the source that triggered it was not integrated.
 	ErrInternal = errors.New("aladin: internal error")
+	// ErrReadOnlyReplica rejects mutations on a database opened with
+	// WithReplicaOf; the wrapped message names the primary to write to.
+	ErrReadOnlyReplica = errors.New("aladin: read-only replica")
 )

@@ -14,6 +14,7 @@ type config struct {
 	planCache       int
 	dataDir         string
 	checkpointEvery int
+	replicaOf       string
 	err             error
 }
 
@@ -111,6 +112,31 @@ func WithCheckpointEvery(n int) Option {
 			return
 		}
 		c.checkpointEvery = n
+	}
+}
+
+// WithReplicaOf opens the database as a read-only replica of the
+// primary aladind at the given base URL (e.g. "http://10.0.0.1:8317").
+// Requires WithDataDir: the replica bootstraps the primary's checkpoint
+// segments into the directory (or resumes from its own previous state
+// when possible), then streams and applies the primary's write-ahead
+// log continuously until Close. All read methods serve normally over
+// the replicated warehouse; every mutation returns ErrReadOnlyReplica.
+// Replication state — lag, last sync, bootstrap mode — is reported by
+// Stats().Replication.
+//
+// The data directory is owned by this replica relationship: it carries
+// a REPLICA marker, and a directory holding data WITHOUT the marker is
+// never wiped (Open fails rather than silently converting a primary's
+// directory). WithCheckpointEvery applies locally, so a restarted
+// replica recovers from its own segments and fetches only the delta.
+func WithReplicaOf(primaryURL string) Option {
+	return func(c *config) {
+		if primaryURL == "" {
+			c.err = fmt.Errorf("aladin: empty primary URL")
+			return
+		}
+		c.replicaOf = primaryURL
 	}
 }
 

@@ -38,10 +38,17 @@ import (
 type Rows struct {
 	ctx    context.Context
 	cur    *sqlx.Cursor
+	sid    SnapshotID
 	row    rel.Tuple
 	err    error
 	closed bool
 }
+
+// SnapshotID identifies the immutable warehouse snapshot this cursor
+// iterates — captured under the same lock as the snapshot itself, so it
+// names exactly the state the rows come from. The HTTP layer tags
+// responses with it and binds pagination cursors to it.
+func (r *Rows) SnapshotID() SnapshotID { return r.sid }
 
 // Columns returns the output column names.
 func (r *Rows) Columns() []string { return r.cur.Columns() }
@@ -188,29 +195,31 @@ func (d *DB) QueryRowsExplain(ctx context.Context, sql string) (*Rows, string, e
 }
 
 // snapshotPlan is the shared read prologue: take a warehouse snapshot
-// under a brief RLock and resolve sql to a plan (via the cache when
-// configured).
-func (d *DB) snapshotPlan(ctx context.Context, sql string) (*rel.Database, *sqlx.Plan, error) {
+// under a brief RLock — capturing the snapshot ID under the same lock,
+// so the ID names exactly that snapshot — and resolve sql to a plan
+// (via the cache when configured).
+func (d *DB) snapshotPlan(ctx context.Context, sql string) (*rel.Database, *sqlx.Plan, SnapshotID, error) {
 	if err := ctxErr(ctx); err != nil {
-		return nil, nil, err
+		return nil, nil, SnapshotID{}, err
 	}
 	d.mu.RLock()
 	if err := d.checkOpenRLocked(); err != nil {
 		d.mu.RUnlock()
-		return nil, nil, err
+		return nil, nil, SnapshotID{}, err
 	}
 	snap := d.sys.WarehouseSnapshot()
+	gen, seq := d.sys.SnapshotID()
 	d.mu.RUnlock()
 
 	plan, err := d.plan(snap, sql)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %w", ErrBadQuery, err)
+		return nil, nil, SnapshotID{}, fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
-	return snap, plan, nil
+	return snap, plan, SnapshotID{Gen: gen, Seq: seq}, nil
 }
 
 func (d *DB) queryRows(ctx context.Context, sql string, explain bool) (*Rows, string, error) {
-	snap, plan, err := d.snapshotPlan(ctx, sql)
+	snap, plan, sid, err := d.snapshotPlan(ctx, sql)
 	if err != nil {
 		return nil, "", err
 	}
@@ -227,7 +236,7 @@ func (d *DB) queryRows(ctx context.Context, sql string, explain bool) (*Rows, st
 		}
 		return nil, "", fmt.Errorf("%w: %w", ErrBadQuery, err)
 	}
-	return &Rows{ctx: ctx, cur: cur}, planText, nil
+	return &Rows{ctx: ctx, cur: cur, sid: sid}, planText, nil
 }
 
 // Explain renders the access plan a query would execute right now,
@@ -238,7 +247,7 @@ func (d *DB) queryRows(ctx context.Context, sql string, explain bool) (*Rows, st
 // differently after an AddSource commit publishes new indexes.
 // Errors: ErrBadQuery, ErrCanceled, ErrClosed.
 func (d *DB) Explain(ctx context.Context, sql string) (string, error) {
-	snap, plan, err := d.snapshotPlan(ctx, sql)
+	snap, plan, _, err := d.snapshotPlan(ctx, sql)
 	if err != nil {
 		return "", err
 	}
@@ -258,7 +267,7 @@ func (d *DB) Explain(ctx context.Context, sql string) (string, error) {
 // computed and discarded — use it for tuning, not for fetching results.
 // Errors: ErrBadQuery, ErrCanceled, ErrClosed.
 func (d *DB) ExplainAnalyze(ctx context.Context, sql string) (string, error) {
-	snap, plan, err := d.snapshotPlan(ctx, sql)
+	snap, plan, _, err := d.snapshotPlan(ctx, sql)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,137 @@
+// Command aladin-loadgen drives read load against one or more aladind
+// instances and reports throughput and latency. It is the measurement
+// harness behind BENCH_replication.json: point it at a primary alone,
+// then at the primary plus its read replicas, and compare reads/sec.
+//
+// Usage:
+//
+//	aladin-loadgen -targets http://p:8317,http://r1:8318 \
+//	    [-query "SELECT COUNT(*) FROM swissprot_protein"] \
+//	    [-duration 10s] [-concurrency 8] [-json]
+//
+// Requests are spread round-robin across the targets; each worker is a
+// keep-alive HTTP client issuing GET /v1/query as fast as the servers
+// answer. Non-200 responses count as errors. With -json the report is a
+// single machine-readable object on stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type report struct {
+	Targets     []string `json:"targets"`
+	Query       string   `json:"query"`
+	Concurrency int      `json:"concurrency"`
+	Duration    string   `json:"duration"`
+	Requests    int64    `json:"requests"`
+	Errors      int64    `json:"errors"`
+	ReadsPerSec float64  `json:"reads_per_sec"`
+	P50Ms       float64  `json:"p50_ms"`
+	P95Ms       float64  `json:"p95_ms"`
+	P99Ms       float64  `json:"p99_ms"`
+	MaxMs       float64  `json:"max_ms"`
+}
+
+func main() {
+	var (
+		targets     = flag.String("targets", "http://localhost:8317", "comma-separated aladind base URLs")
+		query       = flag.String("query", "SELECT COUNT(*) FROM swissprot_protein", "SQL issued via GET /v1/query")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers")
+		asJSON      = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+	urls := strings.Split(*targets, ",")
+	for i := range urls {
+		urls[i] = strings.TrimRight(strings.TrimSpace(urls[i]), "/")
+	}
+	rep, err := run(urls, *query, *duration, *concurrency)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aladin-loadgen:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		return
+	}
+	fmt.Printf("targets:     %s\n", strings.Join(rep.Targets, ", "))
+	fmt.Printf("requests:    %d (%d errors) in %s\n", rep.Requests, rep.Errors, rep.Duration)
+	fmt.Printf("reads/sec:   %.1f\n", rep.ReadsPerSec)
+	fmt.Printf("latency ms:  p50=%.2f p95=%.2f p99=%.2f max=%.2f\n", rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
+}
+
+// Run drives `concurrency` workers for `duration` and aggregates.
+func run(targets []string, query string, duration time.Duration, concurrency int) (*report, error) {
+	if len(targets) == 0 || concurrency < 1 {
+		return nil, fmt.Errorf("need at least one target and one worker")
+	}
+	path := "/v1/query?q=" + url.QueryEscape(query) + "&limit=1"
+	var (
+		requests, errors atomic.Int64
+		next             atomic.Uint64
+		mu               sync.Mutex
+		latencies        []time.Duration
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			var local []time.Duration
+			for time.Now().Before(deadline) {
+				target := targets[next.Add(1)%uint64(len(targets))]
+				t0 := time.Now()
+				resp, err := client.Get(target + path)
+				requests.Add(1)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errors.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	rep := &report{
+		Targets: targets, Query: query, Concurrency: concurrency,
+		Duration: duration.String(),
+		Requests: requests.Load(), Errors: errors.Load(),
+		ReadsPerSec: float64(requests.Load()-errors.Load()) / duration.Seconds(),
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(latencies)-1))
+			return float64(latencies[i]) / float64(time.Millisecond)
+		}
+		rep.P50Ms, rep.P95Ms, rep.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+		rep.MaxMs = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
+	}
+	return rep, nil
+}

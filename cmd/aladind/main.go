@@ -10,6 +10,7 @@
 //	aladind [-addr :8317] [-workers n] [-timeout 30s]
 //	        [-proteins 40 | -load snapshot.gob | -empty]
 //	        [-data dir] [-checkpoint-every n] [-checkpoint-interval d]
+//	        [-replica-of http://primary:8317] [-ready-max-lag n]
 //
 // With -data the warehouse is durable: every acknowledged mutation is
 // journaled to a write-ahead log under the directory before the HTTP
@@ -20,17 +21,29 @@
 // -proteins, the demo corpus is only generated when the directory is
 // empty.
 //
+// A durable aladind is also a replication primary: it serves its
+// manifest, checkpoint segments, and WAL tail under /v1/repl/. A second
+// aladind started with -replica-of pointed at it becomes a read-only
+// replica — it bootstraps the primary's checkpoint into its own -data
+// directory, streams the WAL continuously, serves the full read API,
+// and rejects every write with 403 read_only_replica. Every read
+// response carries the snapshot it observed in the X-Aladin-Snapshot
+// header; /readyz gates replica traffic on replication lag.
+//
 // Endpoints:
 //
 //	GET  /v1/query?q=SQL[&limit=n][&cursor=token][&explain=1]  SQL over the warehouse, paginated
 //	GET  /v1/search?q=terms[&source=s][&column=c][&primary=true][&limit=n]
-//	GET  /v1/stats                                       repository + web statistics
+//	GET  /v1/stats                                       repository, web, durability, replication statistics
 //	GET  /v1/sources                                     integrated sources
 //	POST /v1/sources?name=n&format=f                     integrate an uploaded flat file
 //	GET  /v1/objects/{source}                            a source's primary objects
 //	GET  /v1/objects/{source}/{accession}                one object's browse view
 //	GET  /v1/objects/{source}/{accession}/related        ranked related objects
 //	GET  /v1/objects/{source}/{accession}/crawl          breadth-first link crawl
+//	GET  /healthz                                        liveness (always 200 while serving)
+//	GET  /readyz                                         readiness (503 on a lagging/stale replica)
+//	GET  /v1/repl/{manifest,segment/{name},wal}          replication API (durable primary only)
 //
 // Errors are structured JSON: {"error":{"status":404,"code":"unknown_source","message":"..."}}.
 package main
@@ -63,24 +76,28 @@ func main() {
 		dataDir  = flag.String("data", "", "durable data directory (WAL + checkpoints); empty = in-memory only")
 		chkEvery = flag.Int("checkpoint-every", 16, "checkpoint after this many journaled mutations (with -data)")
 		chkEach  = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period (with -data; 0 = disabled)")
+		replica  = flag.String("replica-of", "", "serve as a read-only replica of the primary aladind at this base URL (requires -data)")
+		readyLag = flag.Uint64("ready-max-lag", 64, "replica readiness threshold: /readyz fails above this many un-applied records")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *timeout, *proteins, *load, *empty, *dataDir, *chkEvery, *chkEach); err != nil {
+	if err := run(*addr, *workers, *timeout, *proteins, *load, *empty, *dataDir, *chkEvery, *chkEach, *replica, *readyLag); err != nil {
 		fmt.Fprintln(os.Stderr, "aladind:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, workers int, timeout time.Duration, proteins int, load string, empty bool,
-	dataDir string, chkEvery int, chkEach time.Duration) error {
+	dataDir string, chkEvery int, chkEach time.Duration, replicaOf string, readyLag uint64) error {
 
-	db, err := openDB(workers, proteins, load, empty, dataDir, chkEvery)
+	db, err := openDB(workers, proteins, load, empty, dataDir, chkEvery, replicaOf)
 	if err != nil {
 		return err
 	}
+	hs := newServer(db, timeout)
+	hs.readyMaxLag = readyLag
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           newServer(db, timeout).handler(),
+		Handler:           hs.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -140,7 +157,7 @@ func checkpointLoop(ctx context.Context, db *aladin.DB, every time.Duration) {
 // openDB builds the served database: a restored snapshot, a recovered
 // data directory, an empty warehouse, or the integrated synthetic demo
 // corpus.
-func openDB(workers, proteins int, load string, empty bool, dataDir string, chkEvery int) (*aladin.DB, error) {
+func openDB(workers, proteins int, load string, empty bool, dataDir string, chkEvery int, replicaOf string) (*aladin.DB, error) {
 	if load != "" && empty {
 		return nil, errors.New("-load and -empty are mutually exclusive")
 	}
@@ -156,6 +173,24 @@ func openDB(workers, proteins int, load string, empty bool, dataDir string, chkE
 		if chkEvery > 0 {
 			opts = append(opts, aladin.WithCheckpointEvery(chkEvery))
 		}
+	}
+	if replicaOf != "" {
+		// A replica's entire state comes from the primary's stream; it
+		// never seeds, loads, or integrates anything locally.
+		if dataDir == "" {
+			return nil, errors.New("-replica-of requires -data")
+		}
+		if load != "" || empty {
+			return nil, errors.New("-replica-of is mutually exclusive with -load and -empty")
+		}
+		db, err := aladin.Open(append(opts, aladin.WithReplicaOf(replicaOf))...)
+		if err != nil {
+			return nil, err
+		}
+		st, _ := db.Stats(context.Background())
+		log.Printf("aladind: replica of %s: bootstrapped via %s in %v (applied seq %d)",
+			replicaOf, st.Replication.BootstrapMode, st.Replication.BootstrapDuration.Round(time.Millisecond), st.Replication.AppliedSeq)
+		return db, nil
 	}
 	if load != "" {
 		snap, err := store.LoadFile(load)

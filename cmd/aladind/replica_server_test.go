@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/aladin"
+	"repro/internal/datagen"
+)
+
+// newReplicaPair serves a durable primary and a bootstrapped read
+// replica of it, both over httptest.
+func newReplicaPair(t *testing.T) (primaryTS, replicaTS *httptest.Server, primary *aladin.DB) {
+	t.Helper()
+	primary, err := aladin.Open(aladin.WithOntologySources("go"), aladin.WithDataDir(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	corpus := datagen.Generate(datagen.Config{Seed: 1, Proteins: 10})
+	ctx := context.Background()
+	for _, name := range []string{"swissprot", "pdb"} {
+		if _, err := primary.AddSource(ctx, corpus.Source(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primaryTS = httptest.NewServer(newServer(primary, 30*time.Second).handler())
+	t.Cleanup(primaryTS.Close)
+
+	replica, err := aladin.Open(aladin.WithOntologySources("go"),
+		aladin.WithDataDir(t.TempDir()), aladin.WithReplicaOf(primaryTS.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replica.Close() })
+	replicaTS = httptest.NewServer(newServer(replica, 30*time.Second).handler())
+	t.Cleanup(replicaTS.Close)
+	return primaryTS, replicaTS, primary
+}
+
+// TestHTTPReplicaServing: a replica aladind answers the read API with
+// the primary's data and snapshot-stamped responses, refuses writes
+// with 403 read_only_replica, and does not serve the replication API
+// itself.
+func TestHTTPReplicaServing(t *testing.T) {
+	primaryTS, replicaTS, _ := newReplicaPair(t)
+	q := escape("SELECT COUNT(*) FROM swissprot_protein")
+
+	pq := getJSON(t, primaryTS.URL+"/v1/query?q="+q, 200)
+	rq := getJSON(t, replicaTS.URL+"/v1/query?q="+q, 200)
+	pRows, rRows := pq["rows"].([]any), rq["rows"].([]any)
+	if pRows[0].([]any)[0] != rRows[0].([]any)[0] {
+		t.Errorf("replica answers %v, primary %v", rRows, pRows)
+	}
+
+	// Reads are stamped with the snapshot they observed; with zero lag
+	// the replica reports the same snapshot ID as the primary.
+	resp, err := http.Get(replicaTS.URL + "/v1/query?q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	sid := resp.Header.Get("X-Aladin-Snapshot")
+	if sid == "" || resp.Header.Get("ETag") == "" {
+		t.Fatalf("replica query carries no snapshot header (%q / %q)", sid, resp.Header.Get("ETag"))
+	}
+	st := getJSON(t, replicaTS.URL+"/v1/stats", 200)
+	snap := st["snapshot"].(map[string]any)
+	if snap["id"].(string) != sid {
+		t.Errorf("stats snapshot %v != header %q", snap["id"], sid)
+	}
+	rep := st["replication"].(map[string]any)
+	if rep["role"] != "replica" || rep["state"] != aladin.ReplStateStreaming {
+		t.Errorf("replication block = %v", rep)
+	}
+	if pst := getJSON(t, primaryTS.URL+"/v1/stats", 200); pst["replication"].(map[string]any)["role"] != "primary" {
+		t.Errorf("primary replication block = %v", pst["replication"])
+	}
+
+	// Writes are rejected with a structured 403 naming the primary.
+	resp, err = http.Post(replicaTS.URL+"/v1/sources?name=up&format=csv", "text/csv",
+		strings.NewReader("accession,name\nU1,thing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden || !strings.Contains(string(body), "read_only_replica") {
+		t.Errorf("POST to replica = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), primaryTS.URL) {
+		t.Errorf("403 body does not name the primary: %s", body)
+	}
+
+	// The replication API is the primary's alone; a replica 404s it
+	// (chaining is not supported).
+	if m := getJSON(t, primaryTS.URL+"/v1/repl/manifest", 200); m["record_seq"] == nil {
+		t.Errorf("primary manifest = %v", m)
+	}
+	resp, err = http.Get(replicaTS.URL + "/v1/repl/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("replica /v1/repl/manifest = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPHealthAndReady: /healthz is liveness (200 everywhere);
+// /readyz reflects role and replication health.
+func TestHTTPHealthAndReady(t *testing.T) {
+	primaryTS, replicaTS, _ := newReplicaPair(t)
+
+	for _, ts := range []*httptest.Server{primaryTS, replicaTS} {
+		h := getJSON(t, ts.URL+"/healthz", 200)
+		if h["ok"] != true {
+			t.Errorf("healthz = %v", h)
+		}
+	}
+	pr := getJSON(t, primaryTS.URL+"/readyz", 200)
+	if pr["ready"] != true || pr["role"] != "primary" {
+		t.Errorf("primary readyz = %v", pr)
+	}
+	rr := getJSON(t, replicaTS.URL+"/readyz", 200)
+	if rr["ready"] != true || rr["role"] != "replica" || rr["state"] != aladin.ReplStateStreaming {
+		t.Errorf("replica readyz = %v", rr)
+	}
+}
+
+// TestHTTPStaleCursor: a pagination cursor is pinned to the snapshot of
+// its first page; after any mutation the next fetch fails with 410
+// stale_cursor instead of silently shifting rows.
+func TestHTTPStaleCursor(t *testing.T) {
+	ts, db := newTestServer(t)
+	q := escape("SELECT accession FROM swissprot_protein ORDER BY accession")
+
+	page := getJSON(t, ts.URL+"/v1/query?q="+q+"&limit=3", 200)
+	cursor, ok := page["next_cursor"].(string)
+	if !ok || cursor == "" {
+		t.Fatalf("first page carries no cursor: %v", page)
+	}
+	// Unchanged warehouse: the cursor pages on fine.
+	page2 := getJSON(t, ts.URL+"/v1/query?q="+q+"&limit=3&cursor="+cursor, 200)
+	if page2["count"].(float64) == 0 {
+		t.Fatalf("second page empty: %v", page2)
+	}
+
+	if _, err := db.Exec(context.Background(), "DELETE FROM pdb_structure WHERE 1 = 1"); err != nil {
+		t.Fatal(err)
+	}
+	stale := getJSON(t, ts.URL+"/v1/query?q="+q+"&limit=3&cursor="+cursor, 410)
+	if code := stale["error"].(map[string]any)["code"]; code != "stale_cursor" {
+		t.Errorf("post-mutation cursor code = %v, want stale_cursor", code)
+	}
+}

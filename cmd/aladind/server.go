@@ -35,11 +35,14 @@ type server struct {
 	db *aladin.DB
 	// timeout bounds each request's context (0 = none).
 	timeout time.Duration
-	logf    func(format string, args ...any)
+	// readyMaxLag is how many un-applied records behind the primary a
+	// replica may be and still report ready (see handleReadyz).
+	readyMaxLag uint64
+	logf        func(format string, args ...any)
 }
 
 func newServer(db *aladin.DB, timeout time.Duration) *server {
-	return &server{db: db, timeout: timeout, logf: log.Printf}
+	return &server{db: db, timeout: timeout, readyMaxLag: 64, logf: log.Printf}
 }
 
 // handler builds the route table and wraps it with the recovery and
@@ -55,17 +58,37 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/objects/{source}/{accession}", s.handleObject)
 	mux.HandleFunc("GET /v1/objects/{source}/{accession}/related", s.handleRelated)
 	mux.HandleFunc("GET /v1/objects/{source}/{accession}/crawl", s.handleCrawl)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// A durable primary additionally serves the replication API the
+	// -replica-of peers stream from (absent on replicas and in-memory
+	// servers; ReplHandler returns nil there).
+	if h := s.db.ReplHandler(); h != nil {
+		mux.Handle("GET /v1/repl/", h)
+	}
 	return s.middleware(mux)
 }
 
-// middleware applies the per-request timeout and converts panics into
-// structured 500 responses instead of killing the connection.
+// middleware applies the per-request timeout, stamps read responses
+// with the snapshot they observe, and converts panics into structured
+// 500 responses instead of killing the connection.
 func (s *server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if s.timeout > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 			defer cancel()
 			r = r.WithContext(ctx)
+		}
+		// Every read carries the snapshot ID (checkpoint generation +
+		// last applied mutation sequence) it was served from, as an
+		// ETag-style header clients can compare across requests and
+		// across replicas. handleQuery overrides it with the exact ID its
+		// row cursor is bound to (a mutation may land between here and
+		// the cursor opening).
+		if (r.Method == http.MethodGet || r.Method == http.MethodHead) && strings.HasPrefix(r.URL.Path, "/v1/") {
+			if sid, err := s.db.SnapshotID(r.Context()); err == nil {
+				setSnapshotHeader(w, sid)
+			}
 		}
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -75,6 +98,42 @@ func (s *server) middleware(next http.Handler) http.Handler {
 		}()
 		next.ServeHTTP(w, r)
 	})
+}
+
+func setSnapshotHeader(w http.ResponseWriter, sid aladin.SnapshotID) {
+	w.Header().Set("X-Aladin-Snapshot", sid.String())
+	w.Header().Set("ETag", `W/"`+sid.String()+`"`)
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"ok": true})
+}
+
+// handleReadyz is readiness: whether this instance should receive
+// traffic. A primary (or in-memory server) is ready once it serves
+// requests at all; a replica is ready only when its bootstrap is
+// complete, the stream is healthy, and its lag is at most readyMaxLag —
+// a stale or erroring replica keeps serving /v1 reads but tells the
+// load balancer to route elsewhere.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st, err := s.db.Stats(r.Context())
+	if err != nil {
+		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "error": err.Error()})
+		return
+	}
+	rep := st.Replication
+	out := map[string]any{"ready": true, "role": rep.Role}
+	if rep.Role == "replica" {
+		out["state"] = rep.State
+		out["lag"] = rep.Lag
+		if rep.State != aladin.ReplStateStreaming || rep.Lag > s.readyMaxLag {
+			out["ready"] = false
+			writeJSONStatus(w, http.StatusServiceUnavailable, out)
+			return
+		}
+	}
+	writeJSON(w, out)
 }
 
 // errorBody is the structured error payload of every non-2xx response.
@@ -118,6 +177,9 @@ func errorStatusCode(err error) (int, string) {
 		return http.StatusConflict, "source_exists"
 	case errors.Is(err, aladin.ErrNoPrimary):
 		return http.StatusUnprocessableEntity, "no_primary_relation"
+	case errors.Is(err, aladin.ErrReadOnlyReplica):
+		// The structured message names the primary to write to instead.
+		return http.StatusForbidden, "read_only_replica"
 	case errors.Is(err, aladin.ErrCanceled):
 		// DeadlineExceeded = the per-request timeout fired; plain Canceled
 		// = the client went away.
@@ -176,9 +238,11 @@ func toLinkJSON(l aladin.Link) linkJSON {
 // maxQueryLimit), so the response body is bounded no matter how broad
 // the query is. When more rows remain, the envelope carries an opaque
 // next_cursor; passing it back (with the same q) returns the next page.
-// Pages are served from independent snapshots: a source integrated
-// between two page fetches shifts later pages, like any offset-based
-// pagination. With explain=1 the envelope also carries the access plan
+// Cursors are pinned to the snapshot ID of the page that created them
+// (also exposed in the X-Aladin-Snapshot header): if the warehouse
+// mutates between two page fetches, the next fetch fails with 410
+// stale_cursor instead of silently shifting rows, and the client
+// restarts its pagination. With explain=1 the envelope also carries the access plan
 // (operator tree with chosen index/scan paths) under "plan";
 // explain=analyze executes the query and the plan gains actual rows and
 // operator times. Unknown query parameters are rejected with a
@@ -210,14 +274,6 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
 		return
 	}
-	offset := 0
-	if token := params.Get("cursor"); token != "" {
-		offset, err = decodeCursor(q, token)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad_cursor", err.Error())
-			return
-		}
-	}
 	// QueryRowsExplain binds plan and cursor to one warehouse snapshot,
 	// so the plan in the envelope describes exactly the rows beside it
 	// even when an AddSource commit lands mid-request. explain=analyze
@@ -241,6 +297,25 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer rows.Close()
+
+	// The response is pinned to the snapshot these rows iterate; cursors
+	// bind to it, so a page sequence either completes against one
+	// consistent state or fails fast with 410 when a mutation (here or,
+	// via replication, anywhere in the cluster) moved the warehouse on.
+	sid := rows.SnapshotID()
+	setSnapshotHeader(w, sid)
+	offset := 0
+	if token := params.Get("cursor"); token != "" {
+		offset, err = decodeCursor(q, token, sid)
+		if errors.Is(err, errStaleCursor) {
+			writeError(w, http.StatusGone, "stale_cursor", err.Error())
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_cursor", err.Error())
+			return
+		}
+	}
 
 	// Advance to the cursor position before the status line is written,
 	// so errors in the skipped range still map to proper statuses.
@@ -274,7 +349,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	more := count == limit && rows.Next()
 	fmt.Fprintf(w, `],"count":%d`, count)
 	if more {
-		fmt.Fprintf(w, `,"next_cursor":%q`, encodeCursor(q, offset+count))
+		fmt.Fprintf(w, `,"next_cursor":%q`, encodeCursor(q, offset+count, sid))
 	}
 	if err := rows.Err(); err != nil {
 		// The status line is long gone; surface a mid-stream execution
@@ -293,11 +368,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryCursor is the decoded form of the opaque pagination token: the
-// row offset of the next page, bound to a hash of the query text so a
-// cursor cannot be replayed against a different statement.
+// row offset of the next page, bound to a hash of the query text (so a
+// cursor cannot be replayed against a different statement) and to the
+// snapshot ID the first page was served from (so offset-based paging
+// never silently straddles a mutation — on any replica of the same
+// primary, equal snapshot IDs mean identical row numbering).
 type queryCursor struct {
-	Hash   string `json:"q"`
-	Offset int    `json:"o"`
+	Hash     string `json:"q"`
+	Offset   int    `json:"o"`
+	Snapshot string `json:"s"`
 }
 
 func queryHash(q string) string {
@@ -306,12 +385,16 @@ func queryHash(q string) string {
 	return strconv.FormatUint(h.Sum64(), 16)
 }
 
-func encodeCursor(q string, offset int) string {
-	b, _ := json.Marshal(queryCursor{Hash: queryHash(q), Offset: offset})
+func encodeCursor(q string, offset int, sid aladin.SnapshotID) string {
+	b, _ := json.Marshal(queryCursor{Hash: queryHash(q), Offset: offset, Snapshot: sid.String()})
 	return base64.RawURLEncoding.EncodeToString(b)
 }
 
-func decodeCursor(q, token string) (int, error) {
+// errStaleCursor distinguishes a cursor from a different snapshot (410,
+// the client restarts its pagination) from a malformed one (400).
+var errStaleCursor = errors.New("cursor was created against a different warehouse snapshot; restart the pagination")
+
+func decodeCursor(q, token string, sid aladin.SnapshotID) (int, error) {
 	raw, err := base64.RawURLEncoding.DecodeString(token)
 	if err != nil {
 		return 0, errors.New("malformed cursor")
@@ -325,6 +408,9 @@ func decodeCursor(q, token string) (int, error) {
 	}
 	if c.Offset < 0 {
 		return 0, errors.New("malformed cursor")
+	}
+	if c.Snapshot != sid.String() {
+		return 0, fmt.Errorf("%w (cursor %s, current %s)", errStaleCursor, c.Snapshot, sid)
 	}
 	return c.Offset, nil
 }
@@ -382,6 +468,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"links":         st.Repo.Links,
 		"links_by_type": st.Repo.LinksByType,
 		"removed_links": st.Repo.RemovedLinks,
+		"snapshot": map[string]any{
+			"checkpoint_gen": st.Snapshot.Gen,
+			"applied_seq":    st.Snapshot.Seq,
+			"id":             st.Snapshot.String(),
+		},
 		"web": map[string]any{
 			"objects":           st.Web.Objects,
 			"linked_objects":    st.Web.LinkedObjects,
@@ -409,6 +500,21 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		out["durability"] = dur
 	}
+	rep := map[string]any{"role": st.Replication.Role}
+	if st.Replication.Role == "replica" {
+		rep["primary"] = st.Replication.Primary
+		rep["state"] = st.Replication.State
+		rep["applied_seq"] = st.Replication.AppliedSeq
+		rep["primary_seq"] = st.Replication.PrimarySeq
+		rep["lag"] = st.Replication.Lag
+		rep["last_sync"] = st.Replication.LastSync
+		rep["bootstrap_mode"] = st.Replication.BootstrapMode
+		rep["bootstrap_seconds"] = st.Replication.BootstrapDuration.Seconds()
+		if st.Replication.LastError != "" {
+			rep["last_error"] = st.Replication.LastError
+		}
+	}
+	out["replication"] = rep
 	writeJSON(w, out)
 }
 

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/discovery"
@@ -146,6 +147,15 @@ type System struct {
 	// data directory's WAL and tracks the dirty set for incremental
 	// checkpoints (durable.go).
 	durable *durable
+
+	// seq counts mutations: every committed AddSource, DML statement and
+	// link-feedback removal increments it by exactly one, durable or not.
+	// On durable systems it is the global WAL record sequence (stamped
+	// into each frame header); everywhere it is the "version" half of the
+	// snapshot ID that pins cursors and measures replication lag. Writes
+	// are serialized by the caller's mutation lock; reads are atomic so
+	// stats and snapshot-ID capture need no lock.
+	seq atomic.Uint64
 
 	// failpoint, when non-nil, is invoked at named pipeline stages and
 	// aborts AddSource on error — a test hook exercising the
@@ -418,8 +428,9 @@ func (s *System) CommitAdd(p *PendingAdd) (*AddReport, error) {
 		s.dupIndex.RemoveSource(p.db.Name)
 		return nil, err
 	}
+	var frame []byte
 	if s.durable != nil {
-		frame := p.walFrame
+		frame = p.walFrame
 		if frame == nil {
 			// Prepared before the directory was attached; encode now.
 			var err error
@@ -429,13 +440,14 @@ func (s *System) CommitAdd(p *PendingAdd) (*AddReport, error) {
 				return nil, err
 			}
 		}
-		// Journal before publishing: the addition is acknowledged only
-		// once it would survive a crash. On failure nothing is visible.
-		if err := s.logFrame(frame, p.db.Name); err != nil {
-			s.engine.RemoveSource(p.db.Name)
-			s.dupIndex.RemoveSource(p.db.Name)
-			return nil, err
-		}
+	}
+	// Journal before publishing: the addition is acknowledged only once
+	// it would survive a crash. On failure nothing is visible. Without a
+	// data directory this only advances the mutation sequence.
+	if err := s.logFrame(frame, p.db.Name); err != nil {
+		s.engine.RemoveSource(p.db.Name)
+		s.dupIndex.RemoveSource(p.db.Name)
+		return nil, err
 	}
 	addLink := func(l metadata.Link) {
 		if stored, _, _ := s.Repo.AddLinkTracked(l); stored {

@@ -60,6 +60,14 @@ func (s *System) AttachDurable(dir *store.Dir) {
 // Durable reports whether a data directory is attached.
 func (s *System) Durable() bool { return s.durable != nil }
 
+// DurableDir returns the attached data directory, nil if none.
+func (s *System) DurableDir() *store.Dir {
+	if d := s.durable; d != nil {
+		return d.dir
+	}
+	return nil
+}
+
 // MarkAllDirty flags every registered source for the next checkpoint —
 // used when seeding a fresh data directory from an imported snapshot.
 func (s *System) MarkAllDirty() {
@@ -74,21 +82,26 @@ func (s *System) MarkAllDirty() {
 	}
 }
 
-// logFrame journals one pre-encoded WAL frame and marks the given
-// sources dirty for the next checkpoint. No-op without an attached
-// directory; during recovery replay only the dirty marking applies.
-// An error means the mutation was NOT made durable and must not be
-// acknowledged.
+// logFrame assigns the mutation its global sequence number, journals
+// the pre-encoded WAL frame (durable systems), and marks the given
+// sources dirty for the next checkpoint. Without an attached directory
+// only the sequence advances; during recovery replay the append is
+// skipped (the record is already on disk) but sequence and dirty
+// marking apply. An error means the mutation was NOT made durable and
+// must not be acknowledged — the sequence is not consumed.
 func (s *System) logFrame(frame []byte, dirty ...string) error {
+	seq := s.seq.Load() + 1
 	d := s.durable
 	if d == nil {
+		s.seq.Store(seq)
 		return nil
 	}
 	if d.logging {
-		if err := d.dir.Append(frame); err != nil {
+		if err := d.dir.Append(frame, seq); err != nil {
 			return fmt.Errorf("%w: write-ahead log: %w", ErrDurability, err)
 		}
 	}
+	s.seq.Store(seq)
 	d.mu.Lock()
 	if d.logging {
 		d.records++
@@ -103,17 +116,43 @@ func (s *System) logFrame(frame []byte, dirty ...string) error {
 // logRecord encodes and journals one WAL record (see logFrame).
 func (s *System) logRecord(rec *store.WALRecord, dirty ...string) error {
 	d := s.durable
-	if d == nil {
-		return nil
-	}
 	var frame []byte
-	if d.logging {
+	if d != nil && d.logging {
 		var err error
 		if frame, err = store.EncodeRecord(rec); err != nil {
 			return err
 		}
 	}
 	return s.logFrame(frame, dirty...)
+}
+
+// SnapshotSeq returns the global sequence of the last applied mutation
+// — the "version" half of the snapshot ID. 0 means an empty history.
+func (s *System) SnapshotSeq() uint64 { return s.seq.Load() }
+
+// SnapshotID returns the checkpoint generation (0 without a data
+// directory) and the last applied mutation sequence. Together they name
+// the exact warehouse state a reader observed.
+func (s *System) SnapshotID() (gen, seq uint64) {
+	if d := s.durable; d != nil {
+		gen = d.dir.Stats().Gen
+	}
+	return gen, s.seq.Load()
+}
+
+// DisableJournal permanently switches off WAL appends from the normal
+// mutators while keeping sequence, dirty-set and checkpoint machinery
+// live. Replicas run this way: the replication client journals the
+// primary's frames verbatim (ApplyReplicated), so the mutators applying
+// them must not journal a second copy.
+func (s *System) DisableJournal() {
+	d := s.durable
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.logging = false
+	d.mu.Unlock()
 }
 
 // addSourceRecord builds the WAL record describing a prepared source
@@ -188,7 +227,10 @@ func (s *System) BeginCheckpoint() (*PendingCheckpoint, error) {
 		return nil, fmt.Errorf("core: rotating WAL: %w", err)
 	}
 	cp := &PendingCheckpoint{
-		data:     &store.CheckpointData{WALSeq: seq},
+		// The record sequence is exact here: BeginCheckpoint excludes
+		// mutators, so s.seq is precisely the last record before the
+		// rotation — the new manifest anchors the counter there.
+		data:     &store.CheckpointData{WALSeq: seq, RecordSeq: s.seq.Load()},
 		dirtySet: dirty,
 		dirtyDBs: make(map[string]*rel.Database),
 		metas:    make(map[string]*metadata.SourceMeta),

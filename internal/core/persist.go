@@ -123,6 +123,10 @@ func Recover(opts Options, dir *store.Dir) (*System, int, error) {
 	}
 	sys := New(opts)
 	sys.durable = &durable{dir: dir, dirty: make(map[string]bool)}
+	// Seed the mutation sequence where the checkpoint left it; replaying
+	// the WAL tail advances it record by record (applyWAL syncs it to
+	// each frame's header sequence).
+	sys.seq.Store(dir.ManifestCopy().RecordSeq)
 	for i := range snap.Sources {
 		if err := sys.installRestored(&snap.Sources[i]); err != nil {
 			return nil, 0, err
@@ -178,6 +182,43 @@ func (s *System) applyWAL(rec *store.WALRecord) error {
 		}
 	default:
 		return fmt.Errorf("core: unknown WAL record type %d", rec.Type)
+	}
+	// The mutator above already advanced the sequence by one; syncing to
+	// the frame's own header sequence keeps replay exact even if the two
+	// ever disagree (the on-disk numbering is authoritative).
+	if rec.Seq != 0 {
+		s.seq.Store(rec.Seq)
+	}
+	return nil
+}
+
+// ApplyReplicated journals one frame received from a replication
+// primary verbatim into the local WAL and applies its decoded record
+// through the recovery mutators. The caller serializes it with every
+// other mutator (package aladin holds its write lock) — journaling and
+// applying under the same exclusion keeps the local directory's record
+// sequences dense across replica checkpoints, so a restarted replica
+// recovers from its own segments + WAL tail and resumes streaming at
+// exactly SnapshotSeq()+1.
+//
+// The system must be in DisableJournal mode: the mutators applying the
+// record would otherwise journal a second copy.
+func (s *System) ApplyReplicated(frame []byte, rec *store.WALRecord) error {
+	d := s.durable
+	if d != nil {
+		if err := d.dir.Append(frame, rec.Seq); err != nil {
+			return fmt.Errorf("%w: replica journal: %w", ErrDurability, err)
+		}
+	}
+	if err := s.applyWAL(rec); err != nil {
+		return err
+	}
+	if d != nil {
+		// applyWAL skips the records counter (journaling is off); count
+		// the mutation here so checkpoint thresholds see replica traffic.
+		d.mu.Lock()
+		d.records++
+		d.mu.Unlock()
 	}
 	return nil
 }

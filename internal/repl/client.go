@@ -1,0 +1,210 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/store"
+)
+
+// ErrTrimmed reports that the primary has checkpointed past the
+// requested sequence and trimmed the WAL records; the replica must
+// re-bootstrap from the manifest segments. Test with errors.Is.
+var ErrTrimmed = errors.New("repl: requested WAL records trimmed by a primary checkpoint")
+
+// Client talks to one primary's replication API.
+type Client struct {
+	// HTTP is the client used for all requests; it needs no overall
+	// timeout (WAL requests long-poll), cancellation runs via contexts.
+	HTTP *http.Client
+	// Primary is the primary's base URL, e.g. "http://10.0.0.1:8317".
+	Primary string
+}
+
+// NewClient builds a client for the primary at base URL primary.
+func NewClient(primary string, hc *http.Client) (*Client, error) {
+	primary = strings.TrimRight(primary, "/")
+	u, err := url.Parse(primary)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("repl: primary must be a base URL like http://host:port, got %q", primary)
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{HTTP: hc, Primary: primary}, nil
+}
+
+// get issues one GET and fails uniformly on non-200s, decoding the
+// server's JSON error envelope into the message when present.
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Primary+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	json.Unmarshal(body, &envelope)
+	if resp.StatusCode == http.StatusGone {
+		return nil, fmt.Errorf("%w: %s", ErrTrimmed, envelope.Error.Message)
+	}
+	if envelope.Error.Code != "" {
+		return nil, fmt.Errorf("repl: %s %s: %s (%s)", http.MethodGet, path, envelope.Error.Code, envelope.Error.Message)
+	}
+	return nil, fmt.Errorf("repl: %s %s: HTTP %d", http.MethodGet, path, resp.StatusCode)
+}
+
+// Manifest fetches the primary's current manifest and live sequence.
+func (c *Client) Manifest(ctx context.Context) (*Manifest, error) {
+	resp, err := c.get(ctx, "/v1/repl/manifest")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("repl: decoding manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// WALBatch is the result of one WAL poll: the decoded frames plus the
+// primary's live sequence at response time (the lag upper bound).
+type WALBatch struct {
+	Frames     []*Frame
+	PrimarySeq uint64
+}
+
+// WAL fetches the frames with sequence > from. wait > 0 asks the
+// primary to long-poll when there is nothing new yet. A response torn
+// mid-frame (primary died mid-write) is not an error: the intact prefix
+// is returned and the next poll re-requests the rest.
+func (c *Client) WAL(ctx context.Context, from uint64, wait time.Duration) (*WALBatch, error) {
+	path := "/v1/repl/wal?from=" + strconv.FormatUint(from, 10)
+	if wait > 0 {
+		path += "&wait=" + url.QueryEscape(wait.String())
+	}
+	resp, err := c.get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	batch := &WALBatch{}
+	if v := resp.Header.Get("X-Aladin-Repl-Seq"); v != "" {
+		batch.PrimarySeq, _ = strconv.ParseUint(v, 10, 64)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil && len(body) == 0 {
+		return nil, fmt.Errorf("repl: reading WAL response: %w", err)
+	}
+	fr := NewFrameReader(bytes.NewReader(body))
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			if err == io.EOF {
+				return batch, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				// Torn stream: keep the intact prefix, re-poll the rest.
+				return batch, nil
+			}
+			return nil, err
+		}
+		batch.Frames = append(batch.Frames, f)
+	}
+}
+
+// Segment streams one checkpoint segment; the caller closes the reader.
+func (c *Client) Segment(ctx context.Context, name string) (io.ReadCloser, error) {
+	resp, err := c.get(ctx, "/v1/repl/segment/"+url.PathEscape(name))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// MarkerName is the file that marks a data directory as a replica; it
+// holds the primary's base URL. Its presence is what allows the open
+// path to wipe and re-bootstrap the directory — a directory without the
+// marker is somebody's primary and is never destroyed.
+const MarkerName = "REPLICA"
+
+// WriteMarker durably marks dir as a replica of primary.
+func WriteMarker(dir, primary string) error {
+	return store.WriteFileAtomic(filepath.Join(dir, MarkerName), strings.NewReader(primary+"\n"))
+}
+
+// ReadMarker reports whether dir carries a replica marker and for which
+// primary.
+func ReadMarker(dir string) (primary string, ok bool) {
+	b, err := os.ReadFile(filepath.Join(dir, MarkerName))
+	if err != nil {
+		return "", false
+	}
+	return strings.TrimSpace(string(b)), true
+}
+
+// Bootstrap downloads the primary's checkpoint into dir: every segment
+// the manifest references, then a local manifest pointing at them
+// (store.InitReplicaDir), so a normal open recovers the primary's
+// checkpointed state and resumes streaming at RecordSeq. The directory
+// must be empty of store state; the caller wipes a stale replica
+// directory first (guarded by the REPLICA marker).
+//
+// If the primary checkpoints while segments are downloading, a fetch
+// 404s (the file left the manifest); Bootstrap fails and the caller
+// simply retries against the new manifest.
+func (c *Client) Bootstrap(ctx context.Context, dir string) (*Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := WriteMarker(dir, c.Primary); err != nil {
+		return nil, err
+	}
+	m, err := c.Manifest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, file := range m.Files() {
+		body, err := c.Segment(ctx, file)
+		if err != nil {
+			return nil, fmt.Errorf("repl: bootstrap: fetching %s: %w", file, err)
+		}
+		err = store.WriteFileAtomic(filepath.Join(dir, file), body)
+		body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("repl: bootstrap: writing %s: %w", file, err)
+		}
+	}
+	planted := &store.Manifest{Gen: m.Gen, RecordSeq: m.RecordSeq, LinksFile: m.LinksFile}
+	for _, s := range m.Segments {
+		planted.Sources = append(planted.Sources, store.SegmentRef{Source: s.Source, File: s.File})
+	}
+	if err := store.InitReplicaDir(dir, planted); err != nil {
+		return nil, fmt.Errorf("repl: bootstrap: %w", err)
+	}
+	return m, nil
+}

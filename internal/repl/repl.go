@@ -1,0 +1,74 @@
+// Package repl implements primary → read-replica replication for the
+// durable warehouse, built entirely on the on-disk artifacts the store
+// layer already maintains.
+//
+// The primary serves three HTTP endpoints over its data directory:
+//
+//	GET /v1/repl/manifest        the checkpoint manifest + current seq
+//	GET /v1/repl/segment/{name}  one immutable checkpoint segment, raw
+//	GET /v1/repl/wal?from=<seq>  WAL frames with sequence > from, raw
+//
+// Segments are immutable once written, so a replica fetches each
+// exactly once; the WAL tail is streamed as the same length-prefixed,
+// CRC-checked frames the primary fsynced, addressed by the global
+// record sequence stamped in each frame header. Addressing by record
+// sequence (rather than by WAL file + byte offset) is what lets a
+// restarted replica resume from purely local state: its own recovered
+// directory tells it the last sequence it applied, and file layouts on
+// the two sides never need to correspond.
+//
+// A replica bootstraps by downloading the manifest's segments, planting
+// a local manifest over them (store.InitReplicaDir), recovering exactly
+// as after a crash, then polling /v1/repl/wal (long-poll via the wait
+// parameter) and applying each frame through the normal recovery
+// mutators. When the primary has already checkpointed past the
+// requested sequence the WAL endpoint answers 410 (ErrTrimmed) and the
+// replica re-bootstraps from segments.
+package repl
+
+import "time"
+
+// Manifest is the JSON shape of GET /v1/repl/manifest: the primary's
+// durable checkpoint state plus its current live sequence.
+type Manifest struct {
+	// Gen is the completed checkpoint generation.
+	Gen uint64 `json:"gen"`
+	// RecordSeq is the global sequence the checkpoint segments subsume:
+	// a replica restoring them resumes streaming at RecordSeq+1.
+	RecordSeq uint64 `json:"record_seq"`
+	// Seq is the primary's current live sequence (last acknowledged
+	// mutation) at the time of the request.
+	Seq uint64 `json:"seq"`
+	// Segments lists the per-source segment files, in registration order.
+	Segments []Segment `json:"segments"`
+	// LinksFile is the link-repository segment ("" before the first
+	// checkpoint).
+	LinksFile string `json:"links_file,omitempty"`
+}
+
+// Segment names one source's checkpoint segment file.
+type Segment struct {
+	Source string `json:"source"`
+	File   string `json:"file"`
+}
+
+// Files returns every segment file the manifest references, links
+// segment included.
+func (m *Manifest) Files() []string {
+	var out []string
+	for _, s := range m.Segments {
+		out = append(out, s.File)
+	}
+	if m.LinksFile != "" {
+		out = append(out, m.LinksFile)
+	}
+	return out
+}
+
+// DefaultWait is the long-poll duration a replica asks the WAL endpoint
+// to hold a request open for when it is already caught up.
+const DefaultWait = 25 * time.Second
+
+// maxWALResponse soft-bounds one WAL response body; a catch-up larger
+// than this simply takes multiple requests.
+const maxWALResponse = 4 << 20

@@ -1,0 +1,289 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rel"
+	"repro/internal/store"
+)
+
+// primaryFixture is a data directory in the state a real primary leaves
+// it: one completed checkpoint (gen 1, subsuming records 1-2, one
+// source segment) plus a live WAL tail holding records 3-4.
+func primaryFixture(t *testing.T) (*store.Dir, *atomic.Uint64) {
+	t.Helper()
+	db := rel.NewDatabase("src")
+	r := db.Create("t", rel.NewSchema(
+		rel.Column{Name: "id", Kind: rel.KindInt},
+		rel.Column{Name: "acc", Kind: rel.KindString},
+	))
+	r.PrimaryKey = "id"
+	r.Append(rel.Tuple{rel.Int(1), rel.Str("P1")})
+	r.Append(rel.Tuple{rel.Int(2), rel.Str("P2")})
+
+	d, err := store.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	append := func(rec *store.WALRecord) {
+		t.Helper()
+		frame, err := store.EncodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Append(frame, rec.Seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	append(&store.WALRecord{Seq: 1, Type: store.RecAddSource, Source: &store.SourceSnapshot{
+		Name: "src", Relations: store.SnapshotDatabase(db), TupleCount: 2}})
+	append(&store.WALRecord{Seq: 2, Type: store.RecDML, SourceName: "src", SQL: "UPDATE src_t SET acc = 'P9' WHERE id = 1"})
+	walSeq, err := d.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CompleteCheckpoint(&store.CheckpointData{
+		Dirty: []store.SourceSnapshot{{Name: "src", Relations: store.SnapshotDatabase(db), TupleCount: 2}},
+		Order: []string{"src"}, WALSeq: walSeq, RecordSeq: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	append(&store.WALRecord{Seq: 3, Type: store.RecDML, SourceName: "src", SQL: "DELETE FROM src_t WHERE id = 2"})
+	append(&store.WALRecord{Seq: 4, Type: store.RecDML, SourceName: "src", SQL: "DELETE FROM src_t WHERE id = 1"})
+
+	var seq atomic.Uint64
+	seq.Store(4)
+	return d, &seq
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	d, seq := primaryFixture(t)
+	srv := httptest.NewServer(NewServer(d, seq.Load))
+	defer srv.Close()
+	ctx := context.Background()
+
+	c, err := NewClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Manifest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 1 || m.RecordSeq != 2 || m.Seq != 4 || len(m.Segments) != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+
+	// The WAL tail after the checkpoint: records 3 and 4 exactly.
+	batch, err := c.WAL(ctx, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Frames) != 2 || batch.PrimarySeq != 4 {
+		t.Fatalf("WAL(2) = %d frames, primary seq %d", len(batch.Frames), batch.PrimarySeq)
+	}
+	if batch.Frames[0].Rec.Seq != 3 || batch.Frames[1].Rec.Seq != 4 ||
+		batch.Frames[1].Rec.SQL != "DELETE FROM src_t WHERE id = 1" {
+		t.Fatalf("frames = %+v / %+v", batch.Frames[0].Rec, batch.Frames[1].Rec)
+	}
+	// The raw bytes must be valid frames re-journalable verbatim.
+	if sq, _, err := store.ScanFrame(batch.Frames[0].Raw); err != nil || sq != 3 {
+		t.Fatalf("raw frame 0: seq=%d err=%v", sq, err)
+	}
+
+	// Caught up: an empty batch, not an error.
+	batch, err = c.WAL(ctx, 4, 0)
+	if err != nil || len(batch.Frames) != 0 {
+		t.Fatalf("WAL(4) = %d frames, err %v", len(batch.Frames), err)
+	}
+
+	// Records 1-2 were checkpointed and trimmed: streaming from 0 must
+	// say so distinctly, not return a partial history.
+	if _, err := c.WAL(ctx, 0, 0); !errors.Is(err, ErrTrimmed) {
+		t.Fatalf("WAL(0) = %v, want ErrTrimmed", err)
+	}
+
+	// Segment names are matched against the manifest — no traversal.
+	if _, err := c.Segment(ctx, "../MANIFEST"); err == nil {
+		t.Fatal("traversal segment name should be rejected")
+	}
+	body, err := c.Segment(ctx, m.Segments[0].File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := io.ReadAll(body)
+	body.Close()
+	if err != nil || len(seg) == 0 {
+		t.Fatalf("segment read: %d bytes, err %v", len(seg), err)
+	}
+	disk, err := os.ReadFile(filepath.Join(d.Path(), m.Segments[0].File))
+	if err != nil || !bytes.Equal(seg, disk) {
+		t.Fatalf("served segment differs from disk (err %v)", err)
+	}
+}
+
+func TestBootstrapRecoversCheckpointState(t *testing.T) {
+	d, seq := primaryFixture(t)
+	srv := httptest.NewServer(NewServer(d, seq.Load))
+	defer srv.Close()
+
+	c, err := NewClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "replica")
+	m, err := c.Bootstrap(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := ReadMarker(dir); !ok || p != c.Primary {
+		t.Fatalf("marker = %q, %v", p, ok)
+	}
+
+	// The bootstrapped directory opens like a local one and loads the
+	// primary's checkpointed state; streaming resumes after RecordSeq.
+	rd, err := store.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if st := rd.Stats(); st.Gen != m.Gen || st.RecordSeq != 2 {
+		t.Fatalf("replica dir stats = %+v", st)
+	}
+	snap, err := rd.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sources) != 1 || snap.Sources[0].Name != "src" || snap.Sources[0].TupleCount != 2 {
+		t.Fatalf("loaded snapshot = %+v", snap.Sources)
+	}
+
+	// A second bootstrap into the same directory must refuse: the caller
+	// wipes first (behind the marker check), never blindly overwrites.
+	if _, err := c.Bootstrap(context.Background(), dir); err == nil {
+		t.Fatal("bootstrap over an initialized directory should fail")
+	}
+}
+
+func TestWALLongPollWakesOnAppend(t *testing.T) {
+	d, seq := primaryFixture(t)
+	s := NewServer(d, seq.Load)
+	s.pollInterval = 5 * time.Millisecond
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	c, err := NewClient(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		frame, err := store.EncodeRecord(&store.WALRecord{Seq: 5, Type: store.RecDML, SourceName: "src", SQL: "x"})
+		if err == nil {
+			if err := d.Append(frame, 5); err == nil {
+				seq.Store(5)
+			}
+		}
+	}()
+	start := time.Now()
+	batch, err := c.WAL(context.Background(), 4, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Frames) != 1 || batch.Frames[0].Rec.Seq != 5 {
+		t.Fatalf("long poll returned %d frames", len(batch.Frames))
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("long poll should return on append, not run out the wait")
+	}
+}
+
+// A stream torn mid-frame (primary crashed mid-write, proxy truncated
+// the body) must yield the intact prefix and a clean resume point — the
+// replica re-requests the torn frame on the next poll.
+func TestFrameReaderTornStream(t *testing.T) {
+	var stream []byte
+	for i := uint64(1); i <= 3; i++ {
+		frame, err := store.EncodeRecord(&store.WALRecord{Seq: i, Type: store.RecDML, SourceName: "src", SQL: "stmt"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, frame...)
+	}
+
+	// Intact stream: three frames then io.EOF.
+	fr := NewFrameReader(bytes.NewReader(stream))
+	var seqs []uint64
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, f.Rec.Seq)
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[2] != 3 {
+		t.Fatalf("intact stream decoded %v", seqs)
+	}
+
+	// Tear the final frame at every byte boundary: the reader must hand
+	// back exactly the two intact frames and then ErrUnexpectedEOF —
+	// never a short/garbled third frame, never a hard failure.
+	twoFrames := 0
+	fr = NewFrameReader(bytes.NewReader(stream))
+	for i := 0; i < 2; i++ {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoFrames += len(f.Raw)
+	}
+	for cut := twoFrames + 1; cut < len(stream); cut++ {
+		fr := NewFrameReader(bytes.NewReader(stream[:cut]))
+		n := 0
+		for {
+			f, err := fr.Next()
+			if err == nil {
+				n++
+				if f.Rec.Seq != uint64(n) {
+					t.Fatalf("cut %d: frame %d has seq %d", cut, n, f.Rec.Seq)
+				}
+				continue
+			}
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("cut %d after %d frames: err = %v, want ErrUnexpectedEOF", cut, n, err)
+			}
+			break
+		}
+		if n != 2 {
+			t.Fatalf("cut %d decoded %d frames, want 2", cut, n)
+		}
+	}
+}
+
+func TestNewClientRejectsBadURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "host:8317", "/just/a/path"} {
+		if _, err := NewClient(bad, nil); err == nil {
+			t.Errorf("NewClient(%q) should fail", bad)
+		}
+	}
+	c, err := NewClient("http://localhost:8317/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Primary != "http://localhost:8317" {
+		t.Errorf("trailing slash not trimmed: %q", c.Primary)
+	}
+}

@@ -1,0 +1,145 @@
+package repl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Server serves the replication API of a primary over its open data
+// directory. It reads only on-disk state — the manifest copy, immutable
+// segment files, and fsynced WAL frames — so it never contends with the
+// warehouse's own locks; the live sequence comes from the seq callback
+// (core.System.SnapshotSeq via package aladin).
+type Server struct {
+	dir *store.Dir
+	seq func() uint64
+	mux *http.ServeMux
+
+	// pollInterval is how often a long-polling WAL request re-checks the
+	// sequence; tests shorten it.
+	pollInterval time.Duration
+}
+
+// NewServer builds the replication handler for an open data directory.
+func NewServer(dir *store.Dir, seq func() uint64) *Server {
+	s := &Server{dir: dir, seq: seq, pollInterval: 100 * time.Millisecond}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/repl/manifest", s.handleManifest)
+	mux.HandleFunc("GET /v1/repl/segment/{name}", s.handleSegment)
+	mux.HandleFunc("GET /v1/repl/wal", s.handleWAL)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeError mirrors the aladind error envelope so replication clients
+// and API clients parse failures the same way.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]any{"status": status, "code": code, "message": msg},
+	})
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	m := s.dir.ManifestCopy()
+	out := Manifest{
+		Gen:       m.Gen,
+		RecordSeq: m.RecordSeq,
+		Seq:       s.seq(),
+		LinksFile: m.LinksFile,
+	}
+	for _, ref := range m.Sources {
+		out.Segments = append(out.Segments, Segment{Source: ref.Source, File: ref.File})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&out)
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// OpenArtifact matches the name against the current manifest, which
+	// is both the traversal guard and the immutability guarantee.
+	f, err := s.dir.OpenArtifact(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no_such_segment",
+			fmt.Sprintf("%q is not an active segment of this primary (refresh the manifest)", name))
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(st.Size(), 10))
+	io.Copy(w, f)
+}
+
+func (s *Server) handleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_parameter",
+			fmt.Sprintf("from must be a record sequence number: %v", err))
+		return
+	}
+	var wait time.Duration
+	if v := q.Get("wait"); v != "" {
+		wait, err = time.ParseDuration(v)
+		if err != nil || wait < 0 || wait > 5*time.Minute {
+			writeError(w, http.StatusBadRequest, "invalid_parameter",
+				fmt.Sprintf("wait must be a duration up to 5m, got %q", v))
+			return
+		}
+	}
+
+	// Long-poll: when the replica is caught up, hold the request open
+	// until a new mutation lands (or the wait expires). Appends are
+	// fsynced before they are acknowledged, so seq() > from guarantees
+	// the frames are readable on disk.
+	if wait > 0 && s.seq() <= from {
+		deadline := time.NewTimer(wait)
+		tick := time.NewTicker(s.pollInterval)
+		defer deadline.Stop()
+		defer tick.Stop()
+	poll:
+		for s.seq() <= from {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-deadline.C:
+				break poll
+			case <-tick.C:
+			}
+		}
+	}
+
+	frames, last, err := s.dir.FramesSince(from, maxWALResponse)
+	if err != nil {
+		if errors.Is(err, store.ErrWALTrimmed) {
+			writeError(w, http.StatusGone, "wal_trimmed",
+				fmt.Sprintf("records after %d were checkpointed and trimmed; re-bootstrap from the manifest segments", from))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Aladin-Repl-Seq", strconv.FormatUint(s.seq(), 10))
+	w.Header().Set("X-Aladin-Repl-Last", strconv.FormatUint(last, 10))
+	w.Write(frames)
+}

@@ -1,0 +1,69 @@
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+)
+
+// frameHeaderSize mirrors the WAL frame header: u32 payload length,
+// u32 CRC, u64 sequence. The wire format of /v1/repl/wal is exactly the
+// on-disk format minus the per-file magic.
+const frameHeaderSize = 16
+
+// maxFrameSize bounds a single streamed frame, defending against a
+// corrupt or hostile length prefix.
+const maxFrameSize = 1 << 30
+
+// Frame is one decoded element of a WAL stream: the raw frame bytes
+// (journaled verbatim by a replica) and the decoded record.
+type Frame struct {
+	Raw []byte
+	Rec *store.WALRecord
+}
+
+// FrameReader decodes a stream of concatenated WAL frames from r.
+// A stream that ends exactly on a frame boundary yields io.EOF; one
+// that ends mid-frame — a torn stream, e.g. a primary dying mid-response
+// — yields io.ErrUnexpectedEOF, and the caller discards the partial
+// frame and re-requests from its last applied sequence. Every frame's
+// CRC is verified before the record is decoded.
+type FrameReader struct {
+	r   io.Reader
+	hdr [frameHeaderSize]byte
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next reads and validates one frame. It returns io.EOF at a clean end
+// of stream and io.ErrUnexpectedEOF (possibly wrapped) on a torn one.
+func (fr *FrameReader) Next() (*Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("repl: torn frame header: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err // io.EOF: clean boundary
+	}
+	plen := binary.LittleEndian.Uint32(fr.hdr[0:4])
+	if plen > maxFrameSize {
+		return nil, fmt.Errorf("repl: frame length %d exceeds limit", plen)
+	}
+	raw := make([]byte, frameHeaderSize+int(plen))
+	copy(raw, fr.hdr[:])
+	if _, err := io.ReadFull(fr.r, raw[frameHeaderSize:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("repl: torn frame payload: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	rec, _, err := store.DecodeFrame(raw)
+	if err != nil {
+		return nil, fmt.Errorf("repl: invalid frame in stream: %w", err)
+	}
+	return &Frame{Raw: raw, Rec: rec}, nil
+}

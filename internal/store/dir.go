@@ -90,6 +90,20 @@ func OpenDir(path string) (*Dir, error) {
 		}
 		d.wal = w
 	} else {
+		// The live files must be exactly WALSeq, WALSeq+1, ... — a hole
+		// means acknowledged mutations are gone, and everything after the
+		// hole may depend on them. Refuse to open rather than silently
+		// replay around it.
+		if live[0] != d.manifest.WALSeq {
+			return nil, fmt.Errorf("store: wal-%08d.log is missing (manifest expects the live WAL to start there, first present is wal-%08d.log): %w",
+				d.manifest.WALSeq, live[0], ErrWALGap)
+		}
+		for i := 1; i < len(live); i++ {
+			if live[i] != live[i-1]+1 {
+				return nil, fmt.Errorf("store: wal-%08d.log is missing (wal-%08d.log and wal-%08d.log are both present): %w",
+					live[i-1]+1, live[i-1], live[i], ErrWALGap)
+			}
+		}
 		for i, s := range live {
 			if i == len(live)-1 {
 				w, recs, err := OpenWAL(d.walFile(s))
@@ -106,6 +120,17 @@ func OpenDir(path string) (*Dir, error) {
 				d.pending = append(d.pending, recs...)
 			}
 		}
+	}
+	// Record sequences must be dense from the checkpoint onward. A jump
+	// inside the pending tail means a corrupt record in a non-final WAL
+	// file swallowed acknowledged mutations mid-stream — distinct from a
+	// torn tail, which only ever loses the unacknowledged end.
+	expect := d.manifest.RecordSeq
+	for _, rec := range d.pending {
+		if rec.Seq != expect+1 {
+			return nil, fmt.Errorf("store: WAL record sequence jumps from %d to %d: %w", expect, rec.Seq, ErrWALGap)
+		}
+		expect = rec.Seq
 	}
 	d.cleanup()
 	return d, nil
@@ -165,12 +190,13 @@ func (d *Dir) Replay(apply func(*WALRecord) error) (int, error) {
 }
 
 // Append durably journals one pre-encoded record frame (see
-// EncodeRecord). Callers serialize appends with mutations.
-func (d *Dir) Append(frame []byte) error {
+// EncodeRecord), stamping seq into its header. Callers serialize
+// appends with mutations and hand out dense sequence numbers.
+func (d *Dir) Append(frame []byte, seq uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.wal.failpoint = d.Failpoint
-	return d.wal.Append(frame)
+	return d.wal.Append(frame, seq)
 }
 
 // Rotate switches appends to a fresh WAL file and returns its sequence
@@ -207,9 +233,12 @@ type CheckpointData struct {
 	Order []string
 	// WALSeq is the rotation point returned by Rotate: the new manifest
 	// marks WAL files below it as subsumed.
-	WALSeq  uint64
-	Links   []metadata.Link
-	Removed []metadata.Link
+	WALSeq uint64
+	// RecordSeq is the global sequence of the last mutation captured in
+	// this checkpoint; the new manifest anchors the record counter there.
+	RecordSeq uint64
+	Links     []metadata.Link
+	Removed   []metadata.Link
 }
 
 // CompleteCheckpoint writes the dirty sources' segments and the links
@@ -248,7 +277,7 @@ func (d *Dir) CompleteCheckpoint(data *CheckpointData) error {
 		return err
 	}
 
-	next := &Manifest{Version: ManifestVersion, Gen: gen, WALSeq: data.WALSeq, LinksFile: linksFile}
+	next := &Manifest{Version: ManifestVersion, Gen: gen, WALSeq: data.WALSeq, RecordSeq: data.RecordSeq, LinksFile: linksFile}
 	oldFiles := make(map[string]string, len(old.Sources))
 	for _, ref := range old.Sources {
 		oldFiles[keyOf(ref.Source)] = ref.File
@@ -326,6 +355,10 @@ type DirStats struct {
 	LastCheckpoint time.Time
 	// Sources is the number of checkpointed source segments.
 	Sources int
+	// RecordSeq is the global sequence the last checkpoint subsumed
+	// (manifest RecordSeq); the live warehouse sequence is tracked by
+	// package core, not here.
+	RecordSeq uint64
 }
 
 // Stats returns a consistent view of the durability state.
@@ -340,6 +373,7 @@ func (d *Dir) Stats() DirStats {
 		WALBytes:       d.wal.Bytes(),
 		LastCheckpoint: d.lastCheckpoint,
 		Sources:        len(d.manifest.Sources),
+		RecordSeq:      d.manifest.RecordSeq,
 	}
 }
 

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -12,7 +13,7 @@ func appendRecord(t *testing.T, d *Dir, rec *WALRecord) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Append(frame); err != nil {
+	if err := d.Append(frame, rec.Seq); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -96,15 +97,16 @@ func TestDirCheckpointLoadAndTrim(t *testing.T) {
 	}
 	// A record arriving after the rotation lands in the new WAL and must
 	// survive the checkpoint's trim.
-	appendRecord(t, d, &WALRecord{Type: RecDML, SourceName: "src", SQL: "post-rotate"})
+	appendRecord(t, d, &WALRecord{Seq: 4, Type: RecDML, SourceName: "src", SQL: "post-rotate"})
 
 	ss := *recs[0].Source
 	if err := d.CompleteCheckpoint(&CheckpointData{
-		Dirty:   []SourceSnapshot{ss},
-		Order:   []string{"src"},
-		WALSeq:  seq,
-		Links:   recs[0].Links,
-		Removed: nil,
+		Dirty:     []SourceSnapshot{ss},
+		Order:     []string{"src"},
+		WALSeq:    seq,
+		RecordSeq: 3,
+		Links:     recs[0].Links,
+		Removed:   nil,
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +179,7 @@ func TestDirWALAppendFailpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	appendRecord(t, d, &WALRecord{Type: RecDML, SourceName: "src", SQL: "kept"})
+	appendRecord(t, d, &WALRecord{Seq: 1, Type: RecDML, SourceName: "src", SQL: "kept"})
 
 	boom := os.ErrClosed
 	d.Failpoint = func(stage string) error {
@@ -190,7 +192,7 @@ func TestDirWALAppendFailpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Append(frame); err == nil {
+	if err := d.Append(frame, 2); err == nil {
 		t.Fatal("failpoint append should error")
 	}
 	d.Close()
@@ -208,6 +210,66 @@ func TestDirWALAppendFailpoint(t *testing.T) {
 	if len(got) != 1 || got[0].SQL != "kept" {
 		t.Fatalf("recovered records = %+v", got)
 	}
-	// And the log is append-clean again.
-	appendRecord(t, d2, &WALRecord{Type: RecDML, SourceName: "src", SQL: "after"})
+	// And the log is append-clean again. The failed append did not
+	// consume sequence 2.
+	appendRecord(t, d2, &WALRecord{Seq: 2, Type: RecDML, SourceName: "src", SQL: "after"})
+}
+
+// A missing WAL file between two present ones means acknowledged
+// mutations are gone; OpenDir must refuse with ErrWALGap rather than
+// silently replaying around the hole.
+func TestOpenDirRefusesWALFileGap(t *testing.T) {
+	path := t.TempDir()
+	d, err := OpenDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, d, &WALRecord{Seq: 1, Type: RecDML, SourceName: "src", SQL: "one"})
+	if _, err := d.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, d, &WALRecord{Seq: 2, Type: RecDML, SourceName: "src", SQL: "two"})
+	if _, err := d.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, d, &WALRecord{Seq: 3, Type: RecDML, SourceName: "src", SQL: "three"})
+	d.Close()
+
+	// wal-1 and wal-3 present, wal-2 missing.
+	if err := os.Remove(filepath.Join(path, "wal-00000002.log")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDir(path)
+	if !errors.Is(err, ErrWALGap) {
+		t.Fatalf("open with missing wal-2 = %v, want ErrWALGap", err)
+	}
+
+	// The first live file missing is the same failure.
+	if err := os.Remove(filepath.Join(path, "wal-00000001.log")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDir(path)
+	if !errors.Is(err, ErrWALGap) {
+		t.Fatalf("open with missing wal-1 = %v, want ErrWALGap", err)
+	}
+}
+
+// Non-consecutive record sequences inside the live WAL — a corrupt
+// record in a non-final file swallowing acknowledged mutations — are a
+// gap, distinct from a torn tail (which only loses the unacknowledged
+// end and stays fine).
+func TestOpenDirRefusesRecordSeqGap(t *testing.T) {
+	path := t.TempDir()
+	d, err := OpenDir(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecord(t, d, &WALRecord{Seq: 1, Type: RecDML, SourceName: "src", SQL: "one"})
+	appendRecord(t, d, &WALRecord{Seq: 3, Type: RecDML, SourceName: "src", SQL: "three"})
+	d.Close()
+
+	_, err = OpenDir(path)
+	if !errors.Is(err, ErrWALGap) {
+		t.Fatalf("open with record seqs 1,3 = %v, want ErrWALGap", err)
+	}
 }

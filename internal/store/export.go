@@ -1,0 +1,156 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// This file is the export surface the replication subsystem
+// (internal/repl) is built on. A primary serves three things, all of
+// which exist on disk already: the manifest (ManifestCopy), the
+// immutable checkpoint segments (OpenArtifact), and the WAL tail as raw
+// frames addressed by global record sequence (FramesSince). A replica
+// bootstraps by downloading the segments and planting a manifest that
+// points at them (InitReplicaDir), after which OpenDir/Load/Replay
+// behave exactly as they do after a local crash.
+
+// ErrWALTrimmed reports that the requested WAL records were already
+// subsumed by a checkpoint and trimmed — the caller must re-bootstrap
+// from the segments instead of streaming. Test with errors.Is.
+var ErrWALTrimmed = errors.New("store: requested WAL records already checkpointed and trimmed")
+
+// ManifestCopy returns a copy of the current manifest.
+func (d *Dir) ManifestCopy() Manifest {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := *d.manifest
+	m.Sources = append([]SegmentRef(nil), m.Sources...)
+	return m
+}
+
+// OpenArtifact opens a segment file for reading, but only if the
+// current manifest references it — which both prevents path traversal
+// (the name is matched against the manifest, never joined blindly) and
+// guarantees the file is immutable while open. The caller closes it.
+// A name the manifest does not reference (any more) is an error; the
+// client re-fetches the manifest and retries.
+func (d *Dir) OpenArtifact(name string) (*os.File, error) {
+	d.mu.Lock()
+	ok := name != "" && name == d.manifest.LinksFile
+	for _, ref := range d.manifest.Sources {
+		if ref.File == name {
+			ok = true
+			break
+		}
+	}
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: %q is not an active segment", name)
+	}
+	return os.Open(filepath.Join(d.path, name))
+}
+
+// FramesSince returns the raw, already-validated WAL frames of every
+// record with sequence > from, concatenated in order, plus the sequence
+// of the last frame returned (= from if none). Frames are read straight
+// from the on-disk WAL files — safe concurrently with appends because
+// files are append-only and a partially-written tail fails frame
+// validation and is simply not returned yet.
+//
+// If from predates the last checkpoint (from < manifest RecordSeq) the
+// trimmed WAL can no longer produce the records and FramesSince returns
+// ErrWALTrimmed: the caller must re-bootstrap from the segments.
+// maxBytes > 0 soft-bounds the response size (the last frame may
+// overshoot it).
+func (d *Dir) FramesSince(from uint64, maxBytes int) ([]byte, uint64, error) {
+	// A checkpoint can swap the manifest and trim files between reading
+	// the bounds and reading the files; retry from fresh bounds when a
+	// file vanishes underneath us.
+	for attempt := 0; ; attempt++ {
+		d.mu.Lock()
+		base := d.manifest.RecordSeq
+		first := d.manifest.WALSeq
+		last := d.walSeq
+		d.mu.Unlock()
+		if from < base {
+			return nil, 0, fmt.Errorf("store: records after %d requested but only records after %d remain: %w", from, base, ErrWALTrimmed)
+		}
+		out, lastSeq, err := d.scanFramesSince(first, last, from, maxBytes)
+		if err == nil {
+			return out, lastSeq, nil
+		}
+		if os.IsNotExist(err) && attempt < 3 {
+			continue
+		}
+		return nil, 0, err
+	}
+}
+
+func (d *Dir) scanFramesSince(firstFile, lastFile, from uint64, maxBytes int) ([]byte, uint64, error) {
+	var out []byte
+	lastSeq := from
+	for s := firstFile; s <= lastFile; s++ {
+		buf, err := os.ReadFile(d.walFile(s))
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(buf) < len(walMagic) || string(buf[:len(walMagic)]) != walMagic {
+			// A torn header means the file was created but never used.
+			if len(buf) < len(walMagic) && string(buf) == walMagic[:len(buf)] {
+				continue
+			}
+			return nil, 0, fmt.Errorf("store: wal-%08d.log is not a WAL file", s)
+		}
+		rest := buf[len(walMagic):]
+		for len(rest) > 0 {
+			seq, n, err := ScanFrame(rest)
+			if err != nil {
+				break // torn or in-flight tail: not acknowledged yet
+			}
+			if seq > from {
+				out = append(out, rest[:n]...)
+				if seq > lastSeq {
+					lastSeq = seq
+				}
+			}
+			rest = rest[n:]
+			if maxBytes > 0 && len(out) >= maxBytes {
+				return out, lastSeq, nil
+			}
+		}
+	}
+	return out, lastSeq, nil
+}
+
+// InitReplicaDir plants a manifest into dir (which must not already
+// hold one) referencing segment files the caller has just downloaded
+// into it, so that OpenDir/Load recover the primary's checkpointed
+// state. The local WAL numbering starts fresh at 1; m.RecordSeq carries
+// the global sequence the segments subsume, which is where the replica
+// resumes streaming.
+func InitReplicaDir(dir string, m *Manifest) error {
+	mpath := filepath.Join(dir, ManifestName)
+	if _, err := os.Stat(mpath); err == nil {
+		return fmt.Errorf("store: %s already holds a manifest", dir)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	planted := *m
+	planted.Version = ManifestVersion
+	planted.WALSeq = 1
+	return writeManifest(mpath, &planted)
+}
+
+// WriteFileAtomic durably writes the contents of r to path via the
+// usual temp + fsync + rename + dir-fsync dance. Used for downloaded
+// segment files, which must be fully on disk before the manifest that
+// references them is planted.
+func WriteFileAtomic(path string, r io.Reader) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		_, err := io.Copy(w, r)
+		return err
+	})
+}

@@ -35,8 +35,11 @@ const (
 	ManifestName = "MANIFEST"
 )
 
-// ManifestVersion identifies the directory-format layout.
-const ManifestVersion = 1
+// ManifestVersion identifies the directory-format layout. Version 2
+// added RecordSeq (and the WAL v2 per-frame sequence it anchors);
+// version-1 directories are rejected with a clear error — re-ingest or
+// re-bootstrap to migrate.
+const ManifestVersion = 2
 
 // SegmentRef names the active checkpoint segment of one source.
 type SegmentRef struct {
@@ -52,6 +55,11 @@ type Manifest struct {
 	// WALSeq is the first live WAL sequence number: recovery replays
 	// every wal-<seq>.log with seq >= WALSeq, in order.
 	WALSeq uint64
+	// RecordSeq is the global sequence of the last mutation the
+	// checkpoint segments subsume (0 before any mutation). Live WAL
+	// records continue at RecordSeq+1; replication streams are addressed
+	// relative to it, and recovery seeds the mutation counter from it.
+	RecordSeq uint64
 	// Sources lists the active per-source segments in registration order.
 	Sources []SegmentRef
 	// LinksFile is the active link-repository segment ("" before the

@@ -25,19 +25,37 @@ import (
 //
 //	[4 bytes] payload length n
 //	[4 bytes] CRC-32 (IEEE) of the payload
+//	[8 bytes] global record sequence number
 //	[n bytes] payload = gob(WALRecord)
+//
+// The sequence number lives in the frame header — outside the gob
+// payload and the CRC — so a frame can be encoded off-lock and stamped
+// with its final sequence under the commit lock without re-encoding.
+// Sequence numbers are global and dense: the first mutation of a fresh
+// directory is 1, and every later mutation is exactly prev+1, across
+// WAL rotations and checkpoints. They are what replication streams are
+// addressed by, what replicas deduplicate on, and what snapshot IDs
+// pin cursors to.
 //
 // Each WAL file starts with walMagic (which embeds the format version).
 
 // walMagic prefixes every WAL file; the trailing digit is the version.
-const walMagic = "ALWAL1\n"
+// Version 2 added the per-frame sequence number for replication.
+const walMagic = "ALWAL2\n"
 
-// walFrameHeader is the per-record header size: u32 length + u32 CRC.
-const walFrameHeader = 8
+// walFrameHeader is the per-record header size: u32 length + u32 CRC +
+// u64 sequence.
+const walFrameHeader = 16
 
 // maxWALRecord bounds a single record payload (a defense against
 // interpreting corruption as a gigantic length and allocating it).
 const maxWALRecord = 1 << 30
+
+// ErrWALGap marks a hole in the write-ahead log — a missing WAL file
+// between two present ones, or non-consecutive record sequences. Replay
+// refuses to skip over a gap: everything after it may depend on the
+// missing mutations. Test with errors.Is.
+var ErrWALGap = errors.New("store: gap in the write-ahead log")
 
 // RecordType tags one WAL record.
 type RecordType uint8
@@ -57,6 +75,12 @@ const (
 // WALRecord is one logged mutation. Only the fields of the tagged type
 // are populated.
 type WALRecord struct {
+	// Seq is the record's global sequence number. It is carried in the
+	// frame header, not the gob payload: EncodeRecord writes it into the
+	// header, DecodeFrame populates it from there, and StampSeq rewrites
+	// it on an already-encoded frame.
+	Seq uint64 `json:"-"`
+
 	Type RecordType
 
 	// RecAddSource
@@ -74,45 +98,75 @@ type WALRecord struct {
 	Link *metadata.Link
 }
 
-// EncodeRecord frames a record for appending: gob payload plus length
-// and CRC header. Encoding off-lock and appending the pre-built frame
-// under the commit lock keeps the locked section to one write+fsync.
+// EncodeRecord frames a record for appending: gob payload plus length,
+// CRC and sequence header. Encoding off-lock and appending the
+// pre-built frame under the commit lock keeps the locked section to one
+// write+fsync; the final sequence is stamped into the header at append
+// time (StampSeq), which the CRC deliberately does not cover.
 func EncodeRecord(rec *WALRecord) ([]byte, error) {
 	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+	seq := rec.Seq
+	rec.Seq = 0 // the header is authoritative; keep the payload canonical
+	err := gob.NewEncoder(&body).Encode(rec)
+	rec.Seq = seq
+	if err != nil {
 		return nil, fmt.Errorf("store: encoding WAL record: %w", err)
 	}
 	frame := make([]byte, walFrameHeader+body.Len())
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(body.Len()))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body.Bytes()))
+	binary.LittleEndian.PutUint64(frame[8:16], seq)
 	copy(frame[walFrameHeader:], body.Bytes())
 	return frame, nil
 }
 
-// DecodeFrame decodes one frame from buf, returning the record and the
-// number of bytes consumed. io.ErrUnexpectedEOF means the frame is torn
-// (incomplete trailing bytes); other errors mean corruption. It never
-// panics on arbitrary input — see FuzzWALDecode.
-func DecodeFrame(buf []byte) (*WALRecord, int, error) {
+// StampSeq rewrites the sequence number of an already-encoded frame.
+// The sequence lives outside the CRC, so stamping is a plain 8-byte
+// store — no re-encoding.
+func StampSeq(frame []byte, seq uint64) {
+	binary.LittleEndian.PutUint64(frame[8:16], seq)
+}
+
+// ScanFrame validates one frame's header and CRC without decoding the
+// gob payload, returning its sequence number and total length. It is
+// the cheap half of DecodeFrame, used when frames are relayed verbatim
+// (the replication server streams raw frames straight from disk).
+// io.ErrUnexpectedEOF means the frame is torn; other errors mean
+// corruption.
+func ScanFrame(buf []byte) (seq uint64, n int, err error) {
 	if len(buf) < walFrameHeader {
-		return nil, 0, io.ErrUnexpectedEOF
+		return 0, 0, io.ErrUnexpectedEOF
 	}
-	n := binary.LittleEndian.Uint32(buf[0:4])
-	if n > maxWALRecord {
-		return nil, 0, fmt.Errorf("store: WAL record length %d exceeds limit", n)
+	plen := binary.LittleEndian.Uint32(buf[0:4])
+	if plen > maxWALRecord {
+		return 0, 0, fmt.Errorf("store: WAL record length %d exceeds limit", plen)
 	}
-	if len(buf) < walFrameHeader+int(n) {
-		return nil, 0, io.ErrUnexpectedEOF
+	if len(buf) < walFrameHeader+int(plen) {
+		return 0, 0, io.ErrUnexpectedEOF
 	}
-	payload := buf[walFrameHeader : walFrameHeader+int(n)]
+	payload := buf[walFrameHeader : walFrameHeader+int(plen)]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[4:8]) {
-		return nil, 0, errors.New("store: WAL record CRC mismatch")
+		return 0, 0, errors.New("store: WAL record CRC mismatch")
+	}
+	return binary.LittleEndian.Uint64(buf[8:16]), walFrameHeader + int(plen), nil
+}
+
+// DecodeFrame decodes one frame from buf, returning the record (with
+// Seq populated from the header) and the number of bytes consumed.
+// io.ErrUnexpectedEOF means the frame is torn (incomplete trailing
+// bytes); other errors mean corruption. It never panics on arbitrary
+// input — see FuzzWALDecode.
+func DecodeFrame(buf []byte) (*WALRecord, int, error) {
+	seq, n, err := ScanFrame(buf)
+	if err != nil {
+		return nil, 0, err
 	}
 	var rec WALRecord
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(buf[walFrameHeader:n])).Decode(&rec); err != nil {
 		return nil, 0, fmt.Errorf("store: decoding WAL record: %w", err)
 	}
-	return &rec, walFrameHeader + int(n), nil
+	rec.Seq = seq
+	return &rec, n, nil
 }
 
 // WAL is one append-only log file. Not safe for concurrent use; callers
@@ -122,6 +176,7 @@ type WAL struct {
 	path    string
 	records int
 	bytes   int64
+	lastSeq uint64
 
 	// failpoint, when non-nil, is consulted by Append at stage
 	// "wal-append": a non-nil error makes Append write only the first
@@ -176,7 +231,11 @@ func OpenWAL(path string) (*WAL, []*WALRecord, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &WAL{f: f, path: path, records: len(recs), bytes: valid - int64(len(walMagic))}, recs, nil
+	w := &WAL{f: f, path: path, records: len(recs), bytes: valid - int64(len(walMagic))}
+	if len(recs) > 0 {
+		w.lastSeq = recs[len(recs)-1].Seq
+	}
+	return w, recs, nil
 }
 
 // ScanWAL reads a WAL file and returns its intact records plus the byte
@@ -216,9 +275,14 @@ func ScanWAL(path string) ([]*WALRecord, int64, error) {
 	return recs, off, nil
 }
 
-// Append durably writes one pre-encoded frame (write + fsync). The
-// record is acknowledged only when Append returns nil.
-func (w *WAL) Append(frame []byte) error {
+// Append durably writes one pre-encoded frame (write + fsync), stamping
+// seq into its header first. The record is acknowledged only when
+// Append returns nil.
+func (w *WAL) Append(frame []byte, seq uint64) error {
+	if len(frame) < walFrameHeader {
+		return errors.New("store: WAL frame shorter than its header")
+	}
+	StampSeq(frame, seq)
 	if w.failpoint != nil {
 		if err := w.failpoint("wal-append"); err != nil {
 			// Simulated crash mid-append: half the frame reaches the
@@ -236,16 +300,17 @@ func (w *WAL) Append(frame []byte) error {
 	}
 	w.records++
 	w.bytes += int64(len(frame))
+	w.lastSeq = seq
 	return nil
 }
 
-// AppendRecord encodes and durably appends one record.
+// AppendRecord encodes and durably appends one record with its Seq.
 func (w *WAL) AppendRecord(rec *WALRecord) error {
 	frame, err := EncodeRecord(rec)
 	if err != nil {
 		return err
 	}
-	return w.Append(frame)
+	return w.Append(frame, rec.Seq)
 }
 
 // Records returns the number of records in the log (replayed + appended).
@@ -253,6 +318,10 @@ func (w *WAL) Records() int { return w.records }
 
 // Bytes returns the record bytes in the log (excluding the header).
 func (w *WAL) Bytes() int64 { return w.bytes }
+
+// LastSeq returns the sequence of the last record appended or replayed
+// (0 for an empty log).
+func (w *WAL) LastSeq() uint64 { return w.lastSeq }
 
 // Close flushes and closes the log file.
 func (w *WAL) Close() error {

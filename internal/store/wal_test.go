@@ -14,6 +14,7 @@ import (
 func sampleRecords() []*WALRecord {
 	return []*WALRecord{
 		{
+			Seq:  1,
 			Type: RecAddSource,
 			Source: &SourceSnapshot{
 				Name:       "src",
@@ -26,8 +27,8 @@ func sampleRecords() []*WALRecord {
 				To:   metadata.ObjectRef{Source: "other", Relation: "m", Accession: "X1"},
 			}},
 		},
-		{Type: RecDML, SourceName: "src", SQL: "DELETE FROM src_t WHERE id = 2"},
-		{Type: RecRemoveLink, Link: &metadata.Link{
+		{Seq: 2, Type: RecDML, SourceName: "src", SQL: "DELETE FROM src_t WHERE id = 2"},
+		{Seq: 3, Type: RecRemoveLink, Link: &metadata.Link{
 			Type: metadata.LinkText,
 			From: metadata.ObjectRef{Source: "src", Relation: "t", Accession: "P1"},
 			To:   metadata.ObjectRef{Source: "other", Relation: "m", Accession: "X2"},
@@ -61,6 +62,11 @@ func TestWALAppendScanRoundTrip(t *testing.T) {
 	if len(got) != len(want) {
 		t.Fatalf("scanned %d records, want %d", len(got), len(want))
 	}
+	for i, rec := range got {
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("record %d has seq %d, want %d", i, rec.Seq, i+1)
+		}
+	}
 	if got[0].Type != RecAddSource || got[0].Source.Name != "src" || len(got[0].Links) != 1 {
 		t.Errorf("record 0 = %+v", got[0])
 	}
@@ -79,7 +85,7 @@ func TestWALAppendScanRoundTrip(t *testing.T) {
 	if len(replayed) != len(want) {
 		t.Fatalf("reopen replayed %d records, want %d", len(replayed), len(want))
 	}
-	if err := w2.AppendRecord(&WALRecord{Type: RecDML, SQL: "x"}); err != nil {
+	if err := w2.AppendRecord(&WALRecord{Seq: 4, Type: RecDML, SQL: "x"}); err != nil {
 		t.Fatal(err)
 	}
 	w2.Close()
@@ -130,7 +136,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w2.AppendRecord(&WALRecord{Type: RecDML, SQL: "after tear"}); err != nil {
+	if err := w2.AppendRecord(&WALRecord{Seq: 3, Type: RecDML, SQL: "after tear"}); err != nil {
 		t.Fatal(err)
 	}
 	w2.Close()
