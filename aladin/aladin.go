@@ -118,6 +118,9 @@ type Stats struct {
 	// Replication reports the database's role and, on a replica, its
 	// streaming state and lag behind the primary.
 	Replication ReplicationStats
+	// Ingest aggregates streaming-ingestion activity since Open
+	// (IngestSource runs, live tails, per-stage wall times).
+	Ingest IngestStats
 }
 
 // SourceInfo describes one integrated source.
@@ -165,6 +168,13 @@ type DB struct {
 	// the streaming client goroutine applying the primary's WAL, plus
 	// its observable state (replica.go).
 	repl *replicaState
+
+	// ingestMu guards ingestTotals, the lifetime streaming-ingestion
+	// counters reported by Stats().Ingest (ingest.go). live is the
+	// live-tail machinery (nil unless opened WithLiveSource).
+	ingestMu     sync.Mutex
+	ingestTotals IngestStats
+	live         *liveState
 }
 
 // Open creates a database, configured by functional options. With
@@ -182,19 +192,35 @@ func Open(opts ...Option) (*DB, error) {
 		plans = newPlanCache(cfg.planCache)
 	}
 	if cfg.replicaOf != "" {
+		if len(cfg.live) > 0 {
+			return nil, errors.New("aladin: a replica is read-only; WithLiveSource needs a primary")
+		}
 		return openReplica(&cfg, plans)
 	}
-	if cfg.dataDir != "" {
-		return openDurable(&cfg, plans)
-	}
-	if cfg.snapshot != nil {
+	var d *DB
+	switch {
+	case cfg.dataDir != "":
+		var err error
+		d, err = openDurable(&cfg, plans)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.snapshot != nil:
 		sys, err := core.Load(cfg.core, cfg.snapshot)
 		if err != nil {
 			return nil, fmt.Errorf("aladin: restoring snapshot: %w", err)
 		}
-		return &DB{sys: sys, plans: plans, workers: parallel.Workers(cfg.core.Workers)}, nil
+		d = &DB{sys: sys, plans: plans, workers: parallel.Workers(cfg.core.Workers)}
+	default:
+		d = &DB{sys: core.New(cfg.core), plans: plans, workers: parallel.Workers(cfg.core.Workers)}
 	}
-	return &DB{sys: core.New(cfg.core), plans: plans, workers: parallel.Workers(cfg.core.Workers)}, nil
+	if len(cfg.live) > 0 {
+		if err := d.startLive(cfg.live); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return d, nil
 }
 
 // Close marks the database closed and, on a durable database, flushes
@@ -205,6 +231,11 @@ func (d *DB) Close() error {
 	// lock; stop and drain it before taking that lock ourselves.
 	if d.repl != nil {
 		d.repl.stop()
+	}
+	// Likewise the live-tail goroutines: their final batches commit
+	// under the write lock, so drain them before we hold it.
+	if d.live != nil {
+		d.live.stop()
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -462,6 +493,7 @@ func (d *DB) Stats(ctx context.Context) (Stats, error) {
 		Snapshot:         SnapshotID{Gen: gen, Seq: seq},
 		Durability:       d.durabilityStats(),
 		Replication:      d.replicationStats(),
+		Ingest:           d.ingestStats(),
 	}, nil
 }
 

@@ -1,0 +1,367 @@
+package aladin
+
+// Streaming ingestion (the public face of internal/ingest): IngestSource
+// parses records straight off an io.Reader and integrates them in
+// bounded batches — the first batch creates the source through the full
+// five-step pipeline (discovery runs on it, so make the batch size large
+// enough to be representative), every later batch flows through the
+// append path reusing the discovered structure. Readers observe only
+// batch-boundary snapshots: each batch commits atomically under the
+// write lock, and memory stays bounded by the batch size regardless of
+// input length. Live mode (WithLiveSource) runs the same machinery over
+// a tail-following reader until Close.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flatfile"
+	"repro/internal/ingest"
+	"repro/internal/rel"
+)
+
+// IngestProgress reports the state after one committed batch.
+type IngestProgress = ingest.Progress
+
+// IngestSummary aggregates one ingestion run.
+type IngestSummary = ingest.Summary
+
+// IngestReport summarizes one IngestSource run.
+type IngestReport struct {
+	Source string
+	IngestSummary
+}
+
+// IngestStats aggregates streaming-ingestion activity since Open,
+// reported by Stats().Ingest.
+type IngestStats struct {
+	Runs    int
+	Batches int
+	Records int
+	Tuples  int
+	Bytes   int64
+	Links   int
+	// Per-stage wall time summed across runs: scanner parsing, batch
+	// assembly, link discovery, duplicate detection, index/browse/journal
+	// preparation, and the write-locked commits.
+	Parse  time.Duration
+	Batch  time.Duration
+	Link   time.Duration
+	Dup    time.Duration
+	Index  time.Duration
+	Commit time.Duration
+	// LiveSources is the number of live tails currently running;
+	// LastError is the most recent live-ingest failure ("" while healthy).
+	LiveSources int
+	LastError   string
+}
+
+// NewTailReader wraps a growing file (or any reader) with tail-follow
+// semantics for live ingestion: at end of data it polls until more bytes
+// arrive, and reports EOF only once ctx is canceled. poll <= 0 uses the
+// default (200ms). Feed it to IngestSource to tail a file that is still
+// being written.
+func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) io.Reader {
+	return ingest.NewTailReader(ctx, r, poll)
+}
+
+// ErrBadFormat rejects ingestion formats the streaming scanners do not
+// support (whole-file formats like OBO and XML go through AddSource).
+var ErrBadFormat = errors.New("aladin: format not streamable")
+
+// IngestOption tunes one IngestSource call.
+type IngestOption func(*ingestConfig)
+
+type ingestConfig struct {
+	batchRecords int
+	progress     func(IngestProgress)
+	stall        time.Duration
+}
+
+// WithBatchRecords sets the number of logical records per committed
+// batch (default 1000). Larger batches amortize per-batch link/duplicate
+// work; smaller batches bound memory and publish sooner.
+func WithBatchRecords(n int) IngestOption {
+	return func(c *ingestConfig) { c.batchRecords = n }
+}
+
+// WithIngestProgress invokes fn after every committed batch — the hook
+// behind the HTTP streaming upload's NDJSON progress lines.
+func WithIngestProgress(fn func(IngestProgress)) IngestOption {
+	return func(c *ingestConfig) { c.progress = fn }
+}
+
+// WithFlushStall commits a partial batch once the input has been idle
+// for d — tail-follow mode, where a record should become queryable
+// shortly after it is written instead of waiting for a full batch.
+// Zero (the default) flushes only on full batches and at end of input.
+func WithFlushStall(d time.Duration) IngestOption {
+	return func(c *ingestConfig) { c.stall = d }
+}
+
+// IngestSource streams records of the given format from r into the named
+// source. If the source does not exist, the first batch creates it via
+// the full integration pipeline; subsequent batches append with
+// incremental index, statistics, browse and search maintenance, one WAL
+// frame per batch. Concurrent readers see each batch atomically at its
+// commit; a failure or cancellation leaves every previously committed
+// batch in place (the warehouse is always at a batch boundary). The
+// returned report describes the committed prefix even on error.
+//
+// Errors: ErrBadFormat, ErrNoPrimary (first batch), ErrCanceled,
+// ErrReadOnlyReplica, ErrClosed, and parse errors from the scanner.
+func (d *DB) IngestSource(ctx context.Context, name, format string, r io.Reader, opts ...IngestOption) (*IngestReport, error) {
+	if name == "" {
+		return nil, errors.New("aladin: empty source name")
+	}
+	if err := d.replicaGuard(); err != nil {
+		return nil, err
+	}
+	if !flatfile.Streamable(format) {
+		return nil, fmt.Errorf("%w: %q (streamable: %s)", ErrBadFormat, format, strings.Join(flatfile.StreamFormats(), ", "))
+	}
+	var cfg ingestConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cr := &ingest.CountingReader{R: r}
+	sc, err := flatfile.NewScanner(format, cr)
+	if err != nil {
+		return nil, err
+	}
+
+	d.addMu.Lock()
+	defer d.addMu.Unlock()
+
+	d.mu.RLock()
+	err = d.checkOpenRLocked()
+	exists := err == nil && d.sys.Repo.Source(name) != nil
+	d.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+
+	first := !exists
+	commit := func(ctx context.Context, batch *rel.Database) (ingest.CommitInfo, error) {
+		batch.Name = name
+		if first {
+			p, err := d.prepare(ctx, batch)
+			if err != nil {
+				return ingest.CommitInfo{}, err
+			}
+			d.mu.Lock()
+			if d.closed {
+				d.sys.Abort(p)
+				d.mu.Unlock()
+				return ingest.CommitInfo{}, ErrClosed
+			}
+			rep, err := d.commit(p)
+			seq := d.sys.SnapshotSeq()
+			d.mu.Unlock()
+			if err != nil {
+				return ingest.CommitInfo{}, err
+			}
+			first = false
+			d.maybeCheckpoint()
+			return commitInfo(seq, rep.Timings, rep.LinksAdded), nil
+		}
+		p, err := d.prepareAppend(ctx, name, batch)
+		if err != nil {
+			return ingest.CommitInfo{}, err
+		}
+		d.mu.Lock()
+		if d.closed {
+			d.sys.AbortAppend(p)
+			d.mu.Unlock()
+			return ingest.CommitInfo{}, ErrClosed
+		}
+		rep, err := d.commitAppend(p)
+		d.mu.Unlock()
+		if err != nil {
+			return ingest.CommitInfo{}, err
+		}
+		d.maybeCheckpoint()
+		return commitInfo(rep.Seq, rep.Timings, rep.LinksAdded), nil
+	}
+
+	runner := &ingest.Runner{Scanner: sc, Commit: commit, Opts: ingest.Options{
+		BatchRecords: cfg.batchRecords,
+		Progress:     cfg.progress,
+		Counter:      cr,
+		FlushStall:   cfg.stall,
+	}}
+	sum, runErr := runner.Run(ctx)
+	d.recordIngest(sum)
+	rep := &IngestReport{Source: name, IngestSummary: *sum}
+	if runErr != nil {
+		return rep, mapPipelineErr(runErr)
+	}
+	return rep, nil
+}
+
+// prepareAppend runs the batch compute phase, converting pipeline panics
+// into errors (mirrors prepare).
+func (d *DB) prepareAppend(ctx context.Context, name string, batch *rel.Database) (p *core.PendingAppend, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("%w: IngestSource(%s): %v", ErrInternal, name, r)
+		}
+	}()
+	p, err = d.sys.PrepareAppend(ctx, name, batch)
+	if err != nil {
+		return nil, mapPipelineErr(err)
+	}
+	return p, nil
+}
+
+// commitAppend publishes a prepared batch under the held write lock; a
+// panic here fails stop exactly as commit does.
+func (d *DB) commitAppend(p *core.PendingAppend) (rep *core.AppendReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.closed = true
+			rep, err = nil, fmt.Errorf("%w: commit of %s panicked, database closed: %v", ErrInternal, p.Source(), r)
+		}
+	}()
+	rep, err = d.sys.CommitAppend(p)
+	if err != nil {
+		return nil, fmt.Errorf("aladin: commit: %w", err)
+	}
+	return rep, nil
+}
+
+// commitInfo folds a commit report's step timings into the runner's
+// per-stage buckets.
+func commitInfo(seq uint64, timings []core.StepTiming, linksAdded map[string]int) ingest.CommitInfo {
+	info := ingest.CommitInfo{Seq: seq}
+	for _, t := range timings {
+		switch t.Step {
+		case "link-discovery", "append-link-discovery":
+			info.Link += t.Duration
+		case "duplicate-detection", "append-duplicate-detection":
+			info.Dup += t.Duration
+		case "profile", "discover-structure", "append-prepare":
+			info.Index += t.Duration
+		case "register-and-index", "append-commit":
+			info.Commit += t.Duration
+		}
+	}
+	for _, n := range linksAdded {
+		info.Links += n
+	}
+	return info
+}
+
+// recordIngest folds one run's summary into the DB-lifetime totals.
+func (d *DB) recordIngest(sum *ingest.Summary) {
+	if sum == nil {
+		return
+	}
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
+	d.ingestTotals.Runs++
+	d.ingestTotals.Batches += sum.Batches
+	d.ingestTotals.Records += sum.Records
+	d.ingestTotals.Tuples += sum.Tuples
+	d.ingestTotals.Bytes += sum.Bytes
+	d.ingestTotals.Links += sum.Links
+	d.ingestTotals.Parse += sum.Parse
+	d.ingestTotals.Batch += sum.Batch
+	d.ingestTotals.Link += sum.Link
+	d.ingestTotals.Dup += sum.Dup
+	d.ingestTotals.Index += sum.Index
+	d.ingestTotals.Commit += sum.Commit
+}
+
+// ingestStats snapshots the lifetime totals plus live-tail state.
+func (d *DB) ingestStats() IngestStats {
+	d.ingestMu.Lock()
+	out := d.ingestTotals
+	d.ingestMu.Unlock()
+	if d.live != nil {
+		out.LiveSources = int(atomic.LoadInt32(&d.live.active))
+		if err := d.live.lastError(); err != nil {
+			out.LastError = err.Error()
+		}
+	}
+	return out
+}
+
+// liveSpec is one WithLiveSource registration.
+type liveSpec struct {
+	name, format, path string
+}
+
+// liveState tracks the live-tail goroutines started at Open.
+type liveState struct {
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	active   int32
+	stopOnce sync.Once
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// stop cancels the tails and waits for their final batches to commit.
+// Called by Close BEFORE taking the write lock, so the final commits can
+// still acquire it.
+func (ls *liveState) stop() {
+	ls.stopOnce.Do(func() {
+		ls.cancel()
+		ls.wg.Wait()
+	})
+}
+
+func (ls *liveState) fail(err error) {
+	ls.mu.Lock()
+	ls.lastErr = err
+	ls.mu.Unlock()
+}
+
+func (ls *liveState) lastError() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.lastErr
+}
+
+// startLive opens each live source's file and starts its tail-ingest
+// goroutine. Cancellation (Close) stops the tail at the next poll; the
+// run itself uses a background context so the final partial batch still
+// commits before Close proceeds.
+func (d *DB) startLive(specs []liveSpec) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	ls := &liveState{cancel: cancel}
+	d.live = ls
+	for _, sp := range specs {
+		f, err := os.Open(sp.path)
+		if err != nil {
+			cancel()
+			return fmt.Errorf("aladin: live source %q: %w", sp.name, err)
+		}
+		ls.wg.Add(1)
+		atomic.AddInt32(&ls.active, 1)
+		go func(sp liveSpec, f *os.File) {
+			defer ls.wg.Done()
+			defer atomic.AddInt32(&ls.active, -1)
+			defer f.Close()
+			tr := ingest.NewTailReader(ctx, f, 0)
+			// A modest stall flush keeps the tail live: records written to
+			// the file surface within ~2 polls even when the batch is far
+			// from full.
+			if _, err := d.IngestSource(context.Background(), sp.name, sp.format, tr,
+				WithFlushStall(300*time.Millisecond)); err != nil {
+				ls.fail(fmt.Errorf("live source %q: %w", sp.name, err))
+			}
+		}(sp, f)
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+package aladin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// fastaText renders records start..start+n-1 of the deterministic
+// streaming-test corpus.
+func fastaText(t testing.TB, start, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := datagen.FastaTextRange(&sb, start, n, 7); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// tableCount returns COUNT(*) of one table, or -1 with the error (the
+// table may not exist yet while an ingest's first batch is in flight).
+func tableCount(db *DB, table string) (int64, error) {
+	res, err := db.Query(context.Background(), "SELECT COUNT(*) FROM "+table)
+	if err != nil {
+		return -1, err
+	}
+	n, _ := res.Rows[0][0].AsInt()
+	return n, nil
+}
+
+// waitCount polls until the table holds at least want rows.
+func waitCount(t *testing.T, db *DB, table string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		n, err := tableCount(db, table)
+		if err == nil && n >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("table %s stuck at %d rows (err %v), want >= %d", table, n, err, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestIngestSource(t *testing.T) {
+	db, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	var progress []IngestProgress
+	rep, err := db.IngestSource(ctx, "seqs", "fasta", strings.NewReader(fastaText(t, 0, 250)),
+		WithBatchRecords(100),
+		WithIngestProgress(func(p IngestProgress) { progress = append(progress, p) }))
+	if err != nil {
+		t.Fatalf("IngestSource: %v", err)
+	}
+	if rep.Source != "seqs" || rep.Records != 250 || rep.Batches != 3 || rep.Bytes == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(progress) != 3 || progress[2].Records != 250 {
+		t.Fatalf("progress = %+v", progress)
+	}
+	if n, err := tableCount(db, "seqs_fasta"); err != nil || n != 250 {
+		t.Fatalf("row count = %d (%v), want 250", n, err)
+	}
+	// Records of every batch are searchable and browsable.
+	hits, err := db.Search(ctx, "SQ000205", SearchFilter{}, 5)
+	if err != nil || len(hits) == 0 {
+		t.Fatalf("appended record not searchable: %v (%d hits)", err, len(hits))
+	}
+	objs := mustObjects(t, db, "seqs")
+	if len(objs) != 250 {
+		t.Fatalf("browse knows %d objects, want 250", len(objs))
+	}
+	// The observability totals reflect the run.
+	st, err := db.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := st.Ingest
+	if ig.Runs != 1 || ig.Batches != 3 || ig.Records != 250 || ig.Bytes != rep.Bytes {
+		t.Fatalf("ingest stats = %+v", ig)
+	}
+	if ig.Parse <= 0 || ig.Commit <= 0 {
+		t.Fatalf("ingest stage timings missing: %+v", ig)
+	}
+
+	// A second run appends to the now-existing source.
+	rep2, err := db.IngestSource(ctx, "seqs", "fasta", strings.NewReader(fastaText(t, 250, 50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Records != 50 {
+		t.Fatalf("second run = %+v", rep2)
+	}
+	if n, _ := tableCount(db, "seqs_fasta"); n != 300 {
+		t.Fatalf("row count after second run = %d, want 300", n)
+	}
+	if st, _ := db.Stats(ctx); st.Ingest.Runs != 2 {
+		t.Fatalf("runs = %d, want 2", st.Ingest.Runs)
+	}
+}
+
+func TestIngestSourceBadInput(t *testing.T) {
+	db, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+	r := strings.NewReader("x")
+	if _, err := db.IngestSource(ctx, "s", "obo", r); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("obo ingest = %v, want ErrBadFormat", err)
+	}
+	if _, err := db.IngestSource(ctx, "s", "nosuch", r); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("unknown format = %v, want ErrBadFormat", err)
+	}
+	if _, err := db.IngestSource(ctx, "", "fasta", r); err == nil {
+		t.Error("empty source name accepted")
+	}
+}
+
+// TestIngestConcurrentReaders is the reader-safety bar: while a stream
+// ingests in 50-record batches, concurrent queries only ever observe
+// batch-boundary snapshots — counts that are multiples of the batch
+// size — never a torn batch. Run under -race.
+func TestIngestConcurrentReaders(t *testing.T) {
+	db, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	const readers = 4
+	done := make(chan struct{})
+	errCh := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n, err := tableCount(db, "seqs_fasta")
+				if err != nil {
+					continue // source not created yet
+				}
+				if n%50 != 0 {
+					errCh <- fmt.Errorf("reader %d saw %d rows mid-batch", r, n)
+					return
+				}
+			}
+		}(r)
+	}
+
+	rep, err := db.IngestSource(ctx, "seqs", "fasta", strings.NewReader(fastaText(t, 0, 300)),
+		WithBatchRecords(50))
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("IngestSource under load: %v", err)
+	}
+	if rep.Records != 300 || rep.Batches != 6 {
+		t.Fatalf("report = %+v", rep)
+	}
+	select {
+	case rerr := <-errCh:
+		t.Fatal(rerr)
+	default:
+	}
+}
+
+// A durable ingest journals one frame per batch; close and reopen
+// recovers the full streamed source.
+func TestIngestDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := db.IngestSource(ctx, "seqs", "fasta", strings.NewReader(fastaText(t, 0, 120)),
+		WithBatchRecords(50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n, err := tableCount(re, "seqs_fasta"); err != nil || n != 120 {
+		t.Fatalf("recovered count = %d (%v), want 120", n, err)
+	}
+	if hits, err := re.Search(ctx, "SQ000111", SearchFilter{}, 5); err != nil || len(hits) == 0 {
+		t.Fatalf("recovered record not searchable: %v (%d hits)", err, len(hits))
+	}
+}
+
+// TestLiveSource tails a file that grows while the database is open:
+// existing records surface shortly after Open, appended records surface
+// without any explicit call, and Close commits the final held record
+// (durable, so the total is visible on reopen).
+func TestLiveSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(t.TempDir(), "live.fasta")
+	if err := os.WriteFile(path, []byte(fastaText(t, 0, 30)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(WithDataDir(dir), WithLiveSource("live", "fasta", path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The FASTA scanner holds the final record open until end of stream,
+	// so the tail surfaces 29 of the 30 on-disk records.
+	waitCount(t, db, "live_fasta", 29)
+
+	st, err := db.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingest.LiveSources != 1 || st.Ingest.LastError != "" {
+		t.Fatalf("live stats = %+v", st.Ingest)
+	}
+
+	// The file grows; the tail picks the continuation up by itself.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(fastaText(t, 30, 30)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	waitCount(t, db, "live_fasta", 59)
+
+	// Close stops the tail; the held final record commits on the way out.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(WithDataDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n, err := tableCount(re, "live_fasta"); err != nil || n != 60 {
+		t.Fatalf("count after close = %d (%v), want 60", n, err)
+	}
+}
+
+func TestLiveSourceValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.fasta")
+	os.WriteFile(path, nil, 0o644)
+	if _, err := Open(WithLiveSource("s", "obo", path)); err == nil {
+		t.Error("live source with non-streamable format accepted")
+	}
+	if _, err := Open(WithLiveSource("s", "fasta", filepath.Join(t.TempDir(), "missing"))); err == nil {
+		t.Error("live source with missing file accepted")
+	}
+	srv := httptest.NewServer(nil)
+	defer srv.Close()
+	if _, err := Open(WithDataDir(t.TempDir()), WithReplicaOf(srv.URL),
+		WithLiveSource("s", "fasta", path)); err == nil {
+		t.Error("live source on a replica accepted")
+	}
+}
+
+// ingestFingerprint summarizes the state a replica must converge to
+// after a streamed ingest: counts plus the full ordered accession column.
+func ingestFingerprint(t *testing.T, db *DB) string {
+	t.Helper()
+	ctx := context.Background()
+	st, err := db.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sources=%d links=%d\n", st.Repo.Sources, st.Repo.Links)
+	res, err := db.Query(ctx, "SELECT accession FROM seqs_fasta ORDER BY accession")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Fprintf(&b, "%s\n", row[0].AsString())
+	}
+	return b.String()
+}
+
+// TestReplicaConvergesDuringIngest streams a source into the primary
+// while a replica follows: every batch is one replicated record, and the
+// replica converges to the exact final state.
+func TestReplicaConvergesDuringIngest(t *testing.T) {
+	primary := openDurableWith(t, t.TempDir(), nil)
+	defer primary.Close()
+	srv := httptest.NewServer(primary.ReplHandler())
+	defer srv.Close()
+	replica := openReplicaOf(t, srv.URL, t.TempDir())
+	defer replica.Close()
+
+	rep, err := primary.IngestSource(context.Background(), "seqs", "fasta",
+		strings.NewReader(fastaText(t, 0, 300)), WithBatchRecords(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Batches != 6 {
+		t.Fatalf("report = %+v", rep)
+	}
+	waitCaughtUp(t, primary, replica)
+	if got, want := ingestFingerprint(t, replica), ingestFingerprint(t, primary); got != want {
+		t.Fatalf("replica diverges after streamed ingest:\n--- replica\n%s--- primary\n%s", got, want)
+	}
+	// The stream keeps flowing: another run, another convergence.
+	if _, err := primary.IngestSource(context.Background(), "seqs", "fasta",
+		strings.NewReader(fastaText(t, 300, 60)), WithBatchRecords(25)); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, primary, replica)
+	if got, want := ingestFingerprint(t, replica), ingestFingerprint(t, primary); got != want {
+		t.Fatalf("replica diverges after second run:\n--- replica\n%s--- primary\n%s", got, want)
+	}
+	if n, err := tableCount(replica, "seqs_fasta"); err != nil || n != 360 {
+		t.Fatalf("replica count = %d (%v), want 360", n, err)
+	}
+}

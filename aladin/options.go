@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/flatfile"
 	"repro/internal/store"
 )
 
@@ -15,6 +16,7 @@ type config struct {
 	dataDir         string
 	checkpointEvery int
 	replicaOf       string
+	live            []liveSpec
 	err             error
 }
 
@@ -137,6 +139,27 @@ func WithReplicaOf(primaryURL string) Option {
 			return
 		}
 		c.replicaOf = primaryURL
+	}
+}
+
+// WithLiveSource tails the flatfile at path into the named source for
+// the lifetime of the DB: existing content streams in immediately, and
+// records appended to the file afterwards are ingested as they arrive
+// (batched per WithBatchRecords default). The tail stops at Close, which
+// waits for the final partial batch to commit. The format must be
+// streamable (flatfile.Streamable); incompatible with WithReplicaOf.
+// Tail state is reported by Stats().Ingest (LiveSources, LastError).
+func WithLiveSource(name, format, path string) Option {
+	return func(c *config) {
+		if name == "" || path == "" {
+			c.err = fmt.Errorf("aladin: live source needs a name and a path")
+			return
+		}
+		if !flatfile.Streamable(format) {
+			c.err = fmt.Errorf("aladin: live source %q: format %q not streamable", name, format)
+			return
+		}
+		c.live = append(c.live, liveSpec{name: name, format: format, path: path})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/datagen"
 )
@@ -187,6 +188,21 @@ func TestQueryRowsHammerDuringAddSource(t *testing.T) {
 		}()
 	}
 
+	// Don't start the write until the hammer is mid-flight: AddSource on
+	// this small corpus can finish faster than a single cursor iteration,
+	// leaving the two phases disjoint and the race untested.
+	for deadline := time.Now().Add(10 * time.Second); iterations.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("hammer performed no complete iterations")
+		}
+		select {
+		case err := <-errCh:
+			t.Fatal(err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
 	if _, err := db.AddSource(ctx, corpus.Source("pir")); err != nil {
 		t.Fatal(err)
 	}
@@ -196,9 +212,6 @@ func TestQueryRowsHammerDuringAddSource(t *testing.T) {
 	case err := <-errCh:
 		t.Fatal(err)
 	default:
-	}
-	if iterations.Load() == 0 {
-		t.Fatal("hammer performed no complete iterations")
 	}
 }
 

@@ -1,0 +1,181 @@
+// Streaming-ingestion benchmarks (the ingest subsystem's perf record):
+// end-to-end records/sec and allocations per record for the same flat
+// file ingested two ways — streamed through IngestSource in bounded
+// batches versus parsed whole and integrated with one AddSource. The
+// streaming path shares tuple pointers on append instead of deep-cloning
+// into the warehouse, so it should win on allocs/record as well as keep
+// peak memory bounded by the batch size.
+//
+// Run with:
+//
+//	go test -bench Ingest -benchtime 1x .
+//
+// Set BENCH_JSON=1 to (re)generate BENCH_ingest.json, the tracked perf
+// record (TestWriteIngestBenchJSON).
+package repro
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/aladin"
+	"repro/internal/datagen"
+	"repro/internal/flatfile"
+)
+
+const ingestBenchSeed = 21
+
+// fastaCorpus renders the benchmark flat file once per benchmark.
+func fastaCorpus(b *testing.B, records int) string {
+	b.Helper()
+	var sb strings.Builder
+	if err := datagen.FastaText(&sb, records, ingestBenchSeed); err != nil {
+		b.Fatal(err)
+	}
+	return sb.String()
+}
+
+// streamingIngestBench measures IngestSource over a fresh in-memory
+// database per iteration: parse, batch, link/dup analysis and commit all
+// inside the timer — the full cost of making the file queryable.
+func streamingIngestBench(records, batch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		input := fastaCorpus(b, records)
+		ctx := context.Background()
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, err := aladin.Open()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			rep, err := db.IngestSource(ctx, "seqs", "fasta", strings.NewReader(input),
+				aladin.WithBatchRecords(batch))
+			if err != nil || rep.Records != records {
+				b.Fatalf("ingest: %v (%+v)", err, rep)
+			}
+			b.StopTimer()
+			db.Close()
+			b.StartTimer()
+		}
+	}
+}
+
+// monolithicIngestBench is the whole-file control: flatfile.Parse
+// collects every record into one database, AddSource integrates it in a
+// single pipeline run.
+func monolithicIngestBench(records int) func(b *testing.B) {
+	return func(b *testing.B) {
+		input := fastaCorpus(b, records)
+		ctx := context.Background()
+		b.SetBytes(int64(len(input)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			db, err := aladin.Open()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			parsed, err := flatfile.Parse("fasta", strings.NewReader(input), "seqs")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.AddSource(ctx, parsed); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			db.Close()
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkIngestStreaming(b *testing.B) {
+	for _, c := range []struct{ records, batch int }{
+		{20_000, 2000},
+		{100_000, 5000},
+	} {
+		b.Run(fmt.Sprintf("records=%d/batch=%d", c.records, c.batch),
+			streamingIngestBench(c.records, c.batch))
+	}
+}
+
+func BenchmarkIngestMonolithic(b *testing.B) {
+	for _, records := range []int{20_000, 100_000} {
+		b.Run(fmt.Sprintf("records=%d", records), monolithicIngestBench(records))
+	}
+}
+
+// TestWriteIngestBenchJSON regenerates BENCH_ingest.json, the tracked
+// ingestion perf record (set BENCH_JSON=1; CI smoke-runs the
+// benchmarks). It also enforces the subsystem's headline property:
+// streaming strictly fewer allocations per record than the monolithic
+// path at the 100k-record scale.
+func TestWriteIngestBenchJSON(t *testing.T) {
+	if os.Getenv("BENCH_JSON") == "" {
+		t.Skip("set BENCH_JSON=1 to regenerate BENCH_ingest.json")
+	}
+	type entry struct {
+		Name            string  `json:"name"`
+		Records         int     `json:"records"`
+		Batch           int     `json:"batch,omitempty"`
+		NsPerOp         int64   `json:"ns_per_op"`
+		RecordsPerSec   float64 `json:"records_per_sec"`
+		AllocsPerRecord float64 `json:"allocs_per_record"`
+		BytesPerRecord  float64 `json:"bytes_per_record"`
+	}
+	out := struct {
+		Benchmark string  `json:"benchmark"`
+		Go        string  `json:"go"`
+		Format    string  `json:"format"`
+		Entries   []entry `json:"entries"`
+	}{Benchmark: "ingest", Go: runtime.Version(), Format: "fasta"}
+
+	add := func(e entry, fn func(b *testing.B)) entry {
+		r := testing.Benchmark(fn)
+		e.NsPerOp = r.NsPerOp()
+		e.RecordsPerSec = float64(e.Records) / (float64(r.NsPerOp()) / 1e9)
+		e.AllocsPerRecord = float64(r.AllocsPerOp()) / float64(e.Records)
+		e.BytesPerRecord = float64(r.AllocedBytesPerOp()) / float64(e.Records)
+		out.Entries = append(out.Entries, e)
+		t.Logf("%s: %v, %.0f rec/s, %.1f allocs/rec", e.Name, r, e.RecordsPerSec, e.AllocsPerRecord)
+		return e
+	}
+	var stream100k, mono100k entry
+	for _, c := range []struct{ records, batch int }{{20_000, 2000}, {100_000, 5000}} {
+		e := add(entry{Name: fmt.Sprintf("streaming/records=%d/batch=%d", c.records, c.batch),
+			Records: c.records, Batch: c.batch}, streamingIngestBench(c.records, c.batch))
+		if c.records == 100_000 {
+			stream100k = e
+		}
+	}
+	for _, records := range []int{20_000, 100_000} {
+		e := add(entry{Name: fmt.Sprintf("monolithic/records=%d", records), Records: records},
+			monolithicIngestBench(records))
+		if records == 100_000 {
+			mono100k = e
+		}
+	}
+	if stream100k.AllocsPerRecord >= mono100k.AllocsPerRecord {
+		t.Errorf("streaming allocs/record %.1f not below monolithic %.1f",
+			stream100k.AllocsPerRecord, mono100k.AllocsPerRecord)
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_ingest.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,6 +15,9 @@
 //	aladin browse <source> <accession>   show one object's web view
 //	aladin stats                         repository statistics for the demo corpus
 //	aladin checkpoint <data-dir>         recover a durable directory and checkpoint it
+//	aladin live [-format fasta] [-batch n] <file> [<name>]
+//	                                     tail a growing flat file into a source until
+//	                                     interrupted, committing batches as they fill
 //
 // Flags may be given before or after the subcommand: both
 // `aladin -workers 4 demo` and `aladin demo -workers 4` work.
@@ -25,8 +28,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/aladin"
 	"repro/internal/datagen"
@@ -44,6 +51,13 @@ var workerCount int
 // analyzeFlag is the -analyze flag of the explain subcommand: execute
 // the query and annotate the plan with actual rows and times.
 var analyzeFlag bool
+
+// formatFlag and batchFlag configure the live subcommand: the streaming
+// flat-file format being tailed and the records per committed batch.
+var (
+	formatFlag = "fasta"
+	batchFlag  int
+)
 
 func main() {
 	global := newFlagSet("aladin")
@@ -76,6 +90,8 @@ func newFlagSet(name string) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	fs.IntVar(&workerCount, "workers", workerCount, "pipeline and query worker pool size (0 = all CPUs, 1 = serial)")
 	fs.BoolVar(&analyzeFlag, "analyze", analyzeFlag, "with explain: execute the query and report actual rows and times")
+	fs.StringVar(&formatFlag, "format", formatFlag, "with live: streaming flat-file format (embl, genbank, fasta, csv, tsv)")
+	fs.IntVar(&batchFlag, "batch", batchFlag, "with live: records per committed batch (0 = default)")
 	return fs
 }
 
@@ -91,6 +107,7 @@ func commands() map[string]func([]string) error {
 		"save":       cmdSave,
 		"load":       cmdLoad,
 		"checkpoint": cmdCheckpoint,
+		"live":       cmdLive,
 	}
 }
 
@@ -110,6 +127,9 @@ commands:
   load <file>                     restore a snapshot and report its contents
   checkpoint <data-dir>           recover a durable data directory and fold
                                   its write-ahead log into checkpoint segments
+  live [-format f] [-batch n] <file> [<name>]
+                                  tail a growing flat file into a source until
+                                  Ctrl-C, committing batches as they fill
 
 flags (accepted before or after the command):
   -workers n                      pipeline worker pool size (0 = all CPUs)
@@ -411,6 +431,53 @@ func cmdCheckpoint(args []string) error {
 	fmt.Printf("checkpoint generation %d: %d source segments, WAL empty\n",
 		after.Durability.Gen, after.Durability.Sources)
 	return nil
+}
+
+// cmdLive tails a growing flat file into a source until interrupted:
+// existing content streams in immediately, records appended to the file
+// afterwards are committed as batches fill. Ctrl-C stops the tail; the
+// final partial batch is committed before exit — the live end of the
+// streaming ingestion subsystem, for watching a download or an
+// instrument write records while they become queryable.
+func cmdLive(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: aladin live [-format f] [-batch n] <file> [<name>]")
+	}
+	path := args[0]
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	if len(args) == 2 {
+		name = args[1]
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := aladin.Open(aladin.WithWorkers(workerCount))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("tailing %s into source %q (%s); Ctrl-C to stop\n", path, name, formatFlag)
+	// The tail reader blocks at end-of-file until more data arrives and
+	// reports EOF when the signal context fires; the ingest run itself is
+	// not canceled, so the final partial batch still commits.
+	tail := aladin.NewTailReader(ctx, f, 0)
+	rep, err := db.IngestSource(context.Background(), name, formatFlag, tail,
+		aladin.WithBatchRecords(batchFlag),
+		aladin.WithFlushStall(500*time.Millisecond),
+		aladin.WithIngestProgress(func(p aladin.IngestProgress) {
+			fmt.Printf("  batch %d: %d records, %d tuples, %d bytes, seq %d\n",
+				p.Batch, p.Records, p.Tuples, p.Bytes, p.Seq)
+		}))
+	if rep != nil {
+		fmt.Printf("ingested %d records (%d tuples) in %d batches, %d links\n",
+			rep.Records, rep.Tuples, rep.Batches, rep.Links)
+	}
+	return err
 }
 
 func cmdStats() error {

@@ -37,6 +37,7 @@
 //	GET  /v1/stats                                       repository, web, durability, replication statistics
 //	GET  /v1/sources                                     integrated sources
 //	POST /v1/sources?name=n&format=f                     integrate an uploaded flat file
+//	POST /v1/sources?name=n&format=f&stream=1[&batch=n]  streaming batched ingestion (NDJSON progress; no size cap)
 //	GET  /v1/objects/{source}                            a source's primary objects
 //	GET  /v1/objects/{source}/{accession}                one object's browse view
 //	GET  /v1/objects/{source}/{accession}/related        ranked related objects

@@ -177,6 +177,8 @@ func errorStatusCode(err error) (int, string) {
 		return http.StatusConflict, "source_exists"
 	case errors.Is(err, aladin.ErrNoPrimary):
 		return http.StatusUnprocessableEntity, "no_primary_relation"
+	case errors.Is(err, aladin.ErrBadFormat):
+		return http.StatusBadRequest, "bad_format"
 	case errors.Is(err, aladin.ErrReadOnlyReplica):
 		// The structured message names the primary to write to instead.
 		return http.StatusForbidden, "read_only_replica"
@@ -515,6 +517,27 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	out["replication"] = rep
+	ing := map[string]any{
+		"runs":    st.Ingest.Runs,
+		"batches": st.Ingest.Batches,
+		"records": st.Ingest.Records,
+		"tuples":  st.Ingest.Tuples,
+		"bytes":   st.Ingest.Bytes,
+		"links":   st.Ingest.Links,
+		"timings": map[string]string{
+			"parse":  st.Ingest.Parse.String(),
+			"batch":  st.Ingest.Batch.String(),
+			"link":   st.Ingest.Link.String(),
+			"dup":    st.Ingest.Dup.String(),
+			"index":  st.Ingest.Index.String(),
+			"commit": st.Ingest.Commit.String(),
+		},
+		"live_sources": st.Ingest.LiveSources,
+	}
+	if st.Ingest.LastError != "" {
+		ing["last_error"] = st.Ingest.LastError
+	}
+	out["ingest"] = ing
 	writeJSON(w, out)
 }
 
@@ -540,9 +563,19 @@ func (s *server) handleSources(w http.ResponseWriter, r *http.Request) {
 // handleAddSource integrates an uploaded flat file:
 //
 //	POST /v1/sources?name=<source>&format=<embl|genbank|fasta|obo|csv|tsv|xml>
+//	POST /v1/sources?name=<source>&format=<embl|genbank|fasta|csv|tsv>&stream=1[&batch=n]
 //
-// with the raw file as the request body. Integration can take a while on
-// big sources; the per-request timeout applies and cancels cleanly.
+// with the raw file as the request body. Without stream, the body is
+// parsed whole (capped at maxUploadBytes — larger uploads get a
+// structured 413) and integrated in one AddSource call. With stream=1
+// the body is ingested in batches as it arrives: the size cap does not
+// apply (memory is bounded by the batch size, not the body size), and
+// the response is NDJSON — one progress object per committed batch,
+// flushed as it commits, then a final {"done":true,...} summary line.
+// A failure mid-stream is reported as a final {"error":{...}} line; the
+// batches committed before it remain committed. Integration can take a
+// while on big sources; the per-request timeout applies and cancels
+// cleanly (streaming ingestion stops at the next batch boundary).
 func (s *server) handleAddSource(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	name, format := params.Get("name"), params.Get("format")
@@ -550,9 +583,29 @@ func (s *server) handleAddSource(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing_parameter", "missing query parameter name or format")
 		return
 	}
+	stream, err := boolParam("stream", params.Get("stream"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
+		return
+	}
+	if stream {
+		batch, err := intParam("batch", params.Get("batch"), 0, 1, 1<<20)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_parameter", err.Error())
+			return
+		}
+		s.streamAddSource(w, r, name, format, batch)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
 	db, err := flatfile.Parse(format, body, name)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds the %d-byte upload limit; use stream=1 to ingest large files in batches", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
@@ -573,6 +626,71 @@ func (s *server) handleAddSource(w http.ResponseWriter, r *http.Request) {
 		"timings":     timings,
 		"duration":    rep.Duration().String(),
 	})
+}
+
+// streamAddSource is the stream=1 arm of handleAddSource: batched
+// ingestion straight off the request body, with one NDJSON progress
+// line per committed batch.
+func (s *server) streamAddSource(w http.ResponseWriter, r *http.Request, name, format string, batch int) {
+	if !flatfile.Streamable(format) {
+		writeError(w, http.StatusBadRequest, "bad_format",
+			fmt.Sprintf("format %q has no streaming scanner (streamable: %s); retry without stream=1",
+				format, strings.Join(flatfile.StreamFormats(), ", ")))
+		return
+	}
+	// The handler keeps reading the request body after progress lines
+	// start going out. Without full duplex, the HTTP/1.x server finishes
+	// off the body at the first response write, and the reads that follow
+	// fail with "invalid Read on closed Body" whenever the upload is too
+	// large to have been buffered already.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		s.logf("aladind: full-duplex unavailable, streaming ingest of %s may truncate: %v", name, err)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	opts := []aladin.IngestOption{aladin.WithIngestProgress(func(p aladin.IngestProgress) {
+		_ = enc.Encode(map[string]any{
+			"batch": p.Batch, "records": p.Records, "tuples": p.Tuples,
+			"bytes": p.Bytes, "seq": p.Seq,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})}
+	if batch > 0 {
+		opts = append(opts, aladin.WithBatchRecords(batch))
+	}
+	start := time.Now()
+	rep, err := s.db.IngestSource(r.Context(), name, format, r.Body, opts...)
+	if err != nil {
+		// The 200 status line is long gone; surface the failure as a
+		// final NDJSON line using the writeError object shape. Committed
+		// batches stay committed — the line carries how far we got.
+		s.logf("aladind: streaming ingest of %s failed: %v", name, err)
+		status, code := errorStatusCode(err)
+		var body errorBody
+		body.Error.Status = status
+		body.Error.Code = code
+		body.Error.Message = err.Error()
+		out := map[string]any{"error": body.Error}
+		if rep != nil {
+			out["records"], out["batches"] = rep.Records, rep.Batches
+		}
+		_ = enc.Encode(out)
+		return
+	}
+	_ = enc.Encode(map[string]any{
+		"done": true, "source": rep.Source, "records": rep.Records,
+		"tuples": rep.Tuples, "batches": rep.Batches, "bytes": rep.Bytes,
+		"links": rep.Links, "seq": rep.LastSeq,
+		"duration": time.Since(start).String(),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *server) handleObjects(w http.ResponseWriter, r *http.Request) {

@@ -420,3 +420,88 @@ func TestHTTPQueryUnknownParameter(t *testing.T) {
 	// The known parameters still pass.
 	getJSON(t, ts.URL+"/v1/query?q="+q+"&limit=10&explain=0", 200)
 }
+
+// TestStreamUploadFullDuplex drives the stream=1 contract through a real
+// HTTP connection with a body the server cannot pre-buffer: the request
+// is fed through a pipe, and the second half is only written AFTER the
+// first NDJSON progress line has come back. Reading the body after the
+// response has started requires full-duplex HTTP/1.x — without it the
+// remaining reads fail with "invalid Read on closed Body".
+func TestStreamUploadFullDuplex(t *testing.T) {
+	db, err := aladin.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ts := httptest.NewServer(newServer(db, 30*time.Second).handler())
+	t.Cleanup(ts.Close)
+
+	fasta := func(start, n int) string {
+		var sb strings.Builder
+		for i := start; i < start+n; i++ {
+			fmt.Fprintf(&sb, ">SQ%06d streamed record %d\nACDEFGHIKLMNPQRSTVWY\n", i, i)
+		}
+		return sb.String()
+	}
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sources?name=seqs&format=fasta&stream=1&batch=100", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := io.WriteString(pw, fasta(0, 120))
+		writeErr <- err
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "application/x-ndjson") {
+		t.Fatalf("status %d, content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatal(err)
+	}
+
+	lines := json.NewDecoder(resp.Body)
+	var first map[string]any
+	if err := lines.Decode(&first); err != nil {
+		t.Fatalf("first progress line: %v", err)
+	}
+	if first["batch"] != float64(1) || first["records"] != float64(100) {
+		t.Fatalf("first progress = %v", first)
+	}
+
+	// The response has started; the rest of the body follows now.
+	if _, err := io.WriteString(pw, fasta(120, 180)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	var last map[string]any
+	for {
+		var line map[string]any
+		if err := lines.Decode(&line); err != nil {
+			t.Fatalf("progress stream broke after %v: %v", last, err)
+		}
+		if e, failed := line["error"]; failed {
+			t.Fatalf("ingest failed mid-stream: %v", e)
+		}
+		if done, _ := line["done"].(bool); done {
+			last = line
+			break
+		}
+		last = line
+	}
+	if last["records"] != float64(300) || last["batches"] != float64(3) {
+		t.Fatalf("done line = %v", last)
+	}
+
+	res := getJSON(t, ts.URL+"/v1/query?q="+escape("SELECT COUNT(*) FROM seqs_fasta"), 200)
+	if rows := fmt.Sprint(res["rows"]); rows != "[[300]]" {
+		t.Fatalf("row count after streamed upload = %s", rows)
+	}
+}

@@ -169,6 +169,16 @@ func (s *System) applyWAL(rec *store.WALRecord) error {
 		s.durable.mu.Lock()
 		s.durable.dirty[strings.ToLower(rec.Source.Name)] = true
 		s.durable.mu.Unlock()
+	case store.RecAppend:
+		if rec.Source == nil {
+			return errors.New("core: Append WAL record without a snapshot")
+		}
+		if err := s.applyAppend(rec.Source, rec.Links); err != nil {
+			return err
+		}
+		s.durable.mu.Lock()
+		s.durable.dirty[strings.ToLower(rec.Source.Name)] = true
+		s.durable.mu.Unlock()
 	case store.RecDML:
 		if _, err := s.Exec(rec.SQL); err != nil {
 			return fmt.Errorf("core: replaying DML %q: %w", rec.SQL, err)

@@ -99,12 +99,14 @@ func isDigitsOnly(s string) bool {
 // fieldSimilarity compares two field values, picking the measure by
 // shape: token-based Jaccard (IDF-weighted when a Matcher is supplied)
 // for long multi-token text, Jaro-Winkler for short strings, with exact
-// match short-circuiting to 1.
-func fieldSimilarity(m *Matcher, a, b string) float64 {
+// match short-circuiting to 1. The cache, when non-nil, supplies
+// precomputed derived forms (lowercase, word counts, token sets, q-gram
+// codes); results are identical with or without it.
+func fieldSimilarity(m *Matcher, a, b string, c *simCache) float64 {
 	if a == b {
 		return 1
 	}
-	la, lb := strings.ToLower(a), strings.ToLower(b)
+	la, lb := c.lowerOf(a), c.lowerOf(b)
 	if la == lb {
 		return 1
 	}
@@ -114,19 +116,124 @@ func fieldSimilarity(m *Matcher, a, b string) float64 {
 	if textmine.LooksLikeAccession(a) && textmine.LooksLikeAccession(b) {
 		return 0
 	}
-	longA := len(strings.Fields(a)) >= 3
-	longB := len(strings.Fields(b)) >= 3
+	longA := c.wordsOf(a) >= 3
+	longB := c.wordsOf(b) >= 3
 	if longA || longB {
 		// Cross-shape comparisons (a code against prose) carry no signal.
 		if longA != longB && (textmine.LooksLikeAccession(a) || textmine.LooksLikeAccession(b)) {
 			return 0
 		}
-		if m != nil {
-			return m.weightedJaccard(a, b)
-		}
-		return textmine.Jaccard(a, b)
+		return m.weightedJaccardSorted(c.tokensOf(a), c.tokensOf(b))
+	}
+	// Long unbroken values — sequences, digests — are outside
+	// Jaro-Winkler's design range (short names) and quadratic to compare;
+	// q-gram overlap captures their similarity at linear cost.
+	if len(la) >= longValueLen || len(lb) >= longValueLen {
+		return textmine.DiceCodes(c.gramsOf(a, la), c.gramsOf(b, lb))
 	}
 	return textmine.JaroWinkler(la, lb)
+}
+
+// longValueLen is the length above which a single-token value is scored
+// by q-gram overlap instead of Jaro-Winkler. Accession-shaped and name-
+// shaped values stay far below it; sequence residues sit far above.
+const longValueLen = 48
+
+// simCache holds per-value derived forms precomputed before a scoring
+// pass: candidate pairs revisit the same values window-many times, and
+// the derivations (tokenizing, lowercasing, gram packing) would
+// otherwise dominate scoring. Built single-threaded, read-only while the
+// worker pool scores. A nil cache is valid everywhere and computes on
+// the spot.
+type simCache struct {
+	lower map[string]string
+	words map[string]int
+	toks  map[string][]string
+	grams map[string][]uint64
+}
+
+func newSimCache() *simCache {
+	return &simCache{
+		lower: make(map[string]string),
+		words: make(map[string]int),
+		toks:  make(map[string][]string),
+		grams: make(map[string][]uint64),
+	}
+}
+
+// admitPairs admits every field value appearing in the pairs.
+func (c *simCache) admitPairs(pairs [][2]Record) {
+	for _, p := range pairs {
+		for _, r := range p {
+			for _, v := range r.Fields {
+				c.admit(v)
+			}
+		}
+	}
+}
+
+// admit precomputes the derived forms of one value.
+func (c *simCache) admit(v string) {
+	if _, ok := c.lower[v]; ok {
+		return
+	}
+	lv := strings.ToLower(v)
+	c.lower[v] = lv
+	c.words[v] = len(strings.Fields(v))
+	c.toks[v] = sortedUniqueTokens(v)
+	if len(lv) >= longValueLen {
+		c.grams[v] = textmine.QGramCodes(lv, 3)
+	}
+}
+
+func (c *simCache) lowerOf(v string) string {
+	if c != nil {
+		if l, ok := c.lower[v]; ok {
+			return l
+		}
+	}
+	return strings.ToLower(v)
+}
+
+func (c *simCache) wordsOf(v string) int {
+	if c != nil {
+		if n, ok := c.words[v]; ok {
+			return n
+		}
+	}
+	return len(strings.Fields(v))
+}
+
+func (c *simCache) tokensOf(v string) []string {
+	if c != nil {
+		if t, ok := c.toks[v]; ok {
+			return t
+		}
+	}
+	return sortedUniqueTokens(v)
+}
+
+func (c *simCache) gramsOf(v, lv string) []uint64 {
+	if c != nil {
+		if g, ok := c.grams[v]; ok {
+			return g
+		}
+	}
+	return textmine.QGramCodes(lv, 3)
+}
+
+// sortedUniqueTokens is the token SET of v in sorted order — the
+// merge-friendly form of the sets weightedJaccard intersects.
+func sortedUniqueTokens(v string) []string {
+	toks := textmine.Tokenize(v)
+	sort.Strings(toks)
+	out := toks[:0]
+	for i, t := range toks {
+		if i == 0 || t != toks[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // RecordSimilarity aggregates the best field pairing per field with
@@ -217,29 +324,38 @@ func (m *Matcher) tokenIDF(tok string) float64 {
 // weightedJaccard computes token Jaccard with IDF weights (uniform when
 // m is nil).
 func (m *Matcher) weightedJaccard(a, b string) float64 {
-	sa := make(map[string]bool)
-	for _, t := range textmine.Tokenize(a) {
-		sa[t] = true
-	}
-	sb := make(map[string]bool)
-	for _, t := range textmine.Tokenize(b) {
-		sb[t] = true
-	}
-	if len(sa) == 0 && len(sb) == 0 {
+	return m.weightedJaccardSorted(sortedUniqueTokens(a), sortedUniqueTokens(b))
+}
+
+// weightedJaccardSorted is weightedJaccard over sorted unique token
+// slices — the cached form, intersected by merge instead of maps.
+func (m *Matcher) weightedJaccardSorted(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
 		return 0
 	}
 	var inter, union float64
-	for t := range sa {
-		w := m.tokenIDF(t)
-		union += w
-		if sb[t] {
+	i, j := 0, 0
+	for i < len(ta) && j < len(tb) {
+		switch {
+		case ta[i] < tb[j]:
+			union += m.tokenIDF(ta[i])
+			i++
+		case ta[i] > tb[j]:
+			union += m.tokenIDF(tb[j])
+			j++
+		default:
+			w := m.tokenIDF(ta[i])
+			union += w
 			inter += w
+			i++
+			j++
 		}
 	}
-	for t := range sb {
-		if !sa[t] {
-			union += m.tokenIDF(t)
-		}
+	for ; i < len(ta); i++ {
+		union += m.tokenIDF(ta[i])
+	}
+	for ; j < len(tb); j++ {
+		union += m.tokenIDF(tb[j])
 	}
 	if union == 0 {
 		return 0
@@ -249,10 +365,16 @@ func (m *Matcher) weightedJaccard(a, b string) float64 {
 
 // weight returns the distinctiveness weight of a field value in [~0.1, 1].
 func (m *Matcher) weight(v string) float64 {
+	return m.weightLower(strings.ToLower(v))
+}
+
+// weightLower is weight over an already-lowercased value — the scoring
+// loop's form, fed from the simCache so no per-pair lowering happens.
+func (m *Matcher) weightLower(lv string) float64 {
 	if m == nil {
 		return 1
 	}
-	c := m.valueCount[strings.ToLower(v)]
+	c := m.valueCount[lv]
 	if c <= 2 {
 		return 1 // a value shared by exactly a duplicate pair is maximal evidence
 	}
@@ -267,17 +389,37 @@ func (m *Matcher) Similarity(a, b Record) (float64, string) {
 // weightedSimilarity is symmetric: it evaluates both directions and keeps
 // the stronger one, so results do not depend on comparison order.
 func weightedSimilarity(a, b Record, m *Matcher) (float64, string) {
-	s1, e1 := directedSimilarity(a.Fields, b.Fields, m)
-	s2, e2 := directedSimilarity(b.Fields, a.Fields, m)
+	sim, best := weightedSimilarityCached(a, b, m, nil)
+	return sim, best.evidence()
+}
+
+// bestFields names the strongest field correspondence of a comparison.
+// The evidence string is rendered only for pairs that are actually
+// flagged — building it per scored pair dominated allocation.
+type bestFields struct {
+	ka, kb string
+	ok     bool
+}
+
+func (p bestFields) evidence() string {
+	if !p.ok {
+		return ""
+	}
+	return p.ka + "~" + p.kb
+}
+
+func weightedSimilarityCached(a, b Record, m *Matcher, c *simCache) (float64, bestFields) {
+	s1, e1 := directedSimilarity(a.Fields, b.Fields, m, c)
+	s2, e2 := directedSimilarity(b.Fields, a.Fields, m, c)
 	if s2 > s1 {
 		return s2, e2
 	}
 	return s1, e1
 }
 
-func directedSimilarity(fa, fb map[string]string, m *Matcher) (float64, string) {
+func directedSimilarity(fa, fb map[string]string, m *Matcher, c *simCache) (float64, bestFields) {
 	if len(fa) == 0 || len(fb) == 0 {
-		return 0, ""
+		return 0, bestFields{}
 	}
 	// minCorrespondence separates "this field has a counterpart in the
 	// other record" from "the other source simply does not model this
@@ -286,7 +428,7 @@ func directedSimilarity(fa, fb map[string]string, m *Matcher) (float64, string) 
 	// instead of dragging it toward zero.
 	const minCorrespondence = 0.2
 	var sum, wsum float64
-	var bestPair string
+	var bestPair bestFields
 	var bestSim float64
 	hasAnchor := false
 	accessionAnchor := false
@@ -295,7 +437,7 @@ func directedSimilarity(fa, fb map[string]string, m *Matcher) (float64, string) 
 		best := 0.0
 		bestK := ""
 		for kb, vb := range fb {
-			if s := fieldSimilarity(m, va, vb); s > best {
+			if s := fieldSimilarity(m, va, vb, c); s > best {
 				best = s
 				bestK = kb
 			}
@@ -305,7 +447,7 @@ func directedSimilarity(fa, fb map[string]string, m *Matcher) (float64, string) 
 		}
 		w := 1.0
 		if m != nil {
-			w = m.weight(va)
+			w = m.weightLower(c.lowerOf(va))
 		}
 		// §5: a shared accession-shaped identifier is decisive evidence
 		// ("detecting duplicate objects is easy in this case, because the
@@ -327,11 +469,11 @@ func directedSimilarity(fa, fb map[string]string, m *Matcher) (float64, string) 
 		wsum += w
 		if best*w > bestSim {
 			bestSim = best * w
-			bestPair = ka + "~" + bestK
+			bestPair = bestFields{ka, bestK, true}
 		}
 	}
 	if wsum == 0 {
-		return 0, ""
+		return 0, bestFields{}
 	}
 	score := sum / wsum
 	// Corroboration: one coincidentally shared value — however rare —
@@ -448,7 +590,7 @@ func FindDuplicatesContext(ctx context.Context, records []Record, opts Options) 
 	matcher := NewMatcher(records)
 	pairs := candidatePairs(records, opts)
 	stats.Comparisons = len(pairs)
-	matches, err := scorePairs(ctx, pairs, matcher, opts)
+	matches, err := scorePairs(ctx, pairs, matcher, opts, nil)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -460,13 +602,13 @@ func FindDuplicatesContext(ctx context.Context, records []Record, opts Options) 
 // candidatePairs generates the deduplicated candidate pairs of the chosen
 // blocking mode, in a deterministic order.
 func candidatePairs(records []Record, opts Options) [][2]Record {
-	seen := make(map[string]bool)
+	seen := make(map[pairID]bool)
 	var pairs [][2]Record
 	add := func(a, b Record) {
 		if a.Source == b.Source && a.Accession == b.Accession {
 			return
 		}
-		k := pairKey(a, b)
+		k := pairIDOf(a, b)
 		if seen[k] {
 			return
 		}
@@ -504,23 +646,31 @@ func candidatePairs(records []Record, opts Options) [][2]Record {
 
 // scorePairs computes record similarity for every candidate pair on the
 // worker pool (indexed slots keep the output order deterministic) and
-// returns the pairs at or above the threshold.
-func scorePairs(ctx context.Context, pairs [][2]Record, matcher *Matcher, opts Options) ([]Match, error) {
+// returns the pairs at or above the threshold. A nil cache builds one
+// over the pairs' values; a non-nil cache (the incremental index's
+// persistent one) must already cover them.
+func scorePairs(ctx context.Context, pairs [][2]Record, matcher *Matcher, opts Options, cache *simCache) ([]Match, error) {
 	type scored struct {
-		sim float64
-		ev  string
+		sim  float64
+		best bestFields
+	}
+	if cache == nil {
+		// Precompute every distinct value's derived forms up front; the
+		// workers then score against a read-only cache.
+		cache = newSimCache()
+		cache.admitPairs(pairs)
 	}
 	results := make([]scored, len(pairs))
 	if err := parallel.ForChunked(ctx, opts.Workers, len(pairs), 32, func(i int) {
-		sim, ev := matcher.Similarity(pairs[i][0], pairs[i][1])
-		results[i] = scored{sim, ev}
+		sim, best := weightedSimilarityCached(pairs[i][0], pairs[i][1], matcher, cache)
+		results[i] = scored{sim, best}
 	}); err != nil {
 		return nil, err
 	}
 	var matches []Match
 	for i, r := range results {
 		if r.sim >= opts.Threshold {
-			matches = append(matches, Match{A: pairs[i][0], B: pairs[i][1], Similarity: r.sim, Evidence: r.ev})
+			matches = append(matches, Match{A: pairs[i][0], B: pairs[i][1], Similarity: r.sim, Evidence: r.best.evidence()})
 		}
 	}
 	return matches, nil
@@ -543,6 +693,21 @@ func pairKey(a, b Record) string {
 		ka, kb = kb, ka
 	}
 	return ka + "\x01" + kb
+}
+
+// pairID is pairKey as a comparable struct — the dedup-set key during
+// candidate generation, where a concatenated string per considered pair
+// would be the hottest allocation of the whole detection run.
+type pairID struct {
+	aSource, aAccession string
+	bSource, bAccession string
+}
+
+func pairIDOf(a, b Record) pairID {
+	if b.Source < a.Source || (b.Source == a.Source && b.Accession < a.Accession) {
+		a, b = b, a
+	}
+	return pairID{a.Source, a.Accession, b.Source, b.Accession}
 }
 
 // Links converts matches into duplicate links for the metadata repository.
@@ -619,7 +784,7 @@ func Conflicts(m Match) []Conflict {
 	for ka, va := range m.A.Fields {
 		bestK, bestSim := "", -1.0
 		for kb, vb := range m.B.Fields {
-			if s := fieldSimilarity(nil, va, vb); s > bestSim {
+			if s := fieldSimilarity(nil, va, vb, nil); s > bestSim {
 				bestSim = s
 				bestK = kb
 			}

@@ -55,11 +55,17 @@ type Index struct {
 	passes  [2][]keyedRecord
 	all     []Record
 	matcher *Matcher
+	// cache persists each compared value's derived scoring forms across
+	// batches: a streamed ingest revisits boundary records every batch,
+	// and rebuilding their token sets and gram codes per batch dominated
+	// allocation. Entries are pure functions of the value, so removals
+	// never need to evict.
+	cache *simCache
 }
 
 // NewIndex creates an empty incremental duplicate index.
 func NewIndex() *Index {
-	return &Index{matcher: NewMatcher(nil)}
+	return &Index{matcher: NewMatcher(nil), cache: newSimCache()}
 }
 
 // Len returns the number of indexed records.
@@ -137,6 +143,67 @@ func (ix *Index) RemoveSource(source string) {
 	}
 }
 
+// Remove drops the given records from the index by identity
+// (Source+Accession) — the unwind path when a batch append fails after
+// duplicate detection ran. Unlike RemoveSource it leaves the source's
+// other records indexed. At most one indexed record is dropped per
+// given record; ix.all is scanned from the end, so a just-inserted
+// batch (always the tail) is removed exactly, even when an appended
+// accession collides with an older record of the same source. In that
+// collision case the sorted pass lists cannot tell the twins apart and
+// may keep the newer one's fields — a harmless skew on a path that only
+// runs when the batch is being thrown away.
+func (ix *Index) Remove(records []Record) {
+	if len(records) == 0 {
+		return
+	}
+	id := func(r Record) string { return r.Source + "\x00" + r.Accession }
+	want := make(map[string]int, len(records))
+	for _, r := range records {
+		want[id(r)]++
+	}
+	var removed []Record
+	keepRev := make([]Record, 0, len(ix.all))
+	for i := len(ix.all) - 1; i >= 0; i-- {
+		r := ix.all[i]
+		if want[id(r)] > 0 {
+			want[id(r)]--
+			removed = append(removed, r)
+		} else {
+			keepRev = append(keepRev, r)
+		}
+	}
+	for i, j := 0, len(keepRev)-1; i < j; i, j = i+1, j-1 {
+		keepRev[i], keepRev[j] = keepRev[j], keepRev[i]
+	}
+	ix.all = keepRev
+	if len(removed) == 0 {
+		return
+	}
+	ix.matcher.removeRecords(removed)
+	for pass := 0; pass < 2; pass++ {
+		drop := make(map[string]int, len(removed))
+		for _, r := range removed {
+			drop[id(r)]++
+		}
+		// Fresh slice: the backward scan must not write over entries it has
+		// yet to read, so filtering in place is off the table here.
+		kept := make([]keyedRecord, 0, len(ix.passes[pass])-len(removed))
+		for i := len(ix.passes[pass]) - 1; i >= 0; i-- {
+			k := ix.passes[pass][i]
+			if drop[id(k.rec)] > 0 {
+				drop[id(k.rec)]--
+			} else {
+				kept = append(kept, k)
+			}
+		}
+		for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+			kept[i], kept[j] = kept[j], kept[i]
+		}
+		ix.passes[pass] = kept
+	}
+}
+
 // FindNew inserts the added records and flags duplicate pairs involving
 // at least one of them: new×existing and new×new pairs whose positions in
 // the merged sorted-neighbourhood order fall within Options.Window (or
@@ -162,13 +229,13 @@ func (ix *Index) FindNewContext(ctx context.Context, added []Record, opts Option
 	positions := ix.insert(added)
 	stats := Stats{Records: len(ix.all)}
 
-	seen := make(map[string]bool)
+	seen := make(map[pairID]bool)
 	var pairs [][2]Record
 	add := func(a, b Record) {
 		if a.Source == b.Source && a.Accession == b.Accession {
 			return
 		}
-		k := pairKey(a, b)
+		k := pairIDOf(a, b)
 		if seen[k] {
 			return
 		}
@@ -220,7 +287,10 @@ func (ix *Index) FindNewContext(ctx context.Context, added []Record, opts Option
 		}
 	}
 	stats.Comparisons = len(pairs)
-	matches, err := scorePairs(ctx, pairs, ix.matcher, opts)
+	// Top the persistent cache up with whatever these pairs touch —
+	// values seen in earlier batches are already covered.
+	ix.cache.admitPairs(pairs)
+	matches, err := scorePairs(ctx, pairs, ix.matcher, opts, ix.cache)
 	if err != nil {
 		return nil, stats, err
 	}

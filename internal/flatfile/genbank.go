@@ -1,11 +1,7 @@
 package flatfile
 
 import (
-	"bufio"
-	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"repro/internal/rel"
 )
@@ -18,119 +14,8 @@ import (
 // Output relations: entry (entry_id, accession, locus_name, definition,
 // organism), dbxref (dbxref_id, entry_id, xref) and sequence (entry_id,
 // seq) — exactly the shape the §4.2-§4.4 discovery steps expect.
+//
+// ParseGenBank is the collect-all form of NewGenBankScanner.
 func ParseGenBank(r io.Reader, dbName string) (*rel.Database, error) {
-	db := rel.NewDatabase(dbName)
-	entry := db.Create("entry", rel.TextSchema("entry_id", "accession", "locus_name", "definition", "organism"))
-	dbxref := db.Create("dbxref", rel.TextSchema("dbxref_id", "entry_id", "xref"))
-	seqrel := db.Create("sequence", rel.TextSchema("entry_id", "seq"))
-
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-
-	type record struct {
-		locus, accession, organism string
-		definition                 []string
-		xrefs                      []string
-		seq                        strings.Builder
-	}
-	var cur *record
-	section := "" // current top-level keyword
-	entrySeq, xrefSeq := 0, 0
-	lineNo := 0
-
-	flush := func() error {
-		if cur == nil {
-			return nil
-		}
-		if cur.accession == "" {
-			return fmt.Errorf("flatfile: GenBank record ending before line %d has no ACCESSION", lineNo)
-		}
-		entrySeq++
-		eid := strconv.Itoa(entrySeq)
-		entry.AppendRaw(eid, cur.accession, cur.locus,
-			strings.TrimSuffix(strings.Join(cur.definition, " "), "."), cur.organism)
-		for _, x := range cur.xrefs {
-			xrefSeq++
-			dbxref.AppendRaw(strconv.Itoa(xrefSeq), eid, x)
-		}
-		if cur.seq.Len() > 0 {
-			seqrel.AppendRaw(eid, cur.seq.String())
-		}
-		cur = nil
-		section = ""
-		return nil
-	}
-
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if strings.HasPrefix(line, "//") {
-			if err := flush(); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
-		// Top-level keywords start in column 0.
-		if line[0] != ' ' {
-			fields := strings.SplitN(line, " ", 2)
-			keyword := fields[0]
-			rest := ""
-			if len(fields) > 1 {
-				rest = strings.TrimSpace(fields[1])
-			}
-			if cur == nil {
-				if keyword != "LOCUS" {
-					return nil, fmt.Errorf("flatfile: line %d: GenBank record must start with LOCUS, got %q", lineNo, keyword)
-				}
-				cur = &record{}
-			}
-			section = keyword
-			switch keyword {
-			case "LOCUS":
-				if f := strings.Fields(rest); len(f) > 0 {
-					cur.locus = f[0]
-				}
-			case "DEFINITION":
-				cur.definition = append(cur.definition, rest)
-			case "ACCESSION":
-				if f := strings.Fields(rest); len(f) > 0 {
-					cur.accession = f[0]
-				}
-			case "SOURCE":
-				cur.organism = rest
-			case "ORIGIN":
-				// Sequence lines follow.
-			}
-			continue
-		}
-		if cur == nil {
-			return nil, fmt.Errorf("flatfile: line %d: continuation before first LOCUS", lineNo)
-		}
-		trimmed := strings.TrimSpace(line)
-		switch section {
-		case "DEFINITION":
-			cur.definition = append(cur.definition, trimmed)
-		case "FEATURES":
-			if strings.HasPrefix(trimmed, "/db_xref=") {
-				v := strings.Trim(strings.TrimPrefix(trimmed, "/db_xref="), `"`)
-				if v != "" {
-					cur.xrefs = append(cur.xrefs, v)
-				}
-			}
-		case "ORIGIN":
-			cur.seq.WriteString(stripSeqLine(line))
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if cur != nil {
-		if err := flush(); err != nil {
-			return nil, err
-		}
-	}
-	return db, nil
+	return collect(NewGenBankScanner(r), dbName, nil)
 }

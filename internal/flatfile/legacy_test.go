@@ -1,0 +1,353 @@
+package flatfile
+
+// Verbatim copies of the pre-streaming whole-file parsers. The public
+// Parse entry points are now collect-all wrappers over the streaming
+// scanners; these copies preserve the original record-at-once
+// implementations as the parity oracle for the FuzzFlatfile targets —
+// scanner stream output must equal legacy output on arbitrary bytes.
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+func legacyParseEMBL(r io.Reader, dbName string) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	entry := db.Create("entry", rel.TextSchema("entry_id", "accession", "entry_name", "description", "organism"))
+	dbref := db.Create("dbref", rel.TextSchema("dbref_id", "entry_id", "dbname", "ref_accession"))
+	keyword := db.Create("keyword", rel.TextSchema("keyword_id", "entry_id", "keyword"))
+	comment := db.Create("comment", rel.TextSchema("comment_id", "entry_id", "comment_text"))
+	seqrel := db.Create("sequence", rel.TextSchema("entry_id", "seq"))
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	type record struct {
+		name, organism string
+		desc           []string
+		acc            []string
+		drs            [][2]string
+		kws            []string
+		ccs            []string
+		seq            strings.Builder
+	}
+	var cur *record
+	inSeq := false
+	entrySeq, dbrefSeq, kwSeq, ccSeq := 0, 0, 0, 0
+	lineNo := 0
+
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if len(cur.acc) == 0 {
+			return fmt.Errorf("flatfile: record ending before line %d has no AC line", lineNo)
+		}
+		entrySeq++
+		eid := strconv.Itoa(entrySeq)
+		entry.AppendRaw(eid, cur.acc[0], cur.name, strings.Join(cur.desc, " "), cur.organism)
+		for _, dr := range cur.drs {
+			dbrefSeq++
+			dbref.AppendRaw(strconv.Itoa(dbrefSeq), eid, dr[0], dr[1])
+		}
+		for _, kw := range cur.kws {
+			kwSeq++
+			keyword.AppendRaw(strconv.Itoa(kwSeq), eid, kw)
+		}
+		for _, cc := range cur.ccs {
+			ccSeq++
+			comment.AppendRaw(strconv.Itoa(ccSeq), eid, cc)
+		}
+		if cur.seq.Len() > 0 {
+			seqrel.AppendRaw(eid, cur.seq.String())
+		}
+		cur = nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(line, "//") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			inSeq = false
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if inSeq {
+			if strings.HasPrefix(line, " ") || !hasLineCode(line) {
+				if cur != nil {
+					cur.seq.WriteString(stripSeqLine(line))
+				}
+				continue
+			}
+			inSeq = false
+		}
+		if len(line) < 2 {
+			return nil, fmt.Errorf("flatfile: malformed line %d: %q", lineNo, line)
+		}
+		code := line[:2]
+		rest := ""
+		if len(line) > 2 {
+			rest = strings.TrimSpace(line[2:])
+		}
+		if cur == nil {
+			if code != "ID" {
+				return nil, fmt.Errorf("flatfile: line %d: record must start with ID, got %q", lineNo, code)
+			}
+			cur = &record{}
+		}
+		switch code {
+		case "ID":
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				cur.name = fields[0]
+			}
+		case "AC":
+			for _, a := range strings.Split(rest, ";") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					cur.acc = append(cur.acc, a)
+				}
+			}
+		case "DE":
+			cur.desc = append(cur.desc, rest)
+		case "OS":
+			if cur.organism == "" {
+				cur.organism = strings.TrimSuffix(rest, ".")
+			}
+		case "DR":
+			parts := strings.Split(rest, ";")
+			if len(parts) >= 2 {
+				cur.drs = append(cur.drs, [2]string{
+					strings.TrimSpace(parts[0]),
+					strings.TrimSuffix(strings.TrimSpace(parts[1]), "."),
+				})
+			}
+		case "KW":
+			for _, k := range strings.Split(strings.TrimSuffix(rest, "."), ";") {
+				k = strings.TrimSpace(k)
+				if k != "" {
+					cur.kws = append(cur.kws, k)
+				}
+			}
+		case "CC":
+			cur.ccs = append(cur.ccs, strings.TrimPrefix(rest, "-!- "))
+		case "SQ":
+			inSeq = true
+		default:
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func legacyParseFASTA(r io.Reader, dbName string) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	rec := db.Create("fasta", rel.TextSchema("fasta_id", "accession", "description", "seq"))
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var acc, desc string
+	var seq strings.Builder
+	n := 0
+	flush := func() {
+		if acc == "" {
+			return
+		}
+		n++
+		rec.AppendRaw(strconv.Itoa(n), acc, desc, seq.String())
+		acc, desc = "", ""
+		seq.Reset()
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			flush()
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("flatfile: empty FASTA header at line %d", lineNo)
+			}
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				acc, desc = header[:i], strings.TrimSpace(header[i:])
+			} else {
+				acc = header
+			}
+			continue
+		}
+		if acc == "" {
+			return nil, fmt.Errorf("flatfile: sequence data before first FASTA header at line %d", lineNo)
+		}
+		seq.WriteString(strings.ToUpper(line))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return db, nil
+}
+
+func legacyParseCSV(r io.Reader, dbName, table string, comma rune) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	cr := csv.NewReader(r)
+	cr.Comma = comma
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("flatfile: reading CSV header: %w", err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+		if header[i] == "" {
+			header[i] = fmt.Sprintf("col%d", i+1)
+		}
+	}
+	relo := db.Create(table, rel.TextSchema(header...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("flatfile: reading CSV row: %w", err)
+		}
+		relo.AppendRaw(rec...)
+	}
+	return db, nil
+}
+
+func legacyParseGenBank(r io.Reader, dbName string) (*rel.Database, error) {
+	db := rel.NewDatabase(dbName)
+	entry := db.Create("entry", rel.TextSchema("entry_id", "accession", "locus_name", "definition", "organism"))
+	dbxref := db.Create("dbxref", rel.TextSchema("dbxref_id", "entry_id", "xref"))
+	seqrel := db.Create("sequence", rel.TextSchema("entry_id", "seq"))
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	type record struct {
+		locus, accession, organism string
+		definition                 []string
+		xrefs                      []string
+		seq                        strings.Builder
+	}
+	var cur *record
+	section := ""
+	entrySeq, xrefSeq := 0, 0
+	lineNo := 0
+
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if cur.accession == "" {
+			return fmt.Errorf("flatfile: GenBank record ending before line %d has no ACCESSION", lineNo)
+		}
+		entrySeq++
+		eid := strconv.Itoa(entrySeq)
+		entry.AppendRaw(eid, cur.accession, cur.locus,
+			strings.TrimSuffix(strings.Join(cur.definition, " "), "."), cur.organism)
+		for _, x := range cur.xrefs {
+			xrefSeq++
+			dbxref.AppendRaw(strconv.Itoa(xrefSeq), eid, x)
+		}
+		if cur.seq.Len() > 0 {
+			seqrel.AppendRaw(eid, cur.seq.String())
+		}
+		cur = nil
+		section = ""
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(line, "//") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if line[0] != ' ' {
+			fields := strings.SplitN(line, " ", 2)
+			keyword := fields[0]
+			rest := ""
+			if len(fields) > 1 {
+				rest = strings.TrimSpace(fields[1])
+			}
+			if cur == nil {
+				if keyword != "LOCUS" {
+					return nil, fmt.Errorf("flatfile: line %d: GenBank record must start with LOCUS, got %q", lineNo, keyword)
+				}
+				cur = &record{}
+			}
+			section = keyword
+			switch keyword {
+			case "LOCUS":
+				if f := strings.Fields(rest); len(f) > 0 {
+					cur.locus = f[0]
+				}
+			case "DEFINITION":
+				cur.definition = append(cur.definition, rest)
+			case "ACCESSION":
+				if f := strings.Fields(rest); len(f) > 0 {
+					cur.accession = f[0]
+				}
+			case "SOURCE":
+				cur.organism = rest
+			case "ORIGIN":
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("flatfile: line %d: continuation before first LOCUS", lineNo)
+		}
+		trimmed := strings.TrimSpace(line)
+		switch section {
+		case "DEFINITION":
+			cur.definition = append(cur.definition, trimmed)
+		case "FEATURES":
+			if strings.HasPrefix(trimmed, "/db_xref=") {
+				v := strings.Trim(strings.TrimPrefix(trimmed, "/db_xref="), `"`)
+				if v != "" {
+					cur.xrefs = append(cur.xrefs, v)
+				}
+			}
+		case "ORIGIN":
+			cur.seq.WriteString(stripSeqLine(line))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

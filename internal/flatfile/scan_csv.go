@@ -1,0 +1,55 @@
+package flatfile
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// csvScanner streams delimited rows. The header row is consumed
+// eagerly at construction so Relations() is fixed up front.
+type csvScanner struct {
+	cr   *csv.Reader
+	spec []RelationSpec
+	done bool
+}
+
+// NewCSVScanner returns a streaming scanner over delimited text with a
+// header row, placing rows in a single relation named by table. comma
+// is the delimiter (use '\t' for TSV). Reading the header may fail,
+// hence the error.
+func NewCSVScanner(r io.Reader, table string, comma rune) (Scanner, error) {
+	cr := csv.NewReader(r)
+	cr.Comma = comma
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("flatfile: reading CSV header: %w", err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+		if header[i] == "" {
+			header[i] = fmt.Sprintf("col%d", i+1)
+		}
+	}
+	return &csvScanner{cr: cr, spec: []RelationSpec{{Name: table, Columns: header}}}, nil
+}
+
+func (s *csvScanner) Relations() []RelationSpec { return s.spec }
+
+func (s *csvScanner) Next() (Record, error) {
+	if s.done {
+		return Record{}, io.EOF
+	}
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		s.done = true
+		return Record{}, fmt.Errorf("flatfile: reading CSV row: %w", err)
+	}
+	return Record{Rows: []Row{{0, rec}}}, nil
+}

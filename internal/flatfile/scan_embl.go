@@ -1,0 +1,218 @@
+package flatfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// emblRelations is the BioSQL-shaped output schema of the EMBL path —
+// shared by the scanner and the whole-file wrapper so the two can
+// never drift.
+var emblRelations = []RelationSpec{
+	{Name: "entry", Columns: []string{"entry_id", "accession", "entry_name", "description", "organism"}},
+	{Name: "dbref", Columns: []string{"dbref_id", "entry_id", "dbname", "ref_accession"}},
+	{Name: "keyword", Columns: []string{"keyword_id", "entry_id", "keyword"}},
+	{Name: "comment", Columns: []string{"comment_id", "entry_id", "comment_text"}},
+	{Name: "sequence", Columns: []string{"entry_id", "seq"}},
+}
+
+// Relation indexes into emblRelations.
+const (
+	emblEntry = iota
+	emblDbref
+	emblKeyword
+	emblComment
+	emblSequence
+)
+
+type emblRecord struct {
+	id, name, organism string
+	desc               []string
+	acc                []string
+	drs                [][2]string
+	kws                []string
+	ccs                []string
+	seq                strings.Builder
+}
+
+// emblScanner streams EMBL/Swiss-Prot-style records. The surrogate-id
+// counters (entry_id, dbref_id, ...) are file-global, exactly like the
+// whole-file parser's, so the record stream concatenates to the same
+// relations Parse would build.
+type emblScanner struct {
+	sc     *bufio.Scanner
+	lineNo int
+	inSeq  bool
+	cur    *emblRecord
+	done   bool
+
+	entrySeq, dbrefSeq, kwSeq, ccSeq int
+}
+
+// NewEMBLScanner returns a streaming scanner over EMBL/Swiss-Prot-style
+// flat files: one Record per "//"-terminated entry, carrying the entry
+// row plus its dependent dbref/keyword/comment/sequence rows.
+func NewEMBLScanner(r io.Reader) Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &emblScanner{sc: sc}
+}
+
+func (s *emblScanner) Relations() []RelationSpec { return emblRelations }
+
+// flush converts the accumulated entry into a Record and resets.
+func (s *emblScanner) flush() (Record, error) {
+	cur := s.cur
+	s.cur = nil
+	if len(cur.acc) == 0 {
+		return Record{}, fmt.Errorf("flatfile: record ending before line %d has no AC line", s.lineNo)
+	}
+	s.entrySeq++
+	eid := strconv.Itoa(s.entrySeq)
+	rows := make([]Row, 0, 1+len(cur.drs)+len(cur.kws)+len(cur.ccs)+1)
+	rows = append(rows, Row{emblEntry, []string{eid, cur.acc[0], cur.name, strings.Join(cur.desc, " "), cur.organism}})
+	for _, dr := range cur.drs {
+		s.dbrefSeq++
+		rows = append(rows, Row{emblDbref, []string{strconv.Itoa(s.dbrefSeq), eid, dr[0], dr[1]}})
+	}
+	for _, kw := range cur.kws {
+		s.kwSeq++
+		rows = append(rows, Row{emblKeyword, []string{strconv.Itoa(s.kwSeq), eid, kw}})
+	}
+	for _, cc := range cur.ccs {
+		s.ccSeq++
+		rows = append(rows, Row{emblComment, []string{strconv.Itoa(s.ccSeq), eid, cc}})
+	}
+	if cur.seq.Len() > 0 {
+		rows = append(rows, Row{emblSequence, []string{eid, cur.seq.String()}})
+	}
+	return Record{Rows: rows}, nil
+}
+
+func (s *emblScanner) Next() (Record, error) {
+	if s.done {
+		return Record{}, io.EOF
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := s.sc.Text()
+		if strings.HasPrefix(line, "//") {
+			inRecord := s.cur != nil
+			s.inSeq = false
+			if inRecord {
+				rec, err := s.flush()
+				if err != nil {
+					s.done = true
+					return Record{}, err
+				}
+				return rec, nil
+			}
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if s.inSeq {
+			if strings.HasPrefix(line, " ") || !hasLineCode(line) {
+				if s.cur != nil {
+					s.cur.seq.WriteString(stripSeqLine(line))
+				}
+				continue
+			}
+			s.inSeq = false
+		}
+		if len(line) < 2 {
+			s.done = true
+			return Record{}, fmt.Errorf("flatfile: malformed line %d: %q", s.lineNo, line)
+		}
+		code := line[:2]
+		rest := ""
+		if len(line) > 2 {
+			rest = strings.TrimSpace(line[2:])
+		}
+		if s.cur == nil {
+			if code != "ID" {
+				s.done = true
+				return Record{}, fmt.Errorf("flatfile: line %d: record must start with ID, got %q", s.lineNo, code)
+			}
+			s.cur = &emblRecord{}
+		}
+		cur := s.cur
+		switch code {
+		case "ID":
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				cur.name = fields[0]
+			}
+		case "AC":
+			eachSemiField(rest, func(a string) {
+				if a = strings.TrimSpace(a); a != "" {
+					cur.acc = append(cur.acc, a)
+				}
+			})
+		case "DE":
+			cur.desc = append(cur.desc, rest)
+		case "OS":
+			if cur.organism == "" {
+				cur.organism = strings.TrimSuffix(rest, ".")
+			}
+		case "DR":
+			// "DBNAME; ACC; ..." — only the first two fields matter; a
+			// line with no semicolon has no accession field and is
+			// dropped, like the legacy len(parts) >= 2 check.
+			if i := strings.IndexByte(rest, ';'); i >= 0 {
+				p1 := rest[i+1:]
+				if j := strings.IndexByte(p1, ';'); j >= 0 {
+					p1 = p1[:j]
+				}
+				cur.drs = append(cur.drs, [2]string{
+					strings.TrimSpace(rest[:i]),
+					strings.TrimSuffix(strings.TrimSpace(p1), "."),
+				})
+			}
+		case "KW":
+			eachSemiField(strings.TrimSuffix(rest, "."), func(k string) {
+				if k = strings.TrimSpace(k); k != "" {
+					cur.kws = append(cur.kws, k)
+				}
+			})
+		case "CC":
+			cur.ccs = append(cur.ccs, strings.TrimPrefix(rest, "-!- "))
+		case "SQ":
+			s.inSeq = true
+		default:
+			// Unknown line types are tolerated (real files carry many).
+		}
+	}
+	s.done = true
+	if err := s.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	if s.cur != nil {
+		rec, err := s.flush()
+		if err != nil {
+			return Record{}, err
+		}
+		return rec, nil
+	}
+	return Record{}, io.EOF
+}
+
+// eachSemiField calls fn for every ";"-separated field of s — the
+// allocation-free strings.Split replacement for the hot path. Like
+// Split, interior empty fields are visited (callers skip them after
+// trimming); unlike Split, a trailing empty field is not, which is
+// indistinguishable to callers that skip empties.
+func eachSemiField(s string, fn func(string)) {
+	for len(s) > 0 {
+		i := strings.IndexByte(s, ';')
+		if i < 0 {
+			fn(s)
+			return
+		}
+		fn(s[:i])
+		s = s[i+1:]
+	}
+}

@@ -1,0 +1,95 @@
+package flatfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// fastaRelations is the FASTA output schema, shared by scanner and
+// whole-file wrapper.
+var fastaRelations = []RelationSpec{
+	{Name: "fasta", Columns: []string{"fasta_id", "accession", "description", "seq"}},
+}
+
+// fastaScanner streams FASTA records: each ">" header plus its
+// sequence lines is one Record. The record only completes when the
+// next header (or EOF) arrives — a live tail therefore holds the last
+// record open until the stream ends.
+type fastaScanner struct {
+	sc     *bufio.Scanner
+	lineNo int
+	acc    string
+	desc   string
+	seq    strings.Builder
+	n      int
+	done   bool
+}
+
+// NewFASTAScanner returns a streaming scanner over FASTA data.
+func NewFASTAScanner(r io.Reader) Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &fastaScanner{sc: sc}
+}
+
+func (s *fastaScanner) Relations() []RelationSpec { return fastaRelations }
+
+// flush converts the accumulated entry into a Record and resets.
+// Callers check s.acc != "" first.
+func (s *fastaScanner) flush() Record {
+	s.n++
+	rec := Record{Rows: []Row{{0, []string{strconv.Itoa(s.n), s.acc, s.desc, s.seq.String()}}}}
+	s.acc, s.desc = "", ""
+	s.seq.Reset()
+	return rec
+}
+
+func (s *fastaScanner) Next() (Record, error) {
+	if s.done {
+		return Record{}, io.EOF
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				s.done = true
+				return Record{}, fmt.Errorf("flatfile: empty FASTA header at line %d", s.lineNo)
+			}
+			var rec Record
+			emit := s.acc != ""
+			if emit {
+				rec = s.flush()
+			}
+			if i := strings.IndexAny(header, " \t"); i >= 0 {
+				s.acc, s.desc = header[:i], strings.TrimSpace(header[i:])
+			} else {
+				s.acc = header
+			}
+			if emit {
+				return rec, nil
+			}
+			continue
+		}
+		if s.acc == "" {
+			s.done = true
+			return Record{}, fmt.Errorf("flatfile: sequence data before first FASTA header at line %d", s.lineNo)
+		}
+		s.seq.WriteString(strings.ToUpper(line))
+	}
+	s.done = true
+	if err := s.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	if s.acc != "" {
+		return s.flush(), nil
+	}
+	return Record{}, io.EOF
+}

@@ -1,0 +1,162 @@
+package flatfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// genbankRelations is the GenBank output schema, shared by scanner and
+// whole-file wrapper.
+var genbankRelations = []RelationSpec{
+	{Name: "entry", Columns: []string{"entry_id", "accession", "locus_name", "definition", "organism"}},
+	{Name: "dbxref", Columns: []string{"dbxref_id", "entry_id", "xref"}},
+	{Name: "sequence", Columns: []string{"entry_id", "seq"}},
+}
+
+const (
+	gbEntry = iota
+	gbDbxref
+	gbSequence
+)
+
+type genbankRecord struct {
+	locus, accession, organism string
+	definition                 []string
+	xrefs                      []string
+	seq                        strings.Builder
+}
+
+// genbankScanner streams GenBank records; surrogate-id counters are
+// file-global like the whole-file parser's.
+type genbankScanner struct {
+	sc      *bufio.Scanner
+	lineNo  int
+	section string // current top-level keyword
+	cur     *genbankRecord
+	done    bool
+
+	entrySeq, xrefSeq int
+}
+
+// NewGenBankScanner returns a streaming scanner over GenBank flat
+// files: one Record per "//"-terminated entry, carrying the entry row
+// plus its dbxref and sequence rows.
+func NewGenBankScanner(r io.Reader) Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &genbankScanner{sc: sc}
+}
+
+func (s *genbankScanner) Relations() []RelationSpec { return genbankRelations }
+
+func (s *genbankScanner) flush() (Record, error) {
+	cur := s.cur
+	s.cur = nil
+	s.section = ""
+	if cur.accession == "" {
+		return Record{}, fmt.Errorf("flatfile: GenBank record ending before line %d has no ACCESSION", s.lineNo)
+	}
+	s.entrySeq++
+	eid := strconv.Itoa(s.entrySeq)
+	rows := make([]Row, 0, 2+len(cur.xrefs))
+	rows = append(rows, Row{gbEntry, []string{eid, cur.accession, cur.locus,
+		strings.TrimSuffix(strings.Join(cur.definition, " "), "."), cur.organism}})
+	for _, x := range cur.xrefs {
+		s.xrefSeq++
+		rows = append(rows, Row{gbDbxref, []string{strconv.Itoa(s.xrefSeq), eid, x}})
+	}
+	if cur.seq.Len() > 0 {
+		rows = append(rows, Row{gbSequence, []string{eid, cur.seq.String()}})
+	}
+	return Record{Rows: rows}, nil
+}
+
+func (s *genbankScanner) Next() (Record, error) {
+	if s.done {
+		return Record{}, io.EOF
+	}
+	for s.sc.Scan() {
+		s.lineNo++
+		line := s.sc.Text()
+		if strings.HasPrefix(line, "//") {
+			if s.cur != nil {
+				rec, err := s.flush()
+				if err != nil {
+					s.done = true
+					return Record{}, err
+				}
+				return rec, nil
+			}
+			continue
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		// Top-level keywords start in column 0.
+		if line[0] != ' ' {
+			keyword, after, found := strings.Cut(line, " ")
+			rest := ""
+			if found {
+				rest = strings.TrimSpace(after)
+			}
+			if s.cur == nil {
+				if keyword != "LOCUS" {
+					s.done = true
+					return Record{}, fmt.Errorf("flatfile: line %d: GenBank record must start with LOCUS, got %q", s.lineNo, keyword)
+				}
+				s.cur = &genbankRecord{}
+			}
+			s.section = keyword
+			switch keyword {
+			case "LOCUS":
+				if f := strings.Fields(rest); len(f) > 0 {
+					s.cur.locus = f[0]
+				}
+			case "DEFINITION":
+				s.cur.definition = append(s.cur.definition, rest)
+			case "ACCESSION":
+				if f := strings.Fields(rest); len(f) > 0 {
+					s.cur.accession = f[0]
+				}
+			case "SOURCE":
+				s.cur.organism = rest
+			case "ORIGIN":
+				// Sequence lines follow.
+			}
+			continue
+		}
+		if s.cur == nil {
+			s.done = true
+			return Record{}, fmt.Errorf("flatfile: line %d: continuation before first LOCUS", s.lineNo)
+		}
+		trimmed := strings.TrimSpace(line)
+		switch s.section {
+		case "DEFINITION":
+			s.cur.definition = append(s.cur.definition, trimmed)
+		case "FEATURES":
+			if strings.HasPrefix(trimmed, "/db_xref=") {
+				v := strings.Trim(strings.TrimPrefix(trimmed, "/db_xref="), `"`)
+				if v != "" {
+					s.cur.xrefs = append(s.cur.xrefs, v)
+				}
+			}
+		case "ORIGIN":
+			s.cur.seq.WriteString(stripSeqLine(line))
+		}
+	}
+	s.done = true
+	if err := s.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	if s.cur != nil {
+		rec, err := s.flush()
+		if err != nil {
+			return Record{}, err
+		}
+		return rec, nil
+	}
+	return Record{}, io.EOF
+}

@@ -1,0 +1,118 @@
+package flatfile
+
+// This file is the streaming front end of the import component:
+// Scanner yields one logical record at a time off an io.Reader, so
+// ingestion can batch commits and bound memory by batch size instead
+// of file size. The whole-file Parse entry points are thin collect-all
+// wrappers over these scanners; internal/ingest drains them
+// incrementally.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// RelationSpec describes one output relation of a Scanner: its name
+// and column names (all text, like every generically imported source).
+type RelationSpec struct {
+	Name    string
+	Columns []string
+}
+
+// Row is one tuple of raw text fields destined for the relation at
+// the given index of the scanner's Relations(). Empty fields mean
+// NULL, exactly as Relation.AppendRaw treats them.
+type Row struct {
+	Relation int
+	Fields   []string
+}
+
+// Record is one logical flat-file record: the primary row plus every
+// dependent row parsed from the same entry (an EMBL entry with its
+// dbrefs, keywords, comments, and sequence, say). Dependents stay
+// with their parent so a batch boundary can never separate them.
+type Record struct {
+	Rows []Row
+}
+
+// Scanner yields the records of one flat file in order. Next returns
+// io.EOF after the last record; any other error is a parse error (or
+// the reader's), after which the scanner is exhausted. Scanners are
+// not safe for concurrent use.
+type Scanner interface {
+	// Relations describes the output relations; fixed for the life of
+	// the scanner (CSV reads its header row eagerly at construction).
+	Relations() []RelationSpec
+	// Next returns the next record, or io.EOF.
+	Next() (Record, error)
+}
+
+// StreamFormats lists the formats with a streaming scanner. OBO and
+// XML parse whole-file only (stanza cross-references and document
+// trees have no bounded record framing) and stay on the Parse path.
+func StreamFormats() []string {
+	return []string{"embl", "genbank", "fasta", "csv", "tsv"}
+}
+
+// NewScanner returns a streaming scanner for the named format reading
+// from r. CSV and TSV place their rows in a relation named "data",
+// matching Parse.
+func NewScanner(format string, r io.Reader) (Scanner, error) {
+	switch format {
+	case "embl":
+		return NewEMBLScanner(r), nil
+	case "genbank":
+		return NewGenBankScanner(r), nil
+	case "fasta":
+		return NewFASTAScanner(r), nil
+	case "csv":
+		return NewCSVScanner(r, "data", ',')
+	case "tsv":
+		return NewCSVScanner(r, "data", '\t')
+	default:
+		return nil, fmt.Errorf("flatfile: no streaming scanner for format %q (streamable: %s)",
+			format, strings.Join(StreamFormats(), ", "))
+	}
+}
+
+// Streamable reports whether the format has a streaming scanner.
+func Streamable(format string) bool {
+	for _, f := range StreamFormats() {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// collect drains a scanner into a fresh database — the whole-file
+// Parse semantics expressed over the streaming path, so there is
+// exactly one parser per format.
+func collect(s Scanner, dbName string, err error) (*rel.Database, error) {
+	if err != nil {
+		return nil, err
+	}
+	db := rel.NewDatabase(dbName)
+	specs := s.Relations()
+	rels := make([]*rel.Relation, len(specs))
+	for i, spec := range specs {
+		rels[i] = db.Create(spec.Name, rel.TextSchema(spec.Columns...))
+	}
+	var alloc rel.TupleAlloc
+	defer alloc.Release()
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			return db, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rec.Rows {
+			rels[row.Relation].AppendPooled(&alloc, row.Fields)
+		}
+	}
+}

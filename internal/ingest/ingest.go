@@ -1,0 +1,274 @@
+// Package ingest drives high-throughput streaming ingestion: it drains a
+// flatfile.Scanner into bounded batches and hands each batch to a commit
+// function. Memory stays bounded by the batch size — one batch of
+// records is in flight at any time, and the commit runs synchronously,
+// so a slow committer backpressures the parser instead of letting
+// batches pile up. A logical record's rows (primary + dependents) always
+// land in the same batch: the scanner yields whole records, so ownership
+// propagation and duplicate detection per batch see complete objects.
+package ingest
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"repro/internal/flatfile"
+	"repro/internal/rel"
+)
+
+// Progress reports the state after one committed batch.
+type Progress struct {
+	// Batch is the 1-based ordinal of the batch just committed.
+	Batch int
+	// Records and Tuples are cumulative counts over the run.
+	Records int
+	Tuples  int
+	// Bytes is the input bytes consumed so far (0 without a counter).
+	Bytes int64
+	// Seq is the global mutation sequence the batch committed at.
+	Seq uint64
+}
+
+// CommitInfo is what a Commit reports back: the commit's global sequence
+// and its per-stage wall times, aggregated into the run's Summary.
+type CommitInfo struct {
+	Seq uint64
+	// Link/Dup/Index/Commit split the batch pipeline: link discovery,
+	// duplicate detection, index+browse+journal preparation, and the
+	// write-locked publish.
+	Link   time.Duration
+	Dup    time.Duration
+	Index  time.Duration
+	Commit time.Duration
+	// Links is the number of new links the batch stored.
+	Links int
+}
+
+// Commit persists one batch. The batch database holds one relation per
+// scanner spec (possibly empty). Returning an error stops the run; the
+// records of the failed batch are not retried.
+type Commit func(ctx context.Context, batch *rel.Database) (CommitInfo, error)
+
+// Options tunes a Runner.
+type Options struct {
+	// BatchRecords is the number of logical records per batch
+	// (default 1000).
+	BatchRecords int
+	// Progress, when non-nil, is invoked after every committed batch.
+	Progress func(Progress)
+	// Counter, when non-nil, supplies Progress.Bytes — wrap the input in
+	// a CountingReader before constructing the scanner.
+	Counter *CountingReader
+	// FlushStall, when > 0, commits a partial batch once no record has
+	// arrived for this long — live tail mode, where records should become
+	// visible shortly after they are written rather than waiting for a
+	// full batch. Zero (the default) flushes only on full batches and at
+	// end of input.
+	FlushStall time.Duration
+}
+
+func (o *Options) fill() {
+	if o.BatchRecords <= 0 {
+		o.BatchRecords = 1000
+	}
+}
+
+// Summary aggregates one ingestion run.
+type Summary struct {
+	Records int
+	Tuples  int
+	Batches int
+	Bytes   int64
+	Links   int
+	// LastSeq is the global sequence of the final committed batch.
+	LastSeq uint64
+	// Per-stage wall times summed over the run: Parse is scanner time,
+	// Batch is batch assembly (pooled tuple appends), the rest aggregate
+	// the committers' CommitInfo.
+	Parse  time.Duration
+	Batch  time.Duration
+	Link   time.Duration
+	Dup    time.Duration
+	Index  time.Duration
+	Commit time.Duration
+}
+
+// Runner drains a Scanner into bounded batches and commits each one.
+type Runner struct {
+	Scanner flatfile.Scanner
+	Commit  Commit
+	Opts    Options
+}
+
+// Run ingests until the scanner is exhausted or a commit fails. The
+// final partial batch is committed before returning. Cancellation is
+// observed between records; a canceled ctx also fails the next commit,
+// so an interrupted run always ends on a batch boundary. The returned
+// Summary is valid (describing the committed prefix) even on error.
+func (r *Runner) Run(ctx context.Context) (*Summary, error) {
+	opts := r.Opts
+	opts.fill()
+	specs := r.Scanner.Relations()
+	sum := &Summary{}
+	alloc := &rel.TupleAlloc{}
+	defer alloc.Release()
+
+	newBatch := func() (*rel.Database, []*rel.Relation) {
+		db := rel.NewDatabase("batch")
+		rels := make([]*rel.Relation, len(specs))
+		for i, sp := range specs {
+			rels[i] = db.Create(sp.Name, rel.TextSchema(sp.Columns...))
+		}
+		return db, rels
+	}
+	batch, rels := newBatch()
+	n := 0
+
+	flush := func() error {
+		if n == 0 {
+			return nil
+		}
+		info, err := r.Commit(ctx, batch)
+		if err != nil {
+			return err
+		}
+		sum.Batches++
+		sum.LastSeq = info.Seq
+		sum.Link += info.Link
+		sum.Dup += info.Dup
+		sum.Index += info.Index
+		sum.Commit += info.Commit
+		sum.Links += info.Links
+		if opts.Counter != nil {
+			sum.Bytes = opts.Counter.Bytes()
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{
+				Batch:   sum.Batches,
+				Records: sum.Records,
+				Tuples:  sum.Tuples,
+				Bytes:   sum.Bytes,
+				Seq:     info.Seq,
+			})
+		}
+		batch, rels = newBatch()
+		n = 0
+		return nil
+	}
+
+	consume := func(rec flatfile.Record) {
+		t0 := time.Now()
+		for _, row := range rec.Rows {
+			rels[row.Relation].AppendPooled(alloc, row.Fields)
+		}
+		sum.Batch += time.Since(t0)
+		sum.Records++
+		sum.Tuples += len(rec.Rows)
+		n++
+	}
+
+	if opts.FlushStall > 0 {
+		pending := func() int { return n }
+		if err := r.runStalling(ctx, opts, sum, pending, consume, flush); err != nil {
+			return sum, err
+		}
+	} else {
+		for {
+			if err := ctx.Err(); err != nil {
+				return sum, err
+			}
+			t0 := time.Now()
+			rec, err := r.Scanner.Next()
+			sum.Parse += time.Since(t0)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return sum, err
+			}
+			consume(rec)
+			if n >= opts.BatchRecords {
+				if err := flush(); err != nil {
+					return sum, err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return sum, err
+	}
+	if opts.Counter != nil {
+		sum.Bytes = opts.Counter.Bytes()
+	}
+	return sum, nil
+}
+
+// runStalling is the live-tail record loop: the scanner runs in its own
+// goroutine (Next blocks inside the tail reader's poll), records flow
+// over an unbuffered channel with an acknowledge handshake preserving
+// the scanner's not-concurrent contract, and a partial batch commits
+// whenever no record has arrived for FlushStall. Returns at end of
+// input with the final partial batch NOT yet flushed (the caller's
+// common flush handles it) or with the first error.
+func (r *Runner) runStalling(ctx context.Context, opts Options, sum *Summary, pending func() int, consume func(flatfile.Record), flush func() error) error {
+	type scanned struct {
+		rec   flatfile.Record
+		err   error
+		parse time.Duration
+	}
+	recCh := make(chan scanned)
+	ack := make(chan struct{})
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			t0 := time.Now()
+			rec, err := r.Scanner.Next()
+			s := scanned{rec, err, time.Since(t0)}
+			select {
+			case recCh <- s:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+			select {
+			case <-ack:
+			case <-done:
+				return
+			}
+		}
+	}()
+	for {
+		// Arm the stall timer only while a partial batch is pending.
+		var stall <-chan time.Time
+		if pending() > 0 {
+			stall = time.After(opts.FlushStall)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case s := <-recCh:
+			sum.Parse += s.parse
+			if s.err == io.EOF {
+				return nil
+			}
+			if s.err != nil {
+				return s.err
+			}
+			consume(s.rec)
+			ack <- struct{}{}
+			if pending() >= opts.BatchRecords {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		case <-stall:
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+}

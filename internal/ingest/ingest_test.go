@@ -1,0 +1,183 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/flatfile"
+	"repro/internal/rel"
+)
+
+// fastaInput renders n deterministic FASTA records.
+func fastaInput(t testing.TB, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := datagen.FastaText(&sb, n, 7); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// runFasta drains n FASTA records through a Runner with the given batch
+// size, collecting every committed batch.
+func runFasta(t *testing.T, n, batchRecords int, commit Commit) (*Summary, error) {
+	t.Helper()
+	sc, err := flatfile.NewScanner("fasta", strings.NewReader(fastaInput(t, n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Scanner: sc, Commit: commit, Opts: Options{BatchRecords: batchRecords}}
+	return r.Run(context.Background())
+}
+
+func TestRunnerBatches(t *testing.T) {
+	var sizes []int
+	var accs []string
+	sum, err := runFasta(t, 25, 10, func(ctx context.Context, batch *rel.Database) (CommitInfo, error) {
+		r := batch.Relation("fasta")
+		sizes = append(sizes, len(r.Tuples))
+		for _, tup := range r.Tuples {
+			accs = append(accs, tup[1].AsString())
+		}
+		return CommitInfo{Seq: uint64(len(sizes)), Links: 2}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{10, 10, 5}; len(sizes) != 3 || sizes[0] != want[0] || sizes[1] != want[1] || sizes[2] != want[2] {
+		t.Fatalf("batch sizes = %v, want %v", sizes, want)
+	}
+	if sum.Records != 25 || sum.Tuples != 25 || sum.Batches != 3 || sum.Links != 6 || sum.LastSeq != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Order and completeness: the batches partition the input in order.
+	if len(accs) != 25 || accs[0] != "SQ000001" || accs[24] != "SQ000025" {
+		t.Fatalf("accessions = %d first=%s last=%s", len(accs), accs[0], accs[len(accs)-1])
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	var progress []Progress
+	sc, err := flatfile.NewScanner("fasta", strings.NewReader(fastaInput(t, 12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Scanner: sc,
+		Commit: func(ctx context.Context, batch *rel.Database) (CommitInfo, error) {
+			return CommitInfo{Seq: 42}, nil
+		},
+		Opts: Options{BatchRecords: 5, Progress: func(p Progress) { progress = append(progress, p) }},
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(progress) != 3 {
+		t.Fatalf("progress events = %d, want 3", len(progress))
+	}
+	last := progress[2]
+	if last.Batch != 3 || last.Records != 12 || last.Seq != 42 {
+		t.Fatalf("final progress = %+v", last)
+	}
+}
+
+func TestRunnerCommitErrorStopsRun(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	sum, err := runFasta(t, 30, 10, func(ctx context.Context, batch *rel.Database) (CommitInfo, error) {
+		calls++
+		if calls == 2 {
+			return CommitInfo{}, boom
+		}
+		return CommitInfo{Seq: uint64(calls)}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 2 {
+		t.Fatalf("commit calls = %d, want 2 (run must stop)", calls)
+	}
+	// The summary describes the committed prefix: one batch of 10.
+	if sum.Batches != 1 || sum.LastSeq != 1 {
+		t.Fatalf("summary after failure = %+v", sum)
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	committed := 0
+	sc, err := flatfile.NewScanner("fasta", strings.NewReader(fastaInput(t, 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Scanner: sc,
+		Commit: func(ctx context.Context, batch *rel.Database) (CommitInfo, error) {
+			committed++
+			cancel() // cancel after the first commit
+			return CommitInfo{}, nil
+		},
+		Opts: Options{BatchRecords: 10},
+	}
+	sum, err := r.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if committed != 1 || sum.Batches != 1 {
+		t.Fatalf("committed = %d, summary = %+v; an interrupted run ends on a batch boundary", committed, sum)
+	}
+}
+
+func TestCountingReader(t *testing.T) {
+	cr := &CountingReader{R: strings.NewReader("hello world")}
+	buf := make([]byte, 5)
+	cr.Read(buf)
+	if cr.Bytes() != 5 {
+		t.Fatalf("bytes = %d, want 5", cr.Bytes())
+	}
+	io.Copy(io.Discard, cr)
+	if cr.Bytes() != 11 {
+		t.Fatalf("bytes = %d, want 11", cr.Bytes())
+	}
+}
+
+func TestTailReaderDeliversThenEOFOnCancel(t *testing.T) {
+	pr, pw := io.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	tr := NewTailReader(ctx, pr, time.Millisecond)
+	go func() {
+		pw.Write([]byte("data"))
+		pw.Close() // underlying EOF: the tail must keep polling, not stop
+	}()
+	buf := make([]byte, 16)
+	n, err := tr.Read(buf)
+	if err != nil || string(buf[:n]) != "data" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+	// The source is exhausted but the tail polls on until cancellation.
+	done := make(chan struct{})
+	var tailErr error
+	go func() {
+		_, tailErr = tr.Read(buf)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("tail read returned before cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("tail read did not return after cancellation")
+	}
+	if tailErr != io.EOF {
+		t.Fatalf("tail err = %v, want io.EOF", tailErr)
+	}
+}

@@ -1,0 +1,61 @@
+package ingest
+
+import (
+	"context"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// CountingReader counts the bytes read through it. Wrap the input
+// before constructing the scanner so Progress.Bytes tracks consumption.
+// The count is read concurrently by HTTP progress writers, hence atomic.
+type CountingReader struct {
+	R io.Reader
+	N int64
+}
+
+// Read implements io.Reader, counting n.
+func (c *CountingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	atomic.AddInt64(&c.N, int64(n))
+	return n, err
+}
+
+// Bytes returns the count, safe for concurrent use.
+func (c *CountingReader) Bytes() int64 { return atomic.LoadInt64(&c.N) }
+
+// TailReader turns a growing file into a blocking stream: at end of
+// data it polls until more bytes arrive, and only reports io.EOF once
+// ctx is canceled — the reader behind `aladin live` mode. Note the
+// FASTA scanner holds its last record open until the stream ends, so in
+// live mode the final record of the file commits at cancellation.
+type TailReader struct {
+	ctx  context.Context
+	r    io.Reader
+	poll time.Duration
+}
+
+// NewTailReader wraps r (typically an *os.File); poll <= 0 defaults to
+// 200ms.
+func NewTailReader(ctx context.Context, r io.Reader, poll time.Duration) *TailReader {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	return &TailReader{ctx: ctx, r: r, poll: poll}
+}
+
+// Read implements io.Reader with tail-follow semantics.
+func (t *TailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 || (err != nil && err != io.EOF) {
+			return n, err
+		}
+		select {
+		case <-t.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}

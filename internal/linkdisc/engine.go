@@ -237,14 +237,47 @@ func (e *Engine) DiscoverAgainst(ctx context.Context, nu *Source) ([]metadata.Li
 	return e.discoverBothWays(ctx, nu)
 }
 
+// DiscoverAppended runs link discovery between a batch of records being
+// appended to an already-registered source and all *other* registered
+// sources, in both directions. nu carries the batch tuples only (its DB
+// holds just the appended records) under the registered source's name,
+// structure, and profiles; links against the registered copy of the same
+// source are skipped — those would be intra-source links, which ALADIN
+// does not model. Like DiscoverAgainst this only reads the registered
+// set, so it runs off-lock in the prepare half of a batch commit.
+func (e *Engine) DiscoverAppended(ctx context.Context, nu *Source) ([]metadata.Link, []XRefAttribute, Stats, error) {
+	if nu.Structure == nil {
+		return nil, nil, Stats{}, fmt.Errorf("linkdisc: source %q has no discovered structure", nu.DB.Name)
+	}
+	if e.Source(nu.DB.Name) == nil {
+		return nil, nil, Stats{}, fmt.Errorf("linkdisc: append to unregistered source %q", nu.DB.Name)
+	}
+	if nu.resolver == nil {
+		nu.resolver = newResolver(nu.DB, nu.Structure)
+	}
+	return e.discoverBothWays(ctx, nu)
+}
+
+// RefreshResolver rebuilds a registered source's resolver after tuples
+// were appended to its relations, so the next discovery resolves against
+// the grown relations. Cheap: the constructor is O(1) and the per-column
+// indexes rebuild lazily on next use.
+func (e *Engine) RefreshResolver(name string) {
+	if s := e.Source(name); s != nil {
+		s.resolver = newResolver(s.DB, s.Structure)
+	}
+}
+
 // discoverBothWays discovers links between nu and every *other* registered
-// source, in both directions.
+// source, in both directions. A registered source with nu's name is also
+// skipped, so an append batch (DiscoverAppended) is never linked against
+// the source it extends.
 func (e *Engine) discoverBothWays(ctx context.Context, nu *Source) ([]metadata.Link, []XRefAttribute, Stats, error) {
 	var links []metadata.Link
 	var xattrs []XRefAttribute
 	var stats Stats
 	for _, other := range e.sources {
-		if other == nu {
+		if other == nu || strings.EqualFold(other.DB.Name, nu.DB.Name) {
 			continue
 		}
 		ls, xs, st, err := e.discoverPair(ctx, nu, other)

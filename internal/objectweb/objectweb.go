@@ -104,6 +104,39 @@ func (w *Web) Prepare(db *rel.Database, s *discovery.Structure) (*Prepared, erro
 	return &Prepared{key: strings.ToLower(db.Name), sd: sd}, nil
 }
 
+// PrepareAppend builds the browse data for a registered source grown by a
+// batch of appended primary objects: the added accessions are merged into
+// a fresh sorted order while the database and structure pointers are
+// shared with the installed sourceData — appended relations become
+// visible through the shared database when the caller publishes its
+// append branches. Like Prepare this only reads w (callers serialize
+// integrations, so the read of w.sources races with nothing); Install
+// publishes the result under the caller's write lock.
+func (w *Web) PrepareAppend(source string, added []string) (*Prepared, error) {
+	key := strings.ToLower(source)
+	old := w.sources[key]
+	if old == nil {
+		return nil, fmt.Errorf("objectweb: append to unknown source %q", source)
+	}
+	sd := &sourceData{
+		db:        old.db,
+		structure: old.structure,
+		accOrder:  make([]string, 0, len(old.accOrder)+len(added)),
+		accPos:    make(map[string]int, len(old.accOrder)+len(added)),
+	}
+	sd.accOrder = append(sd.accOrder, old.accOrder...)
+	for _, a := range added {
+		if a != "" {
+			sd.accOrder = append(sd.accOrder, a)
+		}
+	}
+	sort.Strings(sd.accOrder)
+	for i, a := range sd.accOrder {
+		sd.accPos[a] = i
+	}
+	return &Prepared{key: key, sd: sd}, nil
+}
+
 // Install publishes a prepared source to the browse web.
 func (w *Web) Install(p *Prepared) {
 	w.sources[p.key] = p.sd

@@ -1,0 +1,88 @@
+package rel
+
+import "sync"
+
+// Streaming ingestion (internal/ingest) parses millions of short rows;
+// allocating every Tuple with make() makes the garbage collector the
+// bottleneck long before the parser is. A TupleAlloc carves tuples out
+// of pooled value slabs instead: one slab allocation amortizes over
+// slabValues/arity tuples, and the unused tail of each slab returns to
+// a sync.Pool when the allocator is released.
+//
+// The contract that makes pooling safe with ALADIN's immutable
+// published relations is strict: a Tuple carved from a slab is handed
+// to its relation exactly once and never recycled — only the *unused*
+// tail of a slab is ever returned to the pool. Published tuples keep
+// their slab memory alive for as long as the relation lives, which is
+// what a non-pooled allocation would do anyway.
+
+// slabValues is the number of Values per pooled slab. At 5 values per
+// tuple (a typical flat-file entry row) one slab serves ~800 tuples.
+const slabValues = 4096
+
+// minReuseValues is the smallest slab tail worth returning to the
+// pool; shorter tails are left to the collector.
+const minReuseValues = 256
+
+// slab wraps the value array so the pool stores a pointer (one
+// interface allocation per Put would defeat the point).
+type slab struct{ vals []Value }
+
+var slabPool = sync.Pool{
+	New: func() any { return &slab{vals: make([]Value, slabValues)} },
+}
+
+// TupleAlloc carves tuples from pooled value slabs. The zero value is
+// ready to use. Not safe for concurrent use; give each scanner its
+// own.
+type TupleAlloc struct {
+	cur *slab
+}
+
+// Tuple returns a zeroed (all-NULL) tuple of n values carved from the
+// current slab. Tuples wider than a slab fall back to a direct
+// allocation.
+func (a *TupleAlloc) Tuple(n int) Tuple {
+	if n > slabValues {
+		return make(Tuple, n)
+	}
+	if a.cur == nil || len(a.cur.vals) < n {
+		a.release()
+		// Pooled tails are still zero: carved tuples are capped three-index
+		// slices, so no caller can ever write into the tail — handed-out
+		// tuples are NULL-clean without re-clearing.
+		a.cur = slabPool.Get().(*slab)
+	}
+	t := Tuple(a.cur.vals[:n:n])
+	a.cur.vals = a.cur.vals[n:]
+	return t
+}
+
+// release returns the current slab's unused tail to the pool when it
+// is still big enough to serve future carves.
+func (a *TupleAlloc) release() {
+	if a.cur != nil && len(a.cur.vals) >= minReuseValues {
+		slabPool.Put(a.cur)
+	}
+	a.cur = nil
+}
+
+// Release returns the allocator's unused slab tail to the pool. Tuples
+// already carved remain valid forever — only memory never handed out
+// is recycled. The allocator is reusable after Release.
+func (a *TupleAlloc) Release() { a.release() }
+
+// AppendPooled appends a tuple of uninterpreted text values carved
+// from the allocator — AppendRaw semantics (empty string is NULL)
+// without the per-row make. Fields beyond the schema arity are
+// dropped; missing trailing fields stay NULL.
+func (r *Relation) AppendPooled(a *TupleAlloc, fields []string) {
+	t := a.Tuple(r.Schema.Len())
+	n := min(len(fields), len(t))
+	for i := 0; i < n; i++ {
+		if f := fields[i]; f != "" {
+			t[i] = Str(f)
+		}
+	}
+	r.Append(t)
+}

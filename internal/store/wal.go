@@ -70,6 +70,13 @@ const (
 	// RecRemoveLink is user feedback deleting a link (§6.2); replay must
 	// keep honoring it.
 	RecRemoveLink RecordType = 3
+	// RecAppend is one committed batch of records appended to an existing
+	// source by the streaming ingestion path. It reuses the RecAddSource
+	// fields: Source carries the batch tuples only (Name = the source
+	// appended to, Relations = the batch's rows, TupleCount = the batch's
+	// tuple count, Structure/Profiles nil — the registered metadata
+	// governs) and Links carries the batch's candidate links.
+	RecAppend RecordType = 4
 )
 
 // WALRecord is one logged mutation. Only the fields of the tagged type

@@ -8,6 +8,7 @@ package textmine
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"unicode"
@@ -288,6 +289,12 @@ func QGrams(s string, q int) map[string]int {
 
 // QGramSimilarity computes Dice similarity over q-gram multisets.
 func QGramSimilarity(a, b string, q int) float64 {
+	if q >= 1 && q <= 8 {
+		// Hot path (duplicate detection compares every candidate pair's
+		// long fields this way): grams packed into integers, multiset
+		// overlap by sorted merge — no maps, no per-gram strings.
+		return qgramSimilarityPacked(a, b, q)
+	}
 	ga, gb := QGrams(a, q), QGrams(b, q)
 	var sizeA, sizeB, overlap int
 	for g, ca := range ga {
@@ -307,6 +314,70 @@ func QGramSimilarity(a, b string, q int) float64 {
 		return 0
 	}
 	return 2 * float64(overlap) / float64(sizeA+sizeB)
+}
+
+// QGramCodes packs the padded lower-cased q-grams of s into uint64s
+// (q bytes each, q <= 8), sorted — the multiset QGrams builds, in a
+// representation two calls can intersect without hashing. Callers that
+// compare the same value many times can hold the codes and pass them to
+// DiceCodes directly.
+func QGramCodes(s string, q int) []uint64 {
+	if s == "" {
+		return nil
+	}
+	pad := strings.Repeat("#", q-1)
+	padded := pad + strings.ToLower(s) + pad
+	n := len(padded) - q + 1
+	codes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		var c uint64
+		for j := 0; j < q; j++ {
+			c = c<<8 | uint64(padded[i+j])
+		}
+		codes[i] = c
+	}
+	slices.Sort(codes)
+	return codes
+}
+
+// qgramSimilarityPacked is Dice similarity over q-gram multisets via
+// sorted merge; identical results to the map-based form for q <= 8.
+func qgramSimilarityPacked(a, b string, q int) float64 {
+	return DiceCodes(QGramCodes(a, q), QGramCodes(b, q))
+}
+
+// DiceCodes is Dice similarity over two sorted gram-code multisets from
+// QGramCodes.
+func DiceCodes(ca, cb []uint64) float64 {
+	if len(ca)+len(cb) == 0 {
+		return 0
+	}
+	overlap, i, j := 0, 0, 0
+	for i < len(ca) && j < len(cb) {
+		switch {
+		case ca[i] < cb[j]:
+			i++
+		case ca[i] > cb[j]:
+			j++
+		default:
+			v := ca[i]
+			ri, rj := 0, 0
+			for i < len(ca) && ca[i] == v {
+				i++
+				ri++
+			}
+			for j < len(cb) && cb[j] == v {
+				j++
+				rj++
+			}
+			if ri < rj {
+				overlap += ri
+			} else {
+				overlap += rj
+			}
+		}
+	}
+	return 2 * float64(overlap) / float64(len(ca)+len(cb))
 }
 
 // EntityRecognizer extracts candidate biomedical entity names from free
