@@ -1,0 +1,58 @@
+// Allocation-budget regression gate for the vectorized executor's
+// zero-allocation hash paths. The batch engine cut hash-join, DISTINCT,
+// and GROUP BY from tens of thousands of allocs/op (string keys +
+// map[string][]Tuple) to roughly a hundred; ALLOC_budget.json pins
+// ceilings with headroom so a regression back toward per-row
+// allocation fails CI instead of silently landing.
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// TestQueryAllocBudget measures allocs/op for the hash-join, DISTINCT,
+// and GROUP BY benchmarks (workers=1, so the numbers are deterministic
+// modulo GC noise) and fails if any exceeds its checked-in budget.
+func TestQueryAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	if testing.Short() {
+		t.Skip("skipping alloc benchmarks in -short mode")
+	}
+	raw, err := os.ReadFile("ALLOC_budget.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget struct {
+		HashJoin int64 `json:"hash_join"`
+		Distinct int64 `json:"distinct"`
+		GroupBy  int64 `json:"group_by"`
+	}
+	if err := json.Unmarshal(raw, &budget); err != nil {
+		t.Fatal(err)
+	}
+
+	var db *rel.Database
+	testing.Benchmark(func(b *testing.B) { db = bigQueryDB(b) })
+	joinWant := countFact(func(i int) bool { return i%64 < 32 })
+
+	check := func(name, q string, wantRows int, max int64) {
+		if max <= 0 {
+			t.Fatalf("%s: missing budget in ALLOC_budget.json", name)
+		}
+		r := testing.Benchmark(func(b *testing.B) { benchParallelQuery(b, db, q, 1, wantRows) })
+		t.Logf("%s: %d allocs/op (budget %d)", name, r.AllocsPerOp(), max)
+		if r.AllocsPerOp() > max {
+			t.Errorf("%s: %d allocs/op exceeds budget %d — the zero-allocation hash path regressed",
+				name, r.AllocsPerOp(), max)
+		}
+	}
+	check("hash-join", parallelJoinQuery, joinWant, budget.HashJoin)
+	check("distinct", distinctQuery, 7*64, budget.Distinct)
+	check("group-by", groupByQuery, 7, budget.GroupBy)
+}

@@ -69,6 +69,7 @@ func benchParallelQuery(b *testing.B, db *rel.Database, q string, workers, wantR
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cur, err := plan.OpenParallel(ctx, db, workers)
@@ -106,6 +107,8 @@ func countFact(pred func(i int) bool) int {
 const (
 	parallelScanQuery = `SELECT id, note FROM fact WHERE grp = 3`
 	parallelJoinQuery = `SELECT f.id, d.name FROM fact f JOIN dim d ON f.dim_id = d.id WHERE d.id < 32`
+	distinctQuery     = `SELECT DISTINCT grp, dim_id FROM fact`
+	groupByQuery      = `SELECT grp, COUNT(*), SUM(id) FROM fact GROUP BY grp`
 )
 
 // BenchmarkParallelScan: a filtered scan over a 16-morsel fact table,
@@ -131,6 +134,22 @@ func BenchmarkParallelJoin(b *testing.B) {
 			benchParallelQuery(b, db, parallelJoinQuery, w, want)
 		})
 	}
+}
+
+// BenchmarkDistinct: multi-column DISTINCT over the whole fact table —
+// the row-deduplication hash path (448 distinct (grp, dim_id) pairs out
+// of 16K+ rows), where the zero-allocation tuple set shows up directly
+// in allocs/op.
+func BenchmarkDistinct(b *testing.B) {
+	db := bigQueryDB(b)
+	benchParallelQuery(b, db, distinctQuery, 1, 7*64)
+}
+
+// BenchmarkGroupBy: hash aggregation over the whole fact table (7
+// groups), exercising the composite-key group table.
+func BenchmarkGroupBy(b *testing.B) {
+	db := bigQueryDB(b)
+	benchParallelQuery(b, db, groupByQuery, 1, 7)
 }
 
 // joinReorderQuery names the filtered table in the middle of the chain,
@@ -168,11 +187,13 @@ func TestWriteQueryBenchJSON(t *testing.T) {
 		t.Skip("set BENCH_JSON=1 to regenerate BENCH_query.json")
 	}
 	type entry struct {
-		Name    string  `json:"name"`
-		Workers int     `json:"workers,omitempty"`
-		Mode    string  `json:"mode,omitempty"`
-		NsPerOp int64   `json:"ns_per_op"`
-		MsPerOp float64 `json:"ms_per_op"`
+		Name        string  `json:"name"`
+		Workers     int     `json:"workers,omitempty"`
+		Mode        string  `json:"mode,omitempty"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		MsPerOp     float64 `json:"ms_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
 	}
 	out := struct {
 		Benchmark string  `json:"benchmark"`
@@ -186,8 +207,10 @@ func TestWriteQueryBenchJSON(t *testing.T) {
 		r := testing.Benchmark(fn)
 		e.NsPerOp = r.NsPerOp()
 		e.MsPerOp = float64(r.NsPerOp()) / 1e6
+		e.AllocsPerOp = r.AllocsPerOp()
+		e.BytesPerOp = r.AllocedBytesPerOp()
 		out.Entries = append(out.Entries, e)
-		t.Logf("%s: %v", e.Name, r)
+		t.Logf("%s: %v %v", e.Name, r, r.MemString())
 	}
 
 	var db *rel.Database
@@ -200,6 +223,10 @@ func TestWriteQueryBenchJSON(t *testing.T) {
 		add(entry{Name: fmt.Sprintf("parallel-join/workers-%d", w), Workers: w},
 			func(b *testing.B) { benchParallelQuery(b, db, parallelJoinQuery, w, joinWant) })
 	}
+	add(entry{Name: "distinct/workers-1", Workers: 1},
+		func(b *testing.B) { benchParallelQuery(b, db, distinctQuery, 1, 7*64) })
+	add(entry{Name: "group-by/workers-1", Workers: 1},
+		func(b *testing.B) { benchParallelQuery(b, db, groupByQuery, 1, 7) })
 	var indexed *rel.Database
 	testing.Benchmark(func(b *testing.B) { indexed, _ = indexedAndScanWarehouses(b) })
 	defer func() { sqlx.ReorderJoins = true }()

@@ -614,6 +614,7 @@ func benchCursorQuery(b *testing.B, db *rel.Database, q string, wantRows int) {
 		b.Fatal(err)
 	}
 	var scanned int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cur, err := plan.Open(ctx, db)

@@ -11,6 +11,12 @@
 //	        [-proteins 40 | -load snapshot.gob | -empty]
 //	        [-data dir] [-checkpoint-every n] [-checkpoint-interval d]
 //	        [-replica-of http://primary:8317] [-ready-max-lag n]
+//	        [-pprof addr]
+//
+// -pprof serves net/http/pprof on its own listener and mux (off by
+// default; the profiling endpoints never share the public API address),
+// e.g. -pprof 127.0.0.1:6060 then
+// `go tool pprof http://127.0.0.1:6060/debug/pprof/heap`.
 //
 // With -data the warehouse is durable: every acknowledged mutation is
 // journaled to a write-ahead log under the directory before the HTTP
@@ -56,6 +62,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -79,20 +86,35 @@ func main() {
 		chkEach  = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period (with -data; 0 = disabled)")
 		replica  = flag.String("replica-of", "", "serve as a read-only replica of the primary aladind at this base URL (requires -data)")
 		readyLag = flag.Uint64("ready-max-lag", 64, "replica readiness threshold: /readyz fails above this many un-applied records")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (own mux; empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *timeout, *proteins, *load, *empty, *dataDir, *chkEvery, *chkEach, *replica, *readyLag); err != nil {
+	if err := run(*addr, *workers, *timeout, *proteins, *load, *empty, *dataDir, *chkEvery, *chkEach, *replica, *readyLag, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "aladind:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, workers int, timeout time.Duration, proteins int, load string, empty bool,
-	dataDir string, chkEvery int, chkEach time.Duration, replicaOf string, readyLag uint64) error {
+	dataDir string, chkEvery int, chkEach time.Duration, replicaOf string, readyLag uint64, pprofAddr string) error {
 
 	db, err := openDB(workers, proteins, load, empty, dataDir, chkEvery, replicaOf)
 	if err != nil {
 		return err
+	}
+	if pprofAddr != "" {
+		psrv := &http.Server{
+			Addr:              pprofAddr,
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		defer psrv.Close()
+		go func() {
+			log.Printf("aladind: pprof on %s", pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("aladind: pprof: %v", err)
+			}
+		}()
 	}
 	hs := newServer(db, timeout)
 	hs.readyMaxLag = readyLag
@@ -133,6 +155,20 @@ func run(addr string, workers int, timeout time.Duration, proteins int, load str
 		}
 	}
 	return db.Close()
+}
+
+// pprofHandler builds a dedicated profiling mux. The import of
+// net/http/pprof registers on http.DefaultServeMux as a side effect,
+// but aladind never serves that mux — the explicit registrations here
+// keep the profiling surface on its own opt-in listener.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // checkpointLoop periodically folds the write-ahead log into checkpoint

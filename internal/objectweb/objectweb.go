@@ -311,16 +311,18 @@ func (w *Web) walkForward(sd *sourceData, path discovery.Path, primaryTupleIdx i
 		// discovered path are indexed during PrepareAdd) instead of
 		// scanning every tuple.
 		want := make(map[string]bool)
+		var probes []rel.Value
 		for _, ti := range frontier {
 			v := curRel.Tuples[ti][ci]
-			if !v.IsNull() {
+			if !v.IsNull() && !want[v.Key()] {
 				want[v.Key()] = true
+				probes = append(probes, v)
 			}
 		}
 		var next []int
 		if idx := nextRel.HashIndex(nextCol); idx != nil {
-			for k := range want {
-				next = append(next, idx.Positions(k)...)
+			for _, v := range probes {
+				next = append(next, idx.Lookup(v)...)
 			}
 			// Restore tuple order (map iteration is unordered) so views
 			// match the scan path, then apply the same cap.

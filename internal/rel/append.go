@@ -13,8 +13,9 @@ package rel
 // the two never race even when an append lands in r's spare capacity.
 //
 // Hash indexes get the same treatment one level down: the branch owns
-// fresh bucket maps (appends may add new keys) but shares the position
-// slices, whose appends are again invisible below the old length.
+// fresh slot and entry arrays (appends may add new keys or grow the
+// table) but shares the position slices, whose appends are again
+// invisible below the old length.
 // Stats are cloned (cheap — histograms stay shared) and maintained
 // incrementally by Append.
 //
@@ -35,11 +36,9 @@ func (r *Relation) AppendBranch() *Relation {
 	if len(r.indexes) > 0 {
 		b.indexes = make(map[string]*Index, len(r.indexes))
 		for key, ix := range r.indexes {
-			c := &Index{Column: ix.Column, col: ix.col, buckets: make(map[string][]int, len(ix.buckets))}
-			for k, positions := range ix.buckets {
-				c.buckets[k] = positions
-			}
-			b.indexes[key] = c
+			b.indexes[key] = &Index{Column: ix.Column, col: ix.col,
+				slots:   append([]int32(nil), ix.slots...),
+				entries: append([]indexEntry(nil), ix.entries...)}
 		}
 	}
 	return b

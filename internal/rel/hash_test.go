@@ -1,0 +1,113 @@
+package rel
+
+import (
+	"math"
+	"testing"
+)
+
+// hashCorpus covers every Key() equivalence edge: ints around the
+// float53 round-trip boundary, integral and non-integral floats, NaN,
+// signed zero, infinities, strings embedding key-prefix bytes, bools,
+// and NULL.
+func hashCorpus() []Value {
+	return []Value{
+		Null(),
+		Int(0), Int(1), Int(-1), Int(7), Int(1 << 53), Int(1<<53 + 1),
+		Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(math.Copysign(0, -1)), Float(1), Float(7), Float(1.5), Float(-2.25),
+		Float(math.NaN()), Float(math.Inf(1)), Float(math.Inf(-1)),
+		Float(float64(1 << 53)), Float(1e300),
+		Str(""), Str("a"), Str("\x00i1"), Str("\x00N"), Str("s"), Str("7"), Str("true"),
+		Bool(true), Bool(false),
+	}
+}
+
+// TestKeyEqualMatchesKeyString: KeyEqual must agree with Key() string
+// equality on every pair, and Hash64 must be constant on each
+// equivalence class.
+func TestKeyEqualMatchesKeyString(t *testing.T) {
+	corpus := hashCorpus()
+	for _, a := range corpus {
+		for _, b := range corpus {
+			want := a.Key() == b.Key()
+			if got := a.KeyEqual(b); got != want {
+				t.Errorf("KeyEqual(%v, %v) = %v, Key strings %q vs %q", a, b, got, a.Key(), b.Key())
+			}
+			if want && a.Hash64() != b.Hash64() {
+				t.Errorf("Hash64(%v) != Hash64(%v) but keys equal (%q)", a, b, a.Key())
+			}
+		}
+	}
+}
+
+// TestAppendKeyMatchesKey: the scratch-buffer variants must reproduce
+// Key()/TupleKey() byte for byte.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	corpus := hashCorpus()
+	var buf []byte
+	for _, v := range corpus {
+		buf = v.AppendKey(buf[:0])
+		if string(buf) != v.Key() {
+			t.Errorf("AppendKey(%v) = %q, Key() = %q", v, buf, v.Key())
+		}
+	}
+	tuples := []Tuple{
+		{},
+		{Null()},
+		{Str("a\x01"), Str("b")},
+		{Str("a"), Str("\x01b")},
+		{Int(1), Float(1.5), Bool(true), Null(), Str("long string to overflow any tiny buffer: 0123456789012345678901234567890123456789")},
+	}
+	for _, tu := range tuples {
+		buf = AppendTupleKey(buf[:0], tu)
+		if string(buf) != TupleKey(tu) {
+			t.Errorf("AppendTupleKey(%v) = %q, TupleKey = %q", tu, buf, TupleKey(tu))
+		}
+	}
+}
+
+// TestTupleKeyEqualMatchesTupleKey: tuple identity under the hash path
+// agrees with the canonical string encoding, including the shifted
+// length-prefix cases the encoding exists to keep apart.
+func TestTupleKeyEqualMatchesTupleKey(t *testing.T) {
+	tuples := []Tuple{
+		{},
+		{Null()}, {Null(), Null()},
+		{Int(1), Int(2)}, {Float(1), Int(2)}, {Int(1), Float(2.5)},
+		{Str("a\x01"), Str("b")}, {Str("a"), Str("\x01b")},
+		{Str("ab"), Str("c")}, {Str("a"), Str("bc")},
+		{Float(math.NaN())}, {Float(math.NaN()), Int(1)},
+	}
+	for _, a := range tuples {
+		for _, b := range tuples {
+			want := TupleKey(a) == TupleKey(b)
+			if got := TupleKeyEqual(a, b); got != want {
+				t.Errorf("TupleKeyEqual(%v, %v) = %v, want %v", a, b, got, want)
+			}
+			if want && TupleHash64(a) != TupleHash64(b) {
+				t.Errorf("TupleHash64 mismatch for equal tuples %v, %v", a, b)
+			}
+		}
+	}
+}
+
+// TestIndexZeroAllocLookup: probing a built index must not allocate.
+func TestIndexZeroAllocLookup(t *testing.T) {
+	r := NewRelation("t", NewSchema(Column{Name: "id", Kind: KindInt}))
+	for i := 0; i < 1000; i++ {
+		r.Append(Tuple{Int(int64(i % 37))})
+	}
+	if _, err := r.EnsureIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	ix := r.HashIndex("id")
+	probe := Int(11)
+	allocs := testing.AllocsPerRun(200, func() {
+		if len(ix.Lookup(probe)) == 0 {
+			t.Fatal("lookup missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Index.Lookup allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -6,10 +6,13 @@ import (
 	"strings"
 )
 
-// Index is a persistent hash index over one column of a relation: a map
-// from canonical value keys (Value.Key) to the positions of the tuples
-// holding that value. NULLs are never indexed — they compare equal to
-// nothing, so no equality probe can return them.
+// Index is a persistent hash index over one column of a relation: an
+// open-addressing table from the column's values to the positions of
+// the tuples holding that value. Keys are 64-bit hashes computed
+// directly from the value's kind and payload (Value.Hash64) with a
+// KeyEqual check on collision, so probes build no intermediate key
+// string and allocate nothing. NULLs are never indexed — they compare
+// equal to nothing, so no equality probe can return them.
 //
 // Indexes are built explicitly (EnsureIndex / EnsureIndexes) and
 // maintained incrementally by the Append family. Building is NOT safe
@@ -20,27 +23,56 @@ import (
 // Database.ShallowClone.
 type Index struct {
 	// Column is the indexed column's display name.
-	Column  string
-	col     int
-	buckets map[string][]int
+	Column string
+	col    int
+	// slots is the open-addressing probe array: entry index + 1, or 0
+	// for an empty slot. len(slots) is always a power of two.
+	slots []int32
+	// entries holds one bucket per distinct key, in first-seen order.
+	entries []indexEntry
 }
 
-// Len returns the number of distinct indexed keys.
-func (ix *Index) Len() int { return len(ix.buckets) }
+type indexEntry struct {
+	hash      uint64
+	val       Value
+	positions []int
+}
 
-// Positions returns the tuple positions whose indexed value has the
-// given canonical key (Value.Key), in insertion order. The slice is
-// owned by the index; callers must not mutate it.
-func (ix *Index) Positions(key string) []int { return ix.buckets[key] }
+const indexMaxLoadNum, indexMaxLoadDen = 3, 4 // grow beyond 75% load
+
+// Len returns the number of distinct indexed keys.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// findEntry returns the entry index for v, or -1. Zero allocations.
+func (ix *Index) findEntry(h uint64, v Value) int {
+	if len(ix.slots) == 0 {
+		return -1
+	}
+	mask := uint64(len(ix.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		e := ix.slots[i]
+		if e == 0 {
+			return -1
+		}
+		ent := &ix.entries[e-1]
+		if ent.hash == h && ent.val.KeyEqual(v) {
+			return int(e - 1)
+		}
+	}
+}
 
 // Lookup returns the tuple positions whose indexed column equals v
-// (Value.Equal semantics: NULL matches nothing, cross-kind numerics
-// match numerically).
+// (bucket semantics: NULL matches nothing, cross-kind numerics match
+// numerically). The slice is owned by the index; callers must not
+// mutate it.
 func (ix *Index) Lookup(v Value) []int {
 	if v.IsNull() {
 		return nil
 	}
-	return ix.buckets[v.Key()]
+	if e := ix.findEntry(v.Hash64(), v); e >= 0 {
+		return ix.entries[e].positions
+	}
+	return nil
 }
 
 // add buckets one tuple at the given position.
@@ -49,13 +81,45 @@ func (ix *Index) add(t Tuple, pos int) {
 	if v.IsNull() {
 		return
 	}
-	k := v.Key()
-	ix.buckets[k] = append(ix.buckets[k], pos)
+	h := v.Hash64()
+	if e := ix.findEntry(h, v); e >= 0 {
+		ix.entries[e].positions = append(ix.entries[e].positions, pos)
+		return
+	}
+	ix.entries = append(ix.entries, indexEntry{hash: h, val: v, positions: []int{pos}})
+	if len(ix.entries)*indexMaxLoadDen > len(ix.slots)*indexMaxLoadNum {
+		ix.grow()
+	} else {
+		ix.place(h, int32(len(ix.entries)))
+	}
+}
+
+// place writes entry e (1-based) into the first free slot of h's run.
+func (ix *Index) place(h uint64, e int32) {
+	mask := uint64(len(ix.slots) - 1)
+	i := h & mask
+	for ix.slots[i] != 0 {
+		i = (i + 1) & mask
+	}
+	ix.slots[i] = e
+}
+
+// grow doubles the slot array and re-places every entry from its stored
+// hash — no value is re-hashed.
+func (ix *Index) grow() {
+	n := len(ix.slots) * 2
+	if n < 16 {
+		n = 16
+	}
+	ix.slots = make([]int32, n)
+	for e := range ix.entries {
+		ix.place(ix.entries[e].hash, int32(e+1))
+	}
 }
 
 // buildIndex scans the relation once and buckets every tuple position.
 func buildIndex(r *Relation, column string, col int) *Index {
-	ix := &Index{Column: column, col: col, buckets: make(map[string][]int)}
+	ix := &Index{Column: column, col: col}
 	for pos, t := range r.Tuples {
 		ix.add(t, pos)
 	}
@@ -150,9 +214,12 @@ func (r *Relation) CopyIndexesFrom(src *Relation) {
 		if _, exists := r.indexes[key]; exists {
 			continue
 		}
-		c := &Index{Column: ix.Column, col: ix.col, buckets: make(map[string][]int, len(ix.buckets))}
-		for k, positions := range ix.buckets {
-			c.buckets[k] = append([]int(nil), positions...)
+		c := &Index{Column: ix.Column, col: ix.col,
+			slots:   append([]int32(nil), ix.slots...),
+			entries: make([]indexEntry, len(ix.entries))}
+		for e, ent := range ix.entries {
+			c.entries[e] = indexEntry{hash: ent.hash, val: ent.val,
+				positions: append([]int(nil), ent.positions...)}
 		}
 		r.indexes[key] = c
 	}

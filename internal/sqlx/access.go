@@ -400,6 +400,9 @@ type joinAccess struct {
 	// prebuilt, when set, replaces the lazily built joinHashBuildRight
 	// table: parallel execution shares one build across all morsels.
 	prebuilt map[string][]rel.Tuple
+	// prevec is prebuilt's batch-engine counterpart: the shared
+	// open-addressing hash table.
+	prevec *joinTable
 	// precross, when set, replaces the per-iterator filtered right side
 	// of joinCrossSeq for the same reason.
 	precross []rel.Tuple

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -18,17 +19,27 @@ import (
 // counts aggregate across workers; times then sum worker CPU time and
 // can exceed wall clock.
 
-// opMeter accumulates one operator's actual row count and nanoseconds.
-// Fields are atomics: morsel workers update them concurrently.
+// opMeter accumulates one operator's actual row count, nanoseconds, and
+// — under the batch engine — the number of non-empty batches it
+// emitted. Fields are atomics: morsel workers update them concurrently.
 type opMeter struct {
-	rows  int64
-	nanos int64
+	rows    int64
+	nanos   int64
+	batches int64
 }
 
 func (m *opMeter) observe(start time.Time, emitted bool) {
 	atomic.AddInt64(&m.nanos, int64(time.Since(start)))
 	if emitted {
 		atomic.AddInt64(&m.rows, 1)
+	}
+}
+
+func (m *opMeter) observeBatch(start time.Time, rows int) {
+	atomic.AddInt64(&m.nanos, int64(time.Since(start)))
+	if rows > 0 {
+		atomic.AddInt64(&m.rows, int64(rows))
+		atomic.AddInt64(&m.batches, 1)
 	}
 }
 
@@ -43,6 +54,19 @@ func (mi *meterIter) next(ctx context.Context) (item, error) {
 	it, err := mi.child.next(ctx)
 	mi.m.observe(start, err == nil)
 	return it, err
+}
+
+// vecMeter is meterIter's batch-engine twin, also counting batches.
+type vecMeter struct {
+	child vecIter
+	m     *opMeter
+}
+
+func (mi *vecMeter) next(ctx context.Context, want int) ([]item, error) {
+	start := time.Now()
+	items, err := mi.child.next(ctx, want)
+	mi.m.observeBatch(start, len(items))
+	return items, err
 }
 
 // selMeters holds the meters of one SELECT branch, in chain order.
@@ -93,26 +117,50 @@ func (p *Plan) ExplainAnalyze(ctx context.Context, db *rel.Database, workers int
 		rt.workers = workers
 	}
 	rt.meters = &planMeters{}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs := ms.Mallocs
 	start := time.Now()
-	_, it, err := openSelect(ctx, db, p.stmt, p.lg, rt)
-	if err != nil {
-		rt.close()
-		return "", err
-	}
 	rows := 0
-	for {
-		_, err := it.next(ctx)
-		if err == io.EOF {
-			break
-		}
+	if rt.vec {
+		_, it, err := vecOpenSelect(ctx, db, p.stmt, p.lg, rt)
 		if err != nil {
 			rt.close()
 			return "", err
 		}
-		rows++
+		for {
+			items, err := it.next(ctx, vecBatch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rt.close()
+				return "", err
+			}
+			rows += len(items)
+		}
+	} else {
+		_, it, err := openSelect(ctx, db, p.stmt, p.lg, rt)
+		if err != nil {
+			rt.close()
+			return "", err
+		}
+		for {
+			_, err := it.next(ctx)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rt.close()
+				return "", err
+			}
+			rows++
+		}
 	}
 	rt.close()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	allocs := ms.Mallocs - mallocs
 	lg := p.lg
 	if lg == nil {
 		lg = buildLogical(db, p.stmt)
@@ -123,8 +171,8 @@ func (p *Plan) ExplainAnalyze(ctx context.Context, db *rel.Database, workers int
 	}
 	var b strings.Builder
 	renderExplain(&b, root, "", "")
-	fmt.Fprintf(&b, "Execution: %d rows in %s (%d tuples scanned)\n",
-		rows, fmtNanos(int64(elapsed)), atomic.LoadInt64(&rt.scanned))
+	fmt.Fprintf(&b, "Execution: %d rows in %s (%d tuples scanned, %d heap allocs)\n",
+		rows, fmtNanos(int64(elapsed)), atomic.LoadInt64(&rt.scanned), allocs)
 	return b.String(), nil
 }
 

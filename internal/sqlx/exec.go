@@ -58,6 +58,26 @@ func execStmt(ctx context.Context, db *rel.Database, stmt Statement) (*Result, e
 // the streaming executor.
 func collectSelect(ctx context.Context, db *rel.Database, s *SelectStmt) (*Result, error) {
 	rt := newRun()
+	if rt.vec {
+		cols, it, err := vecOpenSelect(ctx, db, s, nil, rt)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: cols}
+		for {
+			items, err := it.next(ctx, vecBatch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range items {
+				res.Rows = append(res.Rows, i.row)
+			}
+		}
+		return res, nil
+	}
 	cols, it, err := openSelect(ctx, db, s, nil, rt)
 	if err != nil {
 		return nil, err
@@ -178,17 +198,11 @@ func eval(e Expr, env *env) (rel.Value, error) {
 			if env.rt == nil {
 				return rel.Null(), fmt.Errorf("sqlx: internal: IN subquery not materialized")
 			}
-			vals, ok := env.rt.subs[x]
+			set, ok := env.rt.subs[x]
 			if !ok {
 				return rel.Null(), fmt.Errorf("sqlx: internal: IN subquery not materialized")
 			}
-			for _, lv := range vals {
-				if v.Equal(lv) {
-					match = true
-					break
-				}
-			}
-			return rel.Bool(match != x.Negate), nil
+			return rel.Bool(set.contains(v) != x.Negate), nil
 		}
 		for _, le := range x.List {
 			lv, err := eval(le, env)
@@ -618,7 +632,7 @@ type aggState struct {
 	sumInt   int64
 	intOnly  bool
 	min, max rel.Value
-	distinct map[string]struct{}
+	distinct valueSet
 }
 
 func newAggState() *aggState { return &aggState{intOnly: true} }
@@ -628,14 +642,11 @@ func (a *aggState) add(v rel.Value, distinct bool) {
 		return
 	}
 	if distinct {
-		if a.distinct == nil {
-			a.distinct = make(map[string]struct{})
-		}
-		k := v.Key()
-		if _, dup := a.distinct[k]; dup {
+		// Deduplicate under Key() identity via the open-addressing value
+		// set — no key string is built per input value.
+		if !a.distinct.insert(v) {
 			return
 		}
-		a.distinct[k] = struct{}{}
 	}
 	a.count++
 	if f, ok := v.AsFloat(); ok {
@@ -728,22 +739,27 @@ func execGrouped(s *SelectStmt, items []SelectItem, envs []*env, rt *run) ([]rel
 	}
 	groups := make(map[string]*group)
 	var order []string
+	// The composite group key is rendered into reused scratch buffers
+	// (same injective encoding as rel.KeyJoin over the parts' Key()
+	// strings); only a new group pays for the string the map retains.
+	keyVals := make([]rel.Value, len(s.GroupBy))
+	var keyBuf []byte
 	for _, e := range envs {
-		var keyParts []string
-		for _, ge := range s.GroupBy {
+		for ki, ge := range s.GroupBy {
 			v, err := eval(ge, e)
 			if err != nil {
 				return nil, err
 			}
-			keyParts = append(keyParts, v.Key())
+			keyVals[ki] = v
 		}
-		key := rel.KeyJoin(keyParts...)
-		g, ok := groups[key]
+		keyBuf = rel.AppendTupleKey(keyBuf[:0], rel.Tuple(keyVals))
+		g, ok := groups[string(keyBuf)]
 		if !ok {
 			g = &group{repr: e, aggs: make(map[*FuncExpr]*aggState)}
 			for _, a := range aggs {
 				g.aggs[a] = newAggState()
 			}
+			key := string(keyBuf)
 			groups[key] = g
 			order = append(order, key)
 		}

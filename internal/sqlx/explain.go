@@ -340,6 +340,9 @@ func renderExplain(b *strings.Builder, n *explainNode, prefix, childPrefix strin
 		if n.meter != nil {
 			fmt.Fprintf(b, " actual=%d time=%s",
 				atomic.LoadInt64(&n.meter.rows), fmtNanos(atomic.LoadInt64(&n.meter.nanos)))
+			if batches := atomic.LoadInt64(&n.meter.batches); batches > 0 {
+				fmt.Fprintf(b, " batches=%d", batches)
+			}
 		}
 		b.WriteByte(']')
 	}

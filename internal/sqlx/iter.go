@@ -32,10 +32,13 @@ const ctxBatch = 64
 type run struct {
 	scanned int64 // atomic
 	ticks   int
-	subs    map[*InExpr][]rel.Value
+	subs    map[*InExpr]*inSet
 	// workers is the parallelism degree for eligible scan chains
 	// (0 or 1 = serial).
 	workers int
+	// vec selects the batch (vectorized) executor for this run; see
+	// vec.go. Subquery materialization follows the same engine.
+	vec bool
 	// meters, when non-nil, enables EXPLAIN ANALYZE instrumentation:
 	// every operator is wrapped to count rows and time.
 	meters *planMeters
@@ -45,7 +48,7 @@ type run struct {
 }
 
 func newRun() *run {
-	return &run{subs: make(map[*InExpr][]rel.Value)}
+	return &run{subs: make(map[*InExpr]*inSet), vec: Vectorized}
 }
 
 // tick counts one stored-tuple read and checks ctx every ctxBatch reads.
@@ -308,29 +311,53 @@ func (rt *run) materializeSubqueries(ctx context.Context, db *rel.Database, e Ex
 			return nil
 		}
 		// Subqueries run unmetered: their operators are not part of the
-		// outer statement's rendered plan.
+		// outer statement's rendered plan. They execute on the same
+		// engine (batch or tuple-at-a-time) as the outer statement.
 		saved := rt.meters
 		rt.meters = nil
-		cols, it, err := openSelect(ctx, db, x.Sub, nil, rt)
-		rt.meters = saved
-		if err != nil {
-			return fmt.Errorf("sqlx: IN subquery: %w", err)
-		}
-		if len(cols) != 1 {
-			return fmt.Errorf("sqlx: IN subquery must return one column, got %d", len(cols))
-		}
 		vals := make([]rel.Value, 0)
-		for {
-			i, err := it.next(ctx)
-			if err == io.EOF {
-				break
-			}
+		if rt.vec {
+			cols, vit, err := vecOpenSelect(ctx, db, x.Sub, nil, rt)
+			rt.meters = saved
 			if err != nil {
 				return fmt.Errorf("sqlx: IN subquery: %w", err)
 			}
-			vals = append(vals, i.row[0])
+			if len(cols) != 1 {
+				return fmt.Errorf("sqlx: IN subquery must return one column, got %d", len(cols))
+			}
+			for {
+				items, err := vit.next(ctx, vecBatch)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return fmt.Errorf("sqlx: IN subquery: %w", err)
+				}
+				for _, i := range items {
+					vals = append(vals, i.row[0])
+				}
+			}
+		} else {
+			cols, it, err := openSelect(ctx, db, x.Sub, nil, rt)
+			rt.meters = saved
+			if err != nil {
+				return fmt.Errorf("sqlx: IN subquery: %w", err)
+			}
+			if len(cols) != 1 {
+				return fmt.Errorf("sqlx: IN subquery must return one column, got %d", len(cols))
+			}
+			for {
+				i, err := it.next(ctx)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return fmt.Errorf("sqlx: IN subquery: %w", err)
+				}
+				vals = append(vals, i.row[0])
+			}
 		}
-		rt.subs[x] = vals
+		rt.subs[x] = newInSet(vals)
 		return nil
 	case *BinaryExpr:
 		if err := rt.materializeSubqueries(ctx, db, x.Left); err != nil {
@@ -530,7 +557,8 @@ func (ji *joinIter) buildLazy(ctx context.Context) error {
 		if v.IsNull() {
 			continue
 		}
-		ji.lazy[v.Key()] = append(ji.lazy[v.Key()], t)
+		k := v.Key()
+		ji.lazy[k] = append(ji.lazy[k], t)
 	}
 	ji.built = true
 	return nil
@@ -692,7 +720,8 @@ func (ji *hashLeftJoinIter) next(ctx context.Context) (item, error) {
 			if err != nil || lv.IsNull() {
 				continue
 			}
-			ji.table[lv.Key()] = append(ji.table[lv.Key()], it.env)
+			k := lv.Key()
+			ji.table[k] = append(ji.table[k], it.env)
 		}
 		ji.built = true
 	}
@@ -956,9 +985,15 @@ func rowOrderKey(e Expr, items []SelectItem, columns []string, row rel.Tuple) (r
 }
 
 // distinctIter streams rows, dropping ones whose full-row key was seen.
+// The key is rendered into a reused scratch buffer (the collision-free
+// length-prefixed encoding shared with the index layer; separator
+// joining would collide since a value's Key may contain any byte), so
+// duplicate rows cost no allocation — only new rows pay for the string
+// the map retains.
 type distinctIter struct {
 	child opIter
 	seen  map[string]struct{}
+	buf   []byte
 }
 
 func newDistinctIter(child opIter) *distinctIter {
@@ -971,18 +1006,16 @@ func (d *distinctIter) next(ctx context.Context) (item, error) {
 		if err != nil {
 			return item{}, err
 		}
-		k := rowKey(it.row)
-		if _, dup := d.seen[k]; dup {
+		d.buf = rel.AppendTupleKey(d.buf[:0], it.row)
+		if _, dup := d.seen[string(d.buf)]; dup {
 			continue
 		}
-		d.seen[k] = struct{}{}
+		d.seen[string(d.buf)] = struct{}{}
 		return it, nil
 	}
 }
 
-// rowKey renders a row canonically for duplicate elimination, via the
-// collision-free length-prefixed encoding shared with the index layer
-// (a value's Key may contain any byte, so separator joining collides).
+// rowKey renders a row canonically for comparison (tests rely on it).
 func rowKey(row rel.Tuple) string {
 	return rel.TupleKey(row)
 }

@@ -140,7 +140,8 @@ func buildSharedHash(ctx context.Context, ja *joinAccess, rt *run, workers int) 
 			if v.IsNull() {
 				continue
 			}
-			part[v.Key()] = append(part[v.Key()], t)
+			k := v.Key()
+			part[k] = append(part[k], t)
 		}
 		parts[w] = part
 		atomic.AddInt64(&rt.scanned, atomic.LoadInt64(&wrt.scanned))
@@ -301,6 +302,190 @@ func (ex *exchangeIter) next(ctx context.Context) (item, error) {
 		}
 		if slot.err != nil {
 			return item{}, slot.err
+		}
+		slot.items = nil // release morsel memory as it is consumed
+		ex.cur++
+		ex.pos = 0
+		ex.g.advance()
+	}
+}
+
+// vecOpenMaybeParallel mirrors openMaybeParallel for the batch engine:
+// same eligibility rule, same morsel partitioning, same gate-windowed
+// exchange — but each morsel runs the vectorized chain and the exchange
+// hands out batch slices instead of single items.
+func vecOpenMaybeParallel(ctx context.Context, sel *selectAccess, lg *logicalSelect, rt *run, bm *selMeters) (vecIter, error) {
+	n := len(sel.scan.r.Tuples)
+	if rt.workers > 1 && parallelOK(sel) && n > morselSize {
+		morsels := (n + morselSize - 1) / morselSize
+		workers := rt.workers
+		if workers > morsels {
+			workers = morsels
+		}
+		if err := vecPrebuildJoinSides(ctx, sel, rt); err != nil {
+			return nil, err
+		}
+		it := vecOpenExchange(ctx, sel, lg, rt, bm, workers, n, morsels)
+		if bm != nil {
+			bm.gatherWorkers, bm.gatherMorsels = workers, morsels
+			bm.gather = &opMeter{}
+			it = &vecMeter{child: it, m: bm.gather}
+		}
+		return it, nil
+	}
+	return vecOpenChain(sel, lg, rt, bm, 0, n), nil
+}
+
+// vecPrebuildJoinSides is prebuildJoinSides for the batch engine: the
+// shared joinHashBuildRight table is the open-addressing joinTable
+// (built serially — the build reads every right tuple exactly once,
+// matching the serial lazy build's Scanned contribution), plus the same
+// filtered joinCrossSeq list.
+func vecPrebuildJoinSides(ctx context.Context, sel *selectAccess, rt *run) error {
+	for _, ja := range sel.joins {
+		switch ja.strategy {
+		case joinHashBuildRight:
+			tbl := &joinTable{}
+			for _, t := range ja.right.Tuples {
+				if err := rt.tick(ctx); err != nil {
+					return err
+				}
+				ok, err := rightFilterOK(ja.filters, ja.binding, ja.right.Schema, t, rt)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				v := t[ja.rightIdx]
+				if v.IsNull() {
+					continue
+				}
+				tbl.insert(v, t)
+			}
+			ja.prevec = tbl
+		case joinCrossSeq:
+			if len(ja.filters) == 0 {
+				ja.precross = ja.right.Tuples
+				continue
+			}
+			var out []rel.Tuple
+			for _, t := range ja.right.Tuples {
+				if err := rt.tick(ctx); err != nil {
+					return err
+				}
+				ok, err := rightFilterOK(ja.filters, ja.binding, ja.right.Schema, t, rt)
+				if err != nil {
+					return err
+				}
+				if ok {
+					out = append(out, t)
+				}
+			}
+			ja.precross = out
+		}
+	}
+	return nil
+}
+
+// vecExchangeIter is exchangeIter's batch twin: the consumer hands out
+// slices of the current slot's buffered items, up to want per call.
+type vecExchangeIter struct {
+	slots []*morselSlot
+	g     *gate
+	cur   int
+	pos   int
+}
+
+func vecOpenExchange(ctx context.Context, sel *selectAccess, lg *logicalSelect, rt *run, bm *selMeters, workers, n, morsels int) vecIter {
+	cctx, cancel := context.WithCancel(ctx)
+	rt.closers = append(rt.closers, cancel)
+	ex := &vecExchangeIter{g: newGate(workers * lookaheadPerWorker)}
+	for i := 0; i < morsels; i++ {
+		ex.slots = append(ex.slots, &morselSlot{ready: make(chan struct{})})
+	}
+	// Wake gate waiters when the cursor is closed or canceled (see
+	// openExchange for the lost-wakeup note).
+	go func() {
+		<-cctx.Done()
+		ex.g.mu.Lock()
+		ex.g.cond.Broadcast()
+		ex.g.mu.Unlock()
+	}()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				for _, slot := range ex.slots {
+					select {
+					case <-slot.ready:
+					default:
+						if slot.err == nil {
+							if err, ok := r.(error); ok {
+								slot.err = err
+							} else {
+								slot.err = context.Canceled
+							}
+						}
+						close(slot.ready)
+					}
+				}
+			}
+		}()
+		_ = parallel.For(cctx, workers, morsels, func(i int) {
+			slot := ex.slots[i]
+			defer close(slot.ready)
+			if err := ex.g.wait(cctx, i); err != nil {
+				slot.err = err
+				return
+			}
+			lo := i * morselSize
+			hi := lo + morselSize
+			if hi > n {
+				hi = n
+			}
+			mrt := &run{subs: rt.subs, vec: true}
+			it := vecOpenChain(sel, lg, mrt, bm, lo, hi)
+			for {
+				items, err := it.next(cctx, vecBatch)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					slot.err = err
+					break
+				}
+				// Batch arenas are never reused, so buffering the item
+				// structs (env pointers) is safe.
+				slot.items = append(slot.items, items...)
+			}
+			atomic.AddInt64(&rt.scanned, atomic.LoadInt64(&mrt.scanned))
+		})
+	}()
+	return ex
+}
+
+func (ex *vecExchangeIter) next(ctx context.Context, want int) ([]item, error) {
+	for {
+		if ex.cur >= len(ex.slots) {
+			return nil, io.EOF
+		}
+		slot := ex.slots[ex.cur]
+		select {
+		case <-slot.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if ex.pos < len(slot.items) {
+			n := len(slot.items) - ex.pos
+			if n > want {
+				n = want
+			}
+			out := slot.items[ex.pos : ex.pos+n]
+			ex.pos += n
+			return out, nil
+		}
+		if slot.err != nil {
+			return nil, slot.err
 		}
 		slot.items = nil // release morsel memory as it is consumed
 		ex.cur++

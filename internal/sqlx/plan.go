@@ -65,12 +65,29 @@ func (p *Plan) Open(ctx context.Context, db *rel.Database) (*Cursor, error) {
 // Results are bit-identical to serial execution regardless of workers.
 // workers <= 1 executes serially on the calling goroutine.
 func (p *Plan) OpenParallel(ctx context.Context, db *rel.Database, workers int) (*Cursor, error) {
+	return p.openMode(ctx, db, workers, Vectorized)
+}
+
+// openMode opens the plan on an explicit engine: the batch (vectorized)
+// executor or the tuple-at-a-time reference path. The parity tests use
+// it to run both engines side by side regardless of the Vectorized
+// default.
+func (p *Plan) openMode(ctx context.Context, db *rel.Database, workers int, vec bool) (*Cursor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	rt := newRun()
+	rt.vec = vec
 	if workers > 1 {
 		rt.workers = workers
+	}
+	if vec {
+		cols, vit, err := vecOpenSelect(ctx, db, p.stmt, p.lg, rt)
+		if err != nil {
+			rt.close()
+			return nil, err
+		}
+		return &Cursor{cols: cols, vit: vit, rt: rt}, nil
 	}
 	cols, it, err := openSelect(ctx, db, p.stmt, p.lg, rt)
 	if err != nil {
@@ -86,8 +103,14 @@ func (p *Plan) OpenParallel(ctx context.Context, db *rel.Database, workers int) 
 // aggregation, which drain their input on the first pull). A Cursor is
 // not safe for concurrent use; open one per goroutine.
 type Cursor struct {
-	cols  []string
-	it    opIter
+	cols []string
+	// Exactly one of it (tuple-at-a-time) and vit (batch engine) is set;
+	// the batch engine refills buf one vecBatch pull at a time.
+	it   opIter
+	vit  vecIter
+	buf  []item
+	bpos int
+
 	rt    *run
 	pulls int
 	done  bool
@@ -111,6 +134,20 @@ func (c *Cursor) Next(ctx context.Context) (rel.Tuple, error) {
 			c.done = true
 			return nil, err
 		}
+	}
+	if c.vit != nil {
+		if c.bpos >= len(c.buf) {
+			items, err := c.vit.next(ctx, vecBatch)
+			if err != nil {
+				c.done = true
+				c.rt.close()
+				return nil, err
+			}
+			c.buf, c.bpos = items, 0
+		}
+		it := c.buf[c.bpos]
+		c.bpos++
+		return it.row, nil
 	}
 	it, err := c.it.next(ctx)
 	if err != nil {

@@ -1,0 +1,611 @@
+package sqlx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/rel"
+)
+
+// Batch-at-a-time (vectorized) execution: the twin of the
+// tuple-at-a-time operator set in iter.go, exchanging slices of up to
+// vecBatch items per pull so interface dispatch, context checks, and
+// allocations amortize over whole batches instead of single rows. The
+// tuple-at-a-time operators remain as the reference path; Vectorized
+// selects the engine, and the parity suite in vec_test.go pins the two
+// paths to bit-identical rows, order, and Scanned() counts.
+//
+// Demand propagation keeps Scanned() exact: next(ctx, want) returns
+// between 1 and want items. Unconstrained pulls ask for the full
+// vecBatch and consumers drain everything they trigger, so reads match
+// serial execution trivially. Under LIMIT/OFFSET the limit operator
+// asks for exactly the rows it still needs (always < vecBatch):
+// filters and distinct then pull child chunks of that size — the final
+// chunk is fully emitted (a chunk with any rejected row cannot satisfy
+// the limit, so execution continues exactly like the serial search) —
+// and joins fall back to pulling one left row at a time with match
+// state buffered across calls, which is precisely the serial read
+// pattern.
+//
+// Batch memory: every operator that creates environments or rows
+// allocates fresh arenas per batch (a handful of allocations per 1024
+// rows) and never reuses them — buffered consumers (exchange slots,
+// ORDER BY, build-left tables, group representatives, caller-retained
+// rows) may hold references indefinitely. Only the []item slice headers
+// are reused; their contents are copied by any operator that buffers.
+
+// vecBatch is the batch size — one scan morsel produces one batch.
+const vecBatch = morselSize
+
+// Vectorized selects the batch executor for Open/OpenParallel/Exec and
+// EXPLAIN ANALYZE. It exists as a kill switch (like ReorderJoins): the
+// tuple-at-a-time path remains fully functional underneath.
+var Vectorized = true
+
+// vecIter is the pull interface of the batch executor. next returns
+// 1..want items or io.EOF; the returned slice is valid only until the
+// next call on the same iterator.
+type vecIter interface {
+	next(ctx context.Context, want int) ([]item, error)
+}
+
+// tickN counts n stored-tuple reads at once, checking ctx with the same
+// amortized cadence as tick.
+func (rt *run) tickN(ctx context.Context, n int) error {
+	atomic.AddInt64(&rt.scanned, int64(n))
+	rt.ticks += n
+	if rt.ticks >= ctxBatch {
+		rt.ticks = 0
+		return ctx.Err()
+	}
+	return nil
+}
+
+// vecOpenSelect mirrors openSelect for the batch engine.
+func vecOpenSelect(ctx context.Context, db *rel.Database, s *SelectStmt, lg *logicalSelect, rt *run) ([]string, vecIter, error) {
+	if lg == nil {
+		lg = buildLogical(db, s)
+	}
+	cols, head, err := vecOpenSelectOne(ctx, db, s, lg, rt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Union == nil {
+		return cols, head, nil
+	}
+	iters := []vecIter{head}
+	allMode := true
+	for cur, curLg := s, lg; cur.Union != nil; cur, curLg = cur.Union, curLg.union {
+		bcols, bit, err := vecOpenSelectOne(ctx, db, cur.Union, curLg.union, rt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(bcols) != len(cols) {
+			return nil, nil, fmt.Errorf("sqlx: UNION arity mismatch: %d vs %d columns",
+				len(cols), len(bcols))
+		}
+		iters = append(iters, bit)
+		if !cur.UnionAll {
+			allMode = false
+		}
+	}
+	var it vecIter = &vecConcat{children: iters}
+	it = vecMeterWrap(it, rt.meters, func(pm *planMeters) **opMeter { return &pm.union })
+	if !allMode {
+		it = &vecDistinct{child: it}
+		it = vecMeterWrap(it, rt.meters, func(pm *planMeters) **opMeter { return &pm.unionDistinct })
+	}
+	if len(s.OrderBy) > 0 {
+		it = &vecOrder{child: it, order: s.OrderBy, columns: cols, rowMode: true}
+		it = vecMeterWrap(it, rt.meters, func(pm *planMeters) **opMeter { return &pm.unionSort })
+	}
+	if s.Limit >= 0 || s.Offset > 0 {
+		it = &vecLimit{child: it, limit: s.Limit, offset: s.Offset}
+		it = vecMeterWrap(it, rt.meters, func(pm *planMeters) **opMeter { return &pm.unionLimit })
+	}
+	return cols, it, nil
+}
+
+func vecMeterWrap(it vecIter, pm *planMeters, slot func(*planMeters) **opMeter) vecIter {
+	if pm == nil {
+		return it
+	}
+	m := &opMeter{}
+	*slot(pm) = m
+	return &vecMeter{child: it, m: m}
+}
+
+// vecOpenSelectOne mirrors openSelectOne: one SELECT without its UNION
+// chain, on the same bound access paths and meter slots.
+func vecOpenSelectOne(ctx context.Context, db *rel.Database, s *SelectStmt, lg *logicalSelect, rt *run) ([]string, vecIter, error) {
+	headOfUnion := s.Union != nil
+	for _, tl := range lg.tables {
+		for _, f := range tl.filters {
+			if err := rt.materializeSubqueries(ctx, db, f); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, c := range lg.residual {
+		if err := rt.materializeSubqueries(ctx, db, c); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := rt.materializeSubqueries(ctx, db, s.Having); err != nil {
+		return nil, nil, err
+	}
+	var bm *selMeters
+	if rt.meters != nil {
+		bm = &selMeters{}
+		rt.meters.branches = append(rt.meters.branches, bm)
+	}
+	var it vecIter
+	if s.From == nil {
+		it = &vecSingleton{rt: rt}
+		if bm != nil {
+			bm.scan = &opMeter{}
+			it = &vecMeter{child: it, m: bm.scan}
+		}
+	} else {
+		sel, err := bindSelect(db, lg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if bm != nil {
+			bm.scan = &opMeter{}
+			for range sel.joins {
+				bm.joins = append(bm.joins, &opMeter{})
+			}
+			if len(lg.residual) > 0 {
+				bm.residual = &opMeter{}
+			}
+		}
+		it, err = vecOpenMaybeParallel(ctx, sel, lg, rt, bm)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	items, cols, err := expandItems(db, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	grouped := len(s.GroupBy) > 0
+	if !grouped {
+		for _, si := range items {
+			if si.Expr != nil && isAggregate(si.Expr) {
+				grouped = true
+				break
+			}
+		}
+	}
+	if grouped {
+		it = &vecGroup{child: it, s: s, items: items, rt: rt}
+		it = vecBranchMeter(it, bm, func(m *selMeters) **opMeter { return &m.agg })
+		if !headOfUnion && len(s.OrderBy) > 0 {
+			it = &vecOrder{child: it, order: s.OrderBy, items: items, columns: cols, rowMode: true}
+			it = vecBranchMeter(it, bm, func(m *selMeters) **opMeter { return &m.sort })
+		}
+	} else {
+		it = &vecProject{child: it, items: items}
+		it = vecBranchMeter(it, bm, func(m *selMeters) **opMeter { return &m.agg })
+		if !headOfUnion && len(s.OrderBy) > 0 {
+			it = &vecOrder{child: it, order: s.OrderBy, items: items}
+			it = vecBranchMeter(it, bm, func(m *selMeters) **opMeter { return &m.sort })
+		}
+	}
+	if s.Distinct {
+		it = &vecDistinct{child: it}
+		it = vecBranchMeter(it, bm, func(m *selMeters) **opMeter { return &m.distinct })
+	}
+	if !headOfUnion && (s.Limit >= 0 || s.Offset > 0) {
+		it = &vecLimit{child: it, limit: s.Limit, offset: s.Offset}
+		it = vecBranchMeter(it, bm, func(m *selMeters) **opMeter { return &m.limit })
+	}
+	return cols, it, nil
+}
+
+func vecBranchMeter(it vecIter, bm *selMeters, slot func(*selMeters) **opMeter) vecIter {
+	if bm == nil {
+		return it
+	}
+	m := &opMeter{}
+	*slot(bm) = m
+	return &vecMeter{child: it, m: m}
+}
+
+// vecOpenChain mirrors openChain: the scan→joins→residual part of one
+// SELECT over the base-scan range [lo, hi).
+func vecOpenChain(sel *selectAccess, lg *logicalSelect, rt *run, bm *selMeters, lo, hi int) vecIter {
+	it := vecOpenScan(sel.scan, rt, lo, hi)
+	if bm != nil {
+		it = &vecMeter{child: it, m: bm.scan}
+	}
+	stride := 1
+	for i, ja := range sel.joins {
+		stride++
+		it = vecOpenJoin(it, ja, rt, stride)
+		if pred := andJoin(ja.post); pred != nil {
+			it = &vecFilter{child: it, pred: pred}
+		}
+		if bm != nil {
+			it = &vecMeter{child: it, m: bm.joins[i]}
+		}
+	}
+	if residual := andJoin(lg.residual); residual != nil {
+		it = &vecFilter{child: it, pred: residual}
+		if bm != nil {
+			it = &vecMeter{child: it, m: bm.residual}
+		}
+	}
+	return it
+}
+
+// vecSingleton yields one empty environment (SELECT without FROM).
+type vecSingleton struct {
+	rt   *run
+	done bool
+	out  [1]item
+}
+
+func (s *vecSingleton) next(ctx context.Context, want int) ([]item, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	s.done = true
+	s.out[0] = item{env: &env{rt: s.rt}}
+	return s.out[:1], nil
+}
+
+// vecScan yields batches of environments over the base relation's
+// [pos, end) range. Environments and bindings come from fresh per-batch
+// arenas: two allocations per batch instead of two per row.
+type vecScan struct {
+	rel     *rel.Relation
+	binding string
+	rt      *run
+	pos     int
+	end     int
+	out     []item
+}
+
+func (s *vecScan) next(ctx context.Context, want int) ([]item, error) {
+	n := s.end - s.pos
+	if n <= 0 {
+		return nil, io.EOF
+	}
+	if n > want {
+		n = want
+	}
+	if err := s.rt.tickN(ctx, n); err != nil {
+		return nil, err
+	}
+	envs := make([]env, n)
+	binds := make([]binding, n)
+	if cap(s.out) < n {
+		s.out = make([]item, vecBatch)
+	}
+	out := s.out[:n]
+	schema := s.rel.Schema
+	for i := 0; i < n; i++ {
+		binds[i] = binding{name: s.binding, schema: schema, tuple: s.rel.Tuples[s.pos+i]}
+		envs[i] = env{rt: s.rt, bindings: binds[i : i+1 : i+1]}
+		out[i] = item{env: &envs[i]}
+	}
+	s.pos += n
+	return out, nil
+}
+
+// vecIndexScan yields batches over an index probe's position list.
+type vecIndexScan struct {
+	rel       *rel.Relation
+	binding   string
+	rt        *run
+	positions []int
+	pos       int
+	out       []item
+}
+
+func (s *vecIndexScan) next(ctx context.Context, want int) ([]item, error) {
+	n := len(s.positions) - s.pos
+	if n <= 0 {
+		return nil, io.EOF
+	}
+	if n > want {
+		n = want
+	}
+	if err := s.rt.tickN(ctx, n); err != nil {
+		return nil, err
+	}
+	envs := make([]env, n)
+	binds := make([]binding, n)
+	if cap(s.out) < n {
+		s.out = make([]item, vecBatch)
+	}
+	out := s.out[:n]
+	schema := s.rel.Schema
+	for i := 0; i < n; i++ {
+		binds[i] = binding{name: s.binding, schema: schema, tuple: s.rel.Tuples[s.positions[s.pos+i]]}
+		envs[i] = env{rt: s.rt, bindings: binds[i : i+1 : i+1]}
+		out[i] = item{env: &envs[i]}
+	}
+	s.pos += n
+	return out, nil
+}
+
+// vecOpenScan mirrors openScan for the batch engine.
+func vecOpenScan(sa *scanAccess, rt *run, lo, hi int) vecIter {
+	var it vecIter
+	if sa.idx != nil {
+		it = &vecIndexScan{rel: sa.r, binding: sa.binding, rt: rt, positions: sa.idx.Lookup(sa.eq.val)}
+	} else {
+		it = &vecScan{rel: sa.r, binding: sa.binding, rt: rt, pos: lo, end: hi}
+	}
+	if pred := andJoin(sa.filters); pred != nil {
+		it = &vecFilter{child: it, pred: pred}
+	}
+	return it
+}
+
+// vecFilter keeps items whose predicate evaluates to true, compacting
+// the child's batch in place. It loops over all-rejected chunks so a
+// successful pull always returns at least one item.
+type vecFilter struct {
+	child vecIter
+	pred  Expr
+}
+
+func (f *vecFilter) next(ctx context.Context, want int) ([]item, error) {
+	// Constrained pull (a LIMIT upstream): read one row at a time so the
+	// scan stops on exactly the row serial execution stops on — a larger
+	// chunk could read past the final qualifying row.
+	if want < vecBatch {
+		want = 1
+	}
+	for {
+		items, err := f.child.next(ctx, want)
+		if err != nil {
+			return nil, err
+		}
+		k := 0
+		for i := range items {
+			v, err := eval(f.pred, items[i].env)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				items[k] = items[i]
+				k++
+			}
+		}
+		if k > 0 {
+			return items[:k], nil
+		}
+	}
+}
+
+// vecProject evaluates the select items per batch, carving output rows
+// from one per-batch value slab.
+type vecProject struct {
+	child vecIter
+	items []SelectItem
+}
+
+func (p *vecProject) next(ctx context.Context, want int) ([]item, error) {
+	items, err := p.child.next(ctx, want)
+	if err != nil {
+		return nil, err
+	}
+	w := len(p.items)
+	slab := make([]rel.Value, len(items)*w)
+	for i := range items {
+		row := slab[i*w : (i+1)*w : (i+1)*w]
+		for j, si := range p.items {
+			v, err := eval(si.Expr, items[i].env)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		items[i].row = row
+	}
+	return items, nil
+}
+
+// vecDistinct drops rows already seen, compacting in place like
+// vecFilter. Rows are retained by the tuple set; upstream operators
+// never reuse row storage, so retention is safe.
+type vecDistinct struct {
+	child vecIter
+	seen  tupleSet
+}
+
+func (d *vecDistinct) next(ctx context.Context, want int) ([]item, error) {
+	// Constrained pull: row-at-a-time, mirroring serial (see vecFilter).
+	if want < vecBatch {
+		want = 1
+	}
+	for {
+		items, err := d.child.next(ctx, want)
+		if err != nil {
+			return nil, err
+		}
+		k := 0
+		for i := range items {
+			if d.seen.insert(items[i].row) {
+				items[k] = items[i]
+				k++
+			}
+		}
+		if k > 0 {
+			return items[:k], nil
+		}
+	}
+}
+
+// vecLimit applies OFFSET then LIMIT. It caps want at the rows still
+// needed — and always below vecBatch — so downstream joins switch to
+// the serial one-left-row-at-a-time read pattern and Scanned() stays
+// exactly what serial execution would report.
+type vecLimit struct {
+	child   vecIter
+	limit   int // -1 = no limit
+	offset  int
+	skipped int
+	emitted int
+}
+
+func (l *vecLimit) next(ctx context.Context, want int) ([]item, error) {
+	for l.skipped < l.offset {
+		w := l.offset - l.skipped
+		if w >= vecBatch {
+			w = vecBatch - 1
+		}
+		items, err := l.child.next(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		l.skipped += len(items)
+	}
+	if l.limit >= 0 {
+		rem := l.limit - l.emitted
+		if rem <= 0 {
+			return nil, io.EOF
+		}
+		if want > rem {
+			want = rem
+		}
+		if want >= vecBatch {
+			// Never pass an unconstrained want below a live LIMIT: the
+			// child must see the pull as constrained (want < vecBatch)
+			// and fall back to the serial read pattern.
+			want = vecBatch - 1
+		}
+	}
+	items, err := l.child.next(ctx, want)
+	if err != nil {
+		return nil, err
+	}
+	l.emitted += len(items)
+	return items, nil
+}
+
+// vecConcat chains branch iterators in order (UNION ALL shape).
+type vecConcat struct {
+	children []vecIter
+	pos      int
+}
+
+func (c *vecConcat) next(ctx context.Context, want int) ([]item, error) {
+	for c.pos < len(c.children) {
+		items, err := c.children[c.pos].next(ctx, want)
+		if err == io.EOF {
+			c.pos++
+			continue
+		}
+		return items, err
+	}
+	return nil, io.EOF
+}
+
+// vecOrder is the ORDER BY pipeline breaker for both key modes:
+// environment-based keys (non-grouped selects; evalOrderKey) and
+// output-row keys (grouped selects and union heads; rowOrderKey). Sort
+// keys are evaluated once per row up front instead of per comparison —
+// except for single-row inputs, which serial execution never evaluates
+// keys for (zero comparisons), and neither do we.
+type vecOrder struct {
+	child   vecIter
+	order   []OrderItem
+	items   []SelectItem
+	columns []string
+	rowMode bool // resolve keys against output rows only
+
+	buf    []sortedItem
+	pos    int
+	filled bool
+	out    []item
+}
+
+type sortedItem struct {
+	it  item
+	key []rel.Value
+}
+
+func (o *vecOrder) key(e Expr, it item) (rel.Value, error) {
+	if o.rowMode {
+		return rowOrderKey(e, o.items, o.columns, it.row)
+	}
+	return evalOrderKey(e, o.items, it.row, it.env)
+}
+
+func (o *vecOrder) fill(ctx context.Context) error {
+	for {
+		items, err := o.child.next(ctx, vecBatch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, it := range items {
+			o.buf = append(o.buf, sortedItem{it: it})
+		}
+	}
+	if len(o.buf) < 2 {
+		return nil // zero comparisons; serial never evaluates keys either
+	}
+	w := len(o.order)
+	slab := make([]rel.Value, len(o.buf)*w)
+	for i := range o.buf {
+		key := slab[i*w : (i+1)*w : (i+1)*w]
+		for j, oi := range o.order {
+			v, err := o.key(oi.Expr, o.buf[i].it)
+			if err != nil {
+				return err
+			}
+			key[j] = v
+		}
+		o.buf[i].key = key
+	}
+	sort.SliceStable(o.buf, func(a, b int) bool {
+		ka, kb := o.buf[a].key, o.buf[b].key
+		for j, oi := range o.order {
+			if c := ka[j].Compare(kb[j]); c != 0 {
+				if oi.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+func (o *vecOrder) next(ctx context.Context, want int) ([]item, error) {
+	if !o.filled {
+		if err := o.fill(ctx); err != nil {
+			return nil, err
+		}
+		o.filled = true
+	}
+	n := len(o.buf) - o.pos
+	if n <= 0 {
+		return nil, io.EOF
+	}
+	if n > want {
+		n = want
+	}
+	if cap(o.out) < n {
+		o.out = make([]item, vecBatch)
+	}
+	out := o.out[:n]
+	for i := 0; i < n; i++ {
+		out[i] = o.buf[o.pos+i].it
+	}
+	o.pos += n
+	return out, nil
+}

@@ -1,0 +1,409 @@
+package sqlx
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/rel"
+)
+
+// Vectorized joins. Output environments are carved from fresh per-call
+// arenas: one env array and one flat binding slab sized want×stride
+// (stride = bindings per output env, fixed per chain position), so a
+// full 1024-row batch of join output costs three allocations instead of
+// two per row. Under a constrained pull (want < vecBatch, i.e. a LIMIT
+// upstream) the join pulls left rows one at a time and buffers pending
+// match state across calls — exactly the serial read pattern, keeping
+// Scanned() identical.
+
+// vecOpenJoin mirrors openJoin for the batch engine.
+func vecOpenJoin(child vecIter, ja *joinAccess, rt *run, stride int) vecIter {
+	if ja.strategy == joinHashBuildLeft {
+		return &vecHashLeftJoin{child: child, ja: ja, rt: rt, stride: stride, chain: -1}
+	}
+	j := &vecJoin{
+		child: child, ja: ja, rt: rt, stride: stride,
+		nullTuple: make(rel.Tuple, ja.right.Schema.Len()),
+		chain:     -1,
+	}
+	if ja.strategy == joinNestedLoop {
+		j.pred = andJoin(append(append([]Expr{}, ja.filters...), ja.on))
+	}
+	return j
+}
+
+// emitArena carves join output environments out of per-call slabs.
+type emitArena struct {
+	envs  []env
+	binds []binding
+	bpos  int
+	n     int
+}
+
+func newEmitArena(want, stride int) emitArena {
+	return emitArena{envs: make([]env, want), binds: make([]binding, want*stride)}
+}
+
+// emit builds the output environment extending left with one right
+// tuple. The result is not yet committed: commit keeps it, reject
+// releases the slab space for the next candidate (nested-loop misses).
+func (a *emitArena) emit(rt *run, left *env, bname string, schema *rel.Schema, t rel.Tuple) item {
+	nb := len(left.bindings) + 1
+	b := a.binds[a.bpos : a.bpos : a.bpos+nb]
+	b = append(b, left.bindings...)
+	b = append(b, binding{name: bname, schema: schema, tuple: t})
+	e := &a.envs[a.n]
+	*e = env{rt: rt, bindings: b}
+	return item{env: e}
+}
+
+func (a *emitArena) commit() { a.bpos += len(a.envs[a.n].bindings); a.n++ }
+
+// vecJoin covers the cross, index-probe, build-right hash, and
+// nested-loop strategies (with LEFT JOIN null extension), mirroring
+// joinIter.
+type vecJoin struct {
+	child  vecIter
+	ja     *joinAccess
+	rt     *run
+	stride int
+
+	pred Expr // nested-loop predicate (filters folded into ON)
+
+	table   *joinTable // build-right hash table
+	built   bool
+	cross   []rel.Tuple
+	crossed bool
+
+	nullTuple rel.Tuple
+
+	// Pending left rows from the child's last batch.
+	leftBuf []item
+	li      int
+	done    bool
+	err     error
+
+	// Match state for the current left row, resumable across calls.
+	cur     *env
+	matches []rel.Tuple // index-probe / cross modes
+	mi      int
+	chain   int32 // build-right hash chain cursor, -1 = none
+	rpos    int   // nested-loop right scan position
+	matched bool
+
+	out []item
+}
+
+// buildLazy mirrors joinIter.buildLazy on the open-addressing table;
+// parallel execution pre-builds it once and shares it (ja.prevec).
+func (j *vecJoin) buildLazy(ctx context.Context) error {
+	if j.ja.prevec != nil {
+		j.table, j.built = j.ja.prevec, true
+		return nil
+	}
+	j.table = &joinTable{}
+	for _, t := range j.ja.right.Tuples {
+		if err := j.rt.tick(ctx); err != nil {
+			return err
+		}
+		ok, err := rightFilterOK(j.ja.filters, j.ja.binding, j.ja.right.Schema, t, j.rt)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		v := t[j.ja.rightIdx]
+		if v.IsNull() {
+			continue
+		}
+		j.table.insert(v, t)
+	}
+	j.built = true
+	return nil
+}
+
+func (j *vecJoin) buildCross(ctx context.Context) error {
+	if j.ja.precross != nil {
+		j.cross, j.crossed = j.ja.precross, true
+		return nil
+	}
+	if len(j.ja.filters) == 0 {
+		j.cross = j.ja.right.Tuples
+	} else {
+		for _, t := range j.ja.right.Tuples {
+			if err := j.rt.tick(ctx); err != nil {
+				return err
+			}
+			ok, err := rightFilterOK(j.ja.filters, j.ja.binding, j.ja.right.Schema, t, j.rt)
+			if err != nil {
+				return err
+			}
+			if ok {
+				j.cross = append(j.cross, t)
+			}
+		}
+	}
+	j.crossed = true
+	return nil
+}
+
+func (j *vecJoin) probeIndex(ctx context.Context) error {
+	j.matches = j.matches[:0]
+	lv, err := eval(j.ja.leftCol, j.cur)
+	if err != nil || lv.IsNull() {
+		// Eval error or NULL key means no match, mirroring the hash path.
+		return nil
+	}
+	for _, pos := range j.ja.idx.Lookup(lv) {
+		if err := j.rt.tick(ctx); err != nil {
+			return err
+		}
+		t := j.ja.right.Tuples[pos]
+		ok, err := rightFilterOK(j.ja.filters, j.ja.binding, j.ja.right.Schema, t, j.rt)
+		if err != nil {
+			return err
+		}
+		if ok {
+			j.matches = append(j.matches, t)
+		}
+	}
+	return nil
+}
+
+// fail records a terminal error; buffered output is flushed first and
+// the error surfaces on the following call.
+func (j *vecJoin) fail(out []item, err error) ([]item, error) {
+	j.cur, j.done, j.err = nil, true, err
+	if len(out) > 0 {
+		return out, nil
+	}
+	return nil, err
+}
+
+func (j *vecJoin) next(ctx context.Context, want int) ([]item, error) {
+	right := j.ja.right
+	if cap(j.out) < want {
+		j.out = make([]item, vecBatch)
+	}
+	out := j.out[:0]
+	arena := newEmitArena(want, j.stride)
+	leftWant := vecBatch
+	if want < vecBatch {
+		// A constrained pull: read left rows one at a time so we never
+		// scan further than serial execution would under the same LIMIT.
+		leftWant = 1
+	}
+	for {
+		if j.cur == nil {
+			if j.li >= len(j.leftBuf) {
+				if j.done {
+					if len(out) > 0 {
+						return out, nil
+					}
+					if j.err != nil {
+						return nil, j.err
+					}
+					return nil, io.EOF
+				}
+				items, err := j.child.next(ctx, leftWant)
+				if err != nil {
+					j.done = true
+					if err != io.EOF {
+						j.err = err
+					}
+					continue
+				}
+				j.leftBuf, j.li = items, 0
+			}
+			it := j.leftBuf[j.li]
+			j.li++
+			j.cur, j.matched, j.mi, j.rpos, j.chain = it.env, false, 0, 0, -1
+			switch j.ja.strategy {
+			case joinCrossSeq:
+				if !j.crossed {
+					if err := j.buildCross(ctx); err != nil {
+						return j.fail(out, err)
+					}
+				}
+				j.matches, j.mi = j.cross, 0
+			case joinIndexProbe:
+				if err := j.probeIndex(ctx); err != nil {
+					return j.fail(out, err)
+				}
+			case joinHashBuildRight:
+				if !j.built {
+					if err := j.buildLazy(ctx); err != nil {
+						return j.fail(out, err)
+					}
+				}
+				if lv, err := eval(j.ja.leftCol, j.cur); err == nil && !lv.IsNull() {
+					j.chain = j.table.probe(lv)
+				}
+			}
+		}
+		switch {
+		case j.ja.strategy == joinNestedLoop:
+			for j.rpos < len(right.Tuples) {
+				if len(out) == want {
+					return out, nil
+				}
+				if err := j.rt.tick(ctx); err != nil {
+					return j.fail(out, err)
+				}
+				t := right.Tuples[j.rpos]
+				j.rpos++
+				cand := arena.emit(j.rt, j.cur, j.ja.binding, right.Schema, t)
+				v, err := eval(j.pred, cand.env)
+				if err != nil {
+					return j.fail(out, err)
+				}
+				if b, ok := v.AsBool(); ok && b {
+					j.matched = true
+					arena.commit()
+					out = append(out, cand)
+				}
+			}
+		case j.ja.strategy == joinHashBuildRight:
+			for j.chain >= 0 {
+				if len(out) == want {
+					return out, nil
+				}
+				r := j.table.rows[j.chain]
+				j.chain = r.next
+				j.matched = true
+				cand := arena.emit(j.rt, j.cur, j.ja.binding, right.Schema, r.t)
+				arena.commit()
+				out = append(out, cand)
+			}
+		default:
+			for j.mi < len(j.matches) {
+				if len(out) == want {
+					return out, nil
+				}
+				t := j.matches[j.mi]
+				j.mi++
+				j.matched = true
+				cand := arena.emit(j.rt, j.cur, j.ja.binding, right.Schema, t)
+				arena.commit()
+				out = append(out, cand)
+			}
+		}
+		if !j.matched && j.ja.kind == JoinLeft {
+			if len(out) == want {
+				// No room: keep cur so the next call re-enters here and
+				// emits the null-extended row.
+				return out, nil
+			}
+			cand := arena.emit(j.rt, j.cur, j.ja.binding, right.Schema, j.nullTuple)
+			arena.commit()
+			out = append(out, cand)
+		}
+		j.cur = nil
+		if len(out) == want {
+			return out, nil
+		}
+	}
+}
+
+// vecHashLeftJoin mirrors hashLeftJoinIter: drain the (smaller) left
+// input into the environment hash table, then stream the right relation
+// through it. Right-major output order, inner joins only.
+type vecHashLeftJoin struct {
+	child  vecIter
+	ja     *joinAccess
+	rt     *run
+	stride int
+
+	built bool
+	table envTable
+
+	rpos     int
+	curTuple rel.Tuple
+	chain    int32
+	err      error
+
+	out []item
+}
+
+func (j *vecHashLeftJoin) build(ctx context.Context) error {
+	for {
+		items, err := j.child.next(ctx, vecBatch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, it := range items {
+			// Eval errors and NULL keys mean no match, as in probe mode.
+			lv, err := eval(j.ja.leftCol, it.env)
+			if err != nil || lv.IsNull() {
+				continue
+			}
+			j.table.insert(lv, it.env)
+		}
+	}
+	j.built = true
+	return nil
+}
+
+func (j *vecHashLeftJoin) next(ctx context.Context, want int) ([]item, error) {
+	if j.err != nil {
+		return nil, j.err
+	}
+	if !j.built {
+		if err := j.build(ctx); err != nil {
+			return nil, err
+		}
+	}
+	right := j.ja.right
+	if cap(j.out) < want {
+		j.out = make([]item, vecBatch)
+	}
+	out := j.out[:0]
+	arena := newEmitArena(want, j.stride)
+	for {
+		for j.chain >= 0 {
+			if len(out) == want {
+				return out, nil
+			}
+			r := j.table.rows[j.chain]
+			j.chain = r.next
+			cand := arena.emit(j.rt, r.e, j.ja.binding, right.Schema, j.curTuple)
+			arena.commit()
+			out = append(out, cand)
+		}
+		if j.rpos >= len(right.Tuples) {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, io.EOF
+		}
+		if err := j.rt.tick(ctx); err != nil {
+			j.err = err
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		t := right.Tuples[j.rpos]
+		j.rpos++
+		ok, err := rightFilterOK(j.ja.filters, j.ja.binding, right.Schema, t, j.rt)
+		if err != nil {
+			j.err = err
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		v := t[j.ja.rightIdx]
+		if v.IsNull() {
+			continue
+		}
+		j.curTuple, j.chain = t, j.table.probe(v)
+	}
+}

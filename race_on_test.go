@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation inflates allocation counts, so alloc-budget tests
+// skip themselves under -race.
+const raceEnabled = true
